@@ -1,0 +1,250 @@
+//! Steady-state streaming intervals (Section 4.1, Theorem 4.1).
+//!
+//! Within a set of co-scheduled tasks, the output streaming interval of a
+//! node is `S_o(v) = max_{u ∈ WCC(v)} O(u) / O(v)`: every node in a weakly
+//! connected streaming component is paced by the component's largest data
+//! producer. Components are taken over *streaming* connections only:
+//!
+//! - edges between co-scheduled compute nodes connect;
+//! - a source node couples all of its co-scheduled consumers (single-pass
+//!   multicast), and its own volume participates;
+//! - buffer nodes split (the paper's tail/head duplication): data re-enters
+//!   through independent per-edge replay endpoints, as do reads of earlier
+//!   blocks' outputs from global memory.
+
+use stg_model::{CanonicalGraph, NodeKind};
+use stg_graph::{EdgeId, NodeId, Ratio, UnionFind};
+
+/// Producer-side timing of an edge in a computed schedule: the first-out
+/// time and the output streaming interval of whatever feeds the edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeProducer {
+    /// First element availability time.
+    pub fo: u64,
+    /// Average interval between elements on the edge.
+    pub so: Ratio,
+}
+
+/// Streaming intervals for one co-scheduled set (a spatial block, or the
+/// whole graph for the infinite-PE analysis).
+#[derive(Clone, Debug)]
+pub struct StreamingIntervals {
+    /// Component id per slot (nodes `0..n`, per-edge endpoints `n..n+e`);
+    /// `u32::MAX` for slots not participating.
+    comp: Vec<u32>,
+    /// Max output volume per component.
+    comp_max: Vec<u64>,
+    /// For each edge scanned as a member input: the slot of its producer.
+    edge_slot: Vec<Option<u32>>,
+    /// Cached member volumes (`I`, `O`) for interval queries.
+    volumes: Vec<(u64, u64)>,
+    member: Vec<bool>,
+}
+
+impl StreamingIntervals {
+    /// Computes the intervals for the members of spatial block `bi`.
+    ///
+    /// `block_of[v] == Some(bi)` identifies membership; `members` lists the
+    /// same nodes (used for iteration order and volume collection).
+    pub fn for_block(
+        g: &CanonicalGraph,
+        members: &[NodeId],
+        block_of: &[Option<u32>],
+        bi: u32,
+    ) -> StreamingIntervals {
+        let dag = g.dag();
+        let n = dag.node_count();
+        let slots = n + dag.edge_count();
+        let mut uf = UnionFind::new(slots);
+        let mut participates = vec![false; slots];
+        let mut edge_slot: Vec<Option<u32>> = vec![None; dag.edge_count()];
+
+        for &v in members {
+            participates[v.index()] = true;
+            for &eid in dag.in_edge_ids(v) {
+                let u = dag.edge(eid).src;
+                let slot = if block_of[u.index()] == Some(bi) {
+                    u.0
+                } else if g.kind(u) == NodeKind::Source {
+                    // Shared multicast endpoint: the source's own slot.
+                    u.0
+                } else {
+                    // Independent per-edge memory replay endpoint.
+                    (n + eid.index()) as u32
+                };
+                participates[slot as usize] = true;
+                uf.union(slot, v.0);
+                edge_slot[eid.index()] = Some(slot);
+            }
+        }
+
+        // Label components and accumulate per-component max output volume.
+        let mut comp = vec![u32::MAX; slots];
+        let mut comp_max: Vec<u64> = Vec::new();
+        let mut label_of_root: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
+        let mut label = |uf: &mut UnionFind,
+                         comp: &mut Vec<u32>,
+                         comp_max: &mut Vec<u64>,
+                         slot: u32|
+         -> u32 {
+            let root = uf.find(slot);
+            let c = *label_of_root.entry(root).or_insert_with(|| {
+                comp_max.push(0);
+                (comp_max.len() - 1) as u32
+            });
+            comp[slot as usize] = c;
+            c
+        };
+        // Member contributions: their own output volumes.
+        let mut volumes = vec![(0u64, 0u64); n];
+        let mut member = vec![false; n];
+        for &v in members {
+            member[v.index()] = true;
+            let i = g.input_volume(v).unwrap_or(0);
+            let o = g.output_volume(v).unwrap_or(0);
+            volumes[v.index()] = (i, o);
+            let c = label(&mut uf, &mut comp, &mut comp_max, v.0);
+            comp_max[c as usize] = comp_max[c as usize].max(o);
+        }
+        // Endpoint contributions: the edge volume (for shared source slots
+        // this is the source's output volume, contributed possibly multiple
+        // times with the same value).
+        for (eid, slot) in edge_slot.iter().enumerate() {
+            if let Some(slot) = *slot {
+                let vol = dag.edge(EdgeId(eid as u32)).weight;
+                let c = label(&mut uf, &mut comp, &mut comp_max, slot);
+                comp_max[c as usize] = comp_max[c as usize].max(vol);
+            }
+        }
+
+        StreamingIntervals {
+            comp,
+            comp_max,
+            edge_slot,
+            volumes,
+            member,
+        }
+    }
+
+    /// Intervals over the whole graph co-scheduled at once (the Theorem 4.1
+    /// setting used to define the streaming depth).
+    pub fn for_graph(g: &CanonicalGraph) -> StreamingIntervals {
+        let members: Vec<NodeId> = g.compute_nodes().collect();
+        let block_of: Vec<Option<u32>> = g
+            .node_ids()
+            .map(|v| if g.node(v).is_schedulable() { Some(0) } else { None })
+            .collect();
+        Self::for_block(g, &members, &block_of, 0)
+    }
+
+    /// The component id of a member node.
+    pub fn wcc_of(&self, v: NodeId) -> Option<u32> {
+        let c = self.comp.get(v.index()).copied().unwrap_or(u32::MAX);
+        (c != u32::MAX).then_some(c)
+    }
+
+    /// The largest output volume in the member's component.
+    pub fn max_volume(&self, v: NodeId) -> Option<u64> {
+        self.wcc_of(v).map(|c| self.comp_max[c as usize])
+    }
+
+    /// `S_o(v) = max_{u∈WCC(v)} O(u) / O(v)` for a member with outputs.
+    pub fn so(&self, v: NodeId) -> Option<Ratio> {
+        if !self.member.get(v.index()).copied().unwrap_or(false) {
+            return None;
+        }
+        let (_, o) = self.volumes[v.index()];
+        if o == 0 {
+            return None;
+        }
+        let max = self.max_volume(v)?;
+        Some(Ratio::new(max as i128, o as i128))
+    }
+
+    /// `S_i(v) = max_{u∈WCC(v)} O(u) / I(v)` for a member with inputs.
+    pub fn si(&self, v: NodeId) -> Option<Ratio> {
+        if !self.member.get(v.index()).copied().unwrap_or(false) {
+            return None;
+        }
+        let (i, _) = self.volumes[v.index()];
+        if i == 0 {
+            return None;
+        }
+        let max = self.max_volume(v)?;
+        Some(Ratio::new(max as i128, i as i128))
+    }
+
+    /// `S_o` of the memory endpoint (or shared source) feeding edge `eid`
+    /// into the block, given the edge's volume.
+    pub fn endpoint_so_with(&self, eid: EdgeId, volume: u64) -> Option<Ratio> {
+        let slot = self.edge_slot.get(eid.index()).copied().flatten()?;
+        let c = self.comp[slot as usize];
+        if c == u32::MAX || volume == 0 {
+            return None;
+        }
+        Some(Ratio::new(self.comp_max[c as usize] as i128, volume as i128))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_model::Builder;
+    use stg_graph::Ratio;
+
+    #[test]
+    fn shared_source_couples_consumers_but_buffer_replays_do_not() {
+        // src multicasts to a and b (one component); buf replays to c and d
+        // (two independent per-edge endpoints → separate components).
+        let mut bld = Builder::new();
+        let src = bld.source("src");
+        let a = bld.compute("a");
+        let b = bld.compute("b");
+        bld.edge(src, a, 8);
+        bld.edge(src, b, 8);
+        let feed = bld.compute("feed");
+        let buf = bld.buffer("B");
+        bld.edge(feed, buf, 8);
+        let c = bld.compute("c");
+        let d = bld.compute("d");
+        bld.edge(buf, c, 8);
+        bld.edge(buf, d, 8);
+        let ka = bld.sink("ka");
+        let kb = bld.sink("kb");
+        let kc = bld.sink("kc");
+        let kd = bld.sink("kd");
+        bld.edge(a, ka, 8);
+        bld.edge(b, kb, 32); // b is an upsampler: slows the src component
+        bld.edge(c, kc, 8);
+        bld.edge(d, kd, 32); // d is an upsampler: must NOT slow c
+        let g = bld.finish().unwrap();
+        let iv = StreamingIntervals::for_graph(&g);
+        // a and b share the source's component: b's 32 dominates.
+        assert_eq!(iv.wcc_of(a), iv.wcc_of(b));
+        assert_eq!(iv.so(a), Some(Ratio::integer(4))); // 32/8
+        // c and d read independent buffer replays: separate components.
+        assert_ne!(iv.wcc_of(c), iv.wcc_of(d));
+        assert_eq!(iv.so(c), Some(Ratio::ONE));
+        assert_eq!(iv.so(d), Some(Ratio::ONE)); // 32/32
+    }
+
+    #[test]
+    fn cross_block_edges_use_per_edge_endpoints() {
+        // Two members of block 1 both read the same block-0 producer: the
+        // replays are independent, so the members land in separate
+        // components unless otherwise connected.
+        let mut bld = Builder::new();
+        let p = bld.compute("p");
+        let x = bld.compute("x");
+        let y = bld.compute("y");
+        bld.edge(p, x, 16);
+        bld.edge(p, y, 16);
+        let g = bld.finish().unwrap();
+        let block_of = vec![Some(0), Some(1), Some(1)];
+        let iv = StreamingIntervals::for_block(&g, &[x, y], &block_of, 1);
+        assert_ne!(iv.wcc_of(x), iv.wcc_of(y));
+        // Members are leaves here (no outputs): no S_o, but S_i is defined.
+        assert_eq!(iv.si(x), Some(Ratio::ONE));
+    }
+}

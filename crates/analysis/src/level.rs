@@ -1,0 +1,113 @@
+//! Generalized node levels (Sections 4.2.1 and 4.2.3).
+//!
+//! For element-wise graphs the level is the classic longest-path depth. For
+//! general canonical DAGs the paper generalizes to
+//! `L(v) = 1` for roots and `L(v) = max(R(v), 1) + max_{(u,v)} L(u)`
+//! otherwise — the time the last element leaving a source needs to reach and
+//! be processed by `v`, accounting for up-samplers. Levels are rationals
+//! because production rates are.
+
+use stg_model::CanonicalGraph;
+use stg_graph::{topological_order, CycleError, Ratio};
+
+/// Per-node generalized levels plus the graph level `L(G)`.
+#[derive(Clone, Debug)]
+pub struct Levels {
+    /// `L(v)` per node.
+    pub of_node: Vec<Ratio>,
+    /// `L(G) = max_v L(v)`.
+    pub of_graph: Ratio,
+}
+
+/// Computes the generalized levels of every node.
+pub fn generalized_levels(g: &CanonicalGraph) -> Result<Levels, CycleError> {
+    let dag = g.dag();
+    let order = topological_order(dag)?;
+    let mut level = vec![Ratio::ONE; dag.node_count()];
+    let mut max = if dag.node_count() == 0 {
+        Ratio::ZERO
+    } else {
+        Ratio::ONE
+    };
+    for &v in &order {
+        if dag.in_degree(v) == 0 {
+            level[v.index()] = Ratio::ONE;
+        } else {
+            let step = g.rate(v).map_or(Ratio::ONE, |r| r.max(Ratio::ONE));
+            let pred = dag
+                .predecessors(v)
+                .map(|u| level[u.index()])
+                .fold(Ratio::ZERO, Ratio::max);
+            level[v.index()] = step + pred;
+        }
+        max = max.max(level[v.index()]);
+    }
+    Ok(Levels {
+        of_node: level,
+        of_graph: max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_model::Builder;
+
+    #[test]
+    fn elementwise_levels_are_integers() {
+        // chain of three element-wise tasks: levels 1, 2, 3, 4 (with roots
+        // producing and leaves consuming).
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..4).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 8);
+        let g = b.finish().unwrap();
+        let lv = generalized_levels(&g).unwrap();
+        assert_eq!(lv.of_node[t[0].index()], Ratio::ONE);
+        assert_eq!(lv.of_node[t[3].index()], Ratio::integer(4));
+        assert_eq!(lv.of_graph, Ratio::integer(4));
+    }
+
+    #[test]
+    fn upsampler_adds_its_rate() {
+        // t0 -4-> up(x3) -12-> t1: L(up) = 1 + 3 = 4, L(t1) = 5.
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let up = b.compute("up");
+        let t1 = b.compute("t1");
+        b.edge(t0, up, 4);
+        b.edge(up, t1, 12);
+        let g = b.finish().unwrap();
+        let lv = generalized_levels(&g).unwrap();
+        assert_eq!(lv.of_node[up.index()], Ratio::integer(4));
+        assert_eq!(lv.of_node[t1.index()], Ratio::integer(5));
+    }
+
+    #[test]
+    fn downsampler_counts_as_one() {
+        // down-samplers have max(R,1) = 1 like element-wise nodes.
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let d = b.compute("d");
+        let t1 = b.compute("t1");
+        b.edge(t0, d, 16);
+        b.edge(d, t1, 4);
+        let g = b.finish().unwrap();
+        let lv = generalized_levels(&g).unwrap();
+        assert_eq!(lv.of_node[d.index()], Ratio::integer(2));
+        assert_eq!(lv.of_graph, Ratio::integer(3));
+    }
+
+    #[test]
+    fn rational_rate_levels() {
+        // up-sampler with rate 3/2 contributes 3/2.
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let up = b.compute("up");
+        let k = b.compute("k");
+        b.edge(t0, up, 4);
+        b.edge(up, k, 6);
+        let g = b.finish().unwrap();
+        let lv = generalized_levels(&g).unwrap();
+        assert_eq!(lv.of_node[up.index()], Ratio::ONE + Ratio::new(3, 2));
+    }
+}

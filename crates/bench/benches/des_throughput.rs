@@ -1,0 +1,46 @@
+//! Discrete-event-simulator throughput: element beats per second on the
+//! validation workloads (chains and random FFT graphs with sized buffers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stg_analysis::{schedule, Partition};
+use stg_buffer::{buffer_sizes, SizingPolicy};
+use stg_des::{simulate, SimConfig};
+use stg_model::Builder;
+use stg_workloads::{generate, Topology};
+
+fn bench_des(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+
+    // Element-wise chain: pure pipeline traffic.
+    for k in [256u64, 1024] {
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..8).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, k);
+        let g = b.finish().expect("canonical");
+        let s = schedule(&g, &Partition::single_block(&g)).expect("valid");
+        let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
+        let sim = simulate(&g, &s, &plan, SimConfig::default());
+        group.throughput(Throughput::Elements(sim.beats));
+        group.bench_with_input(BenchmarkId::new("chain8", k), &k, |bch, _| {
+            bch.iter(|| simulate(&g, &s, &plan, SimConfig::default()))
+        });
+    }
+
+    // A random FFT graph at two machine sizes (barriers included).
+    let g = generate(Topology::Fft { points: 16 }, 9);
+    for p in [16usize, 64] {
+        let part = stg_sched::spatial_block_partition(&g, p, stg_sched::SbVariant::Rlx);
+        let s = schedule(&g, &part).expect("valid");
+        let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
+        let sim = simulate(&g, &s, &plan, SimConfig::default());
+        assert!(sim.completed(), "benchmark workload must not deadlock");
+        group.throughput(Throughput::Elements(sim.beats));
+        group.bench_with_input(BenchmarkId::new("fft16", p), &p, |bch, _| {
+            bch.iter(|| simulate(&g, &s, &plan, SimConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_des);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Scheduling throughput on the Figure 10 workloads: how fast the full
+//! streaming pipeline (partition → intervals → schedule → buffers) runs on
+//! each synthetic topology, per heuristic variant, versus the NSTR-SCH
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stg_core::{NonStreamingScheduler, StreamingScheduler};
+use stg_sched::SbVariant;
+use stg_workloads::{generate, paper_suite};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_scheduling");
+    for (topo, pe_counts) in paper_suite() {
+        let g = generate(topo, 7);
+        let p = *pe_counts.last().expect("pe sweep");
+        group.bench_with_input(
+            BenchmarkId::new("STR-SCH-1", topo.name()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    StreamingScheduler::new(p)
+                        .variant(SbVariant::Lts)
+                        .run(g)
+                        .expect("schedulable")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("STR-SCH-2", topo.name()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    StreamingScheduler::new(p)
+                        .variant(SbVariant::Rlx)
+                        .run(g)
+                        .expect("schedulable")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("NSTR-SCH", topo.name()),
+            &g,
+            |b, g| b.iter(|| NonStreamingScheduler::new(p).run(g)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! The Figure 12 (left) asymmetry as a benchmark: canonical-graph
+//! scheduling time versus self-timed CSDF throughput analysis on the same
+//! graphs, with P = number of tasks (one spatial block), SB-RLX.
+//!
+//! The canonical analysis is linear in the graph size; the CSDF analysis is
+//! linear in the *data volume* — expect orders of magnitude between them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use stg_core::StreamingScheduler;
+use stg_csdf::{self_timed_makespan, to_csdf, AnalysisConfig};
+use stg_sched::SbVariant;
+use stg_workloads::{generate, paper_suite};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_analysis_time");
+    group.sample_size(10);
+    for (topo, _) in paper_suite() {
+        let g = generate(topo, 3);
+        let p = topo.task_count();
+        group.bench_with_input(BenchmarkId::new("STR-SCHD", topo.name()), &g, |b, g| {
+            b.iter(|| {
+                StreamingScheduler::new(p)
+                    .variant(SbVariant::Rlx)
+                    .run(g)
+                    .expect("schedulable")
+            })
+        });
+        let converted = to_csdf(&g).expect("no buffer nodes in synthetic graphs");
+        group.bench_with_input(
+            BenchmarkId::new("CSDF-self-timed", topo.name()),
+            &converted,
+            |b, conv| {
+                b.iter(|| {
+                    self_timed_makespan(
+                        conv,
+                        &AnalysisConfig {
+                            timeout: Duration::from_secs(30),
+                            max_firings: u64::MAX,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

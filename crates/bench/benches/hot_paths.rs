@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the analysis passes on a mid-sized graph (FFT-223):
+//! streaming intervals, partitioning, block scheduling, buffer sizing,
+//! bottom levels, and the ML lowering itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stg_analysis::{schedule, Partition, StreamingIntervals};
+use stg_buffer::{buffer_sizes, SizingPolicy};
+use stg_ml::{encoder_layer, LowerConfig, TransformerConfig};
+use stg_sched::{non_streaming_schedule, spatial_block_partition, SbVariant, TaskPrecedence};
+use stg_workloads::{generate, Topology};
+
+fn bench_passes(c: &mut Criterion) {
+    let g = generate(Topology::Fft { points: 32 }, 5);
+    let p = 64;
+
+    c.bench_function("intervals_fft223", |b| {
+        b.iter(|| StreamingIntervals::for_graph(&g))
+    });
+    c.bench_function("partition_lts_fft223", |b| {
+        b.iter(|| spatial_block_partition(&g, p, SbVariant::Lts))
+    });
+    c.bench_function("partition_rlx_fft223", |b| {
+        b.iter(|| spatial_block_partition(&g, p, SbVariant::Rlx))
+    });
+    let part = spatial_block_partition(&g, p, SbVariant::Rlx);
+    c.bench_function("block_schedule_fft223", |b| {
+        b.iter(|| schedule(&g, &part).expect("valid partition"))
+    });
+    let sched = schedule(&g, &part).expect("valid partition");
+    c.bench_function("buffer_sizing_fft223", |b| {
+        b.iter(|| buffer_sizes(&g, &sched, SizingPolicy::Converging, 1))
+    });
+    c.bench_function("task_precedence_fft223", |b| {
+        b.iter(|| TaskPrecedence::build(&g))
+    });
+    c.bench_function("nstr_schedule_fft223", |b| {
+        b.iter(|| non_streaming_schedule(&g, p))
+    });
+    c.bench_function("single_block_depth_fft223", |b| {
+        b.iter(|| schedule(&g, &Partition::single_block(&g)).expect("valid"))
+    });
+    c.bench_function("lower_transformer_tiny", |b| {
+        b.iter(|| {
+            encoder_layer(&TransformerConfig {
+                seq: 16,
+                d_model: 32,
+                heads: 4,
+                d_ff: 64,
+                lower: LowerConfig { max_parallel: 8 },
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

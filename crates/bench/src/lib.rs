@@ -1,0 +1,1 @@
+//! Criterion benchmark support crate (see benches/).

@@ -1,0 +1,297 @@
+//! Self-timed execution of a CSDF graph.
+//!
+//! Every actor fires as soon as its current phase's input tokens are
+//! available (tokens are consumed at firing start and produced at firing
+//! end). For a consistent, strongly connected CSDF graph — which the
+//! converted graphs are, thanks to the feedback channels — self-timed
+//! execution attains the optimal throughput, which is what SDF3's symbolic
+//! execution and Kiter's K-periodic scheduling compute. The makespan of the
+//! implied optimal schedule is the inverse of the throughput: the steady
+//! period between iteration completions.
+//!
+//! This token-level execution costs time proportional to the *data volume*
+//! (total firings), whereas canonical-graph scheduling is linear in the
+//! *graph size* — reproducing the orders-of-magnitude gap of Figure 12. A
+//! wall-clock timeout mirrors the paper's 1-hour cap (scaled down).
+
+use crate::convert::Converted;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Outcome of a self-timed throughput analysis.
+#[derive(Clone, Debug)]
+pub struct AnalysisResult {
+    /// Steady iteration period (inverse throughput) — the makespan of the
+    /// implied optimal schedule. `None` on timeout.
+    pub period: Option<u64>,
+    /// Completion time of the first iteration (pipeline-fill latency).
+    pub first_latency: Option<u64>,
+    /// Total phase firings executed.
+    pub firings: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// True if the timeout or firing cap was hit before two iterations
+    /// completed.
+    pub timed_out: bool,
+}
+
+/// Execution limits.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisConfig {
+    /// Wall-clock budget (the paper used one hour per graph; scale to
+    /// taste).
+    pub timeout: Duration,
+    /// Hard cap on firings (guards against inconsistent graphs).
+    pub max_firings: u64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            timeout: Duration::from_secs(10),
+            max_firings: 500_000_000,
+        }
+    }
+}
+
+/// Runs self-timed execution until two full iterations complete and
+/// returns the steady period.
+pub fn self_timed_makespan(c: &Converted, config: &AnalysisConfig) -> AnalysisResult {
+    let start = Instant::now();
+    let g = &c.graph;
+    let n = g.actors.len();
+
+    let mut tokens: Vec<u64> = g.channels.iter().map(|ch| ch.initial).collect();
+    // Incoming/outgoing channel ids per actor.
+    let mut ins: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut outs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (cid, ch) in g.channels.iter().enumerate() {
+        ins[ch.dst].push(cid);
+        outs[ch.src].push(cid);
+    }
+
+    let mut phase = vec![0usize; n];
+    let mut cycles_done = vec![0u64; n];
+    let mut busy = vec![false; n];
+    // Consumers waiting for tokens on a channel.
+    let mut waiting: Vec<bool> = vec![false; n];
+
+    // Min-heap of (time, kind, actor): kind 0 = attempt, 1 = finish.
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u8, usize)>> = BinaryHeap::new();
+    for a in 0..n {
+        heap.push(std::cmp::Reverse((0, 0, a)));
+    }
+
+    let exit_cycles_needed = 2u64;
+    let mut iter_done_at: Vec<u64> = Vec::new();
+    let mut exit_progress = vec![0u64; n];
+    let mut firings = 0u64;
+    let mut timed_out = false;
+
+    'sim: while let Some(std::cmp::Reverse((t, kind, a))) = heap.pop() {
+        if firings.is_multiple_of(4096) && start.elapsed() > config.timeout {
+            timed_out = true;
+            break;
+        }
+        if kind == 1 {
+            // Finish the firing: produce and advance.
+            busy[a] = false;
+            let f = phase[a];
+            for &cid in &outs[a] {
+                let amount = g.channels[cid].prod[f];
+                if amount > 0 {
+                    tokens[cid] += amount;
+                    let dst = g.channels[cid].dst;
+                    if waiting[dst] {
+                        waiting[dst] = false;
+                        heap.push(std::cmp::Reverse((t, 0, dst)));
+                    }
+                }
+            }
+            phase[a] = (f + 1) % g.actors[a].phases;
+            if phase[a] == 0 {
+                cycles_done[a] += 1;
+                if c.exits.contains(&a) {
+                    exit_progress[a] = cycles_done[a];
+                    let k = iter_done_at.len() as u64 + 1;
+                    if c.exits.iter().all(|&e| exit_progress[e] >= k) {
+                        iter_done_at.push(t);
+                        if iter_done_at.len() as u64 >= exit_cycles_needed {
+                            break 'sim;
+                        }
+                    }
+                }
+            }
+            heap.push(std::cmp::Reverse((t, 0, a)));
+            continue;
+        }
+        // Attempt to fire the current phase.
+        if busy[a] {
+            continue;
+        }
+        let f = phase[a];
+        let ready = ins[a]
+            .iter()
+            .all(|&cid| tokens[cid] >= g.channels[cid].cons[f]);
+        if !ready {
+            waiting[a] = true;
+            continue;
+        }
+        for &cid in &ins[a] {
+            tokens[cid] -= g.channels[cid].cons[f];
+        }
+        busy[a] = true;
+        firings += 1;
+        if firings > config.max_firings {
+            timed_out = true;
+            break;
+        }
+        heap.push(std::cmp::Reverse((t + g.actors[a].duration, 1, a)));
+    }
+
+    let first_latency = iter_done_at.first().copied();
+    let period = if iter_done_at.len() >= 2 {
+        Some(iter_done_at[1] - iter_done_at[0])
+    } else {
+        None
+    };
+    AnalysisResult {
+        period,
+        first_latency,
+        firings,
+        elapsed: start.elapsed(),
+        timed_out: timed_out || period.is_none(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::to_csdf;
+    use stg_model::Builder;
+
+    fn chain(n: usize, k: u64) -> stg_model::CanonicalGraph {
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..n).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, k);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chain_period_matches_streaming_depth() {
+        let g = chain(4, 16);
+        let c = to_csdf(&g).unwrap();
+        let r = self_timed_makespan(&c, &AnalysisConfig::default());
+        assert!(!r.timed_out);
+        let period = r.period.unwrap();
+        let depth = stg_analysis::streaming_depth(&g).unwrap();
+        // With one iteration in flight the period is the iteration latency,
+        // which the canonical analysis calls the streaming depth.
+        let ratio = period as f64 / depth as f64;
+        assert!(
+            (0.8..=1.25).contains(&ratio),
+            "period {period} vs depth {depth}"
+        );
+    }
+
+    #[test]
+    fn downsampler_upsampler_period() {
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let d = b.compute("d");
+        let u = b.compute("u");
+        let t1 = b.compute("t1");
+        b.edge(t0, d, 32);
+        b.edge(d, u, 8);
+        b.edge(u, t1, 32);
+        let g = b.finish().unwrap();
+        let c = to_csdf(&g).unwrap();
+        let r = self_timed_makespan(&c, &AnalysisConfig::default());
+        assert!(!r.timed_out);
+        let depth = stg_analysis::streaming_depth(&g).unwrap();
+        let ratio = r.period.unwrap() as f64 / depth as f64;
+        assert!((0.7..=1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn firings_scale_with_volume() {
+        let small = {
+            let c = to_csdf(&chain(4, 8)).unwrap();
+            self_timed_makespan(&c, &AnalysisConfig::default()).firings
+        };
+        let big = {
+            let c = to_csdf(&chain(4, 64)).unwrap();
+            self_timed_makespan(&c, &AnalysisConfig::default()).firings
+        };
+        // Token-level analysis costs Θ(volume): the Figure 12 asymmetry.
+        assert!(big > 4 * small, "small={small} big={big}");
+    }
+
+    #[test]
+    fn timeout_reports_cleanly() {
+        let g = chain(8, 2048);
+        let c = to_csdf(&g).unwrap();
+        let r = self_timed_makespan(
+            &c,
+            &AnalysisConfig {
+                timeout: Duration::from_nanos(1),
+                max_firings: u64::MAX,
+            },
+        );
+        assert!(r.timed_out);
+        assert!(r.period.is_none());
+    }
+
+    #[test]
+    fn deterministic_period() {
+        let g = chain(5, 32);
+        let c = to_csdf(&g).unwrap();
+        let a = self_timed_makespan(&c, &AnalysisConfig::default()).period;
+        let b2 = self_timed_makespan(&c, &AnalysisConfig::default()).period;
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn single_iteration_in_flight_makes_period_the_latency() {
+        // With one feedback token, iteration i+1 cannot overlap iteration i,
+        // so the steady period equals the first-iteration latency.
+        let g = chain(4, 24);
+        let c = to_csdf(&g).unwrap();
+        let r = self_timed_makespan(&c, &AnalysisConfig::default());
+        assert_eq!(r.period, r.first_latency);
+    }
+
+    #[test]
+    fn firing_cap_reports_timeout() {
+        let g = chain(6, 128);
+        let c = to_csdf(&g).unwrap();
+        let r = self_timed_makespan(
+            &c,
+            &AnalysisConfig {
+                timeout: Duration::from_secs(60),
+                max_firings: 10,
+            },
+        );
+        assert!(r.timed_out);
+    }
+
+    #[test]
+    fn diamond_period_matches_depth() {
+        // Converging paths with equal volumes.
+        let mut b = Builder::new();
+        let r0 = b.compute("r");
+        let a = b.compute("a");
+        let c0 = b.compute("c");
+        let j = b.compute("j");
+        b.edge(r0, a, 32);
+        b.edge(r0, c0, 32);
+        b.edge(a, j, 32);
+        b.edge(c0, j, 32);
+        let g = b.finish().unwrap();
+        let conv = to_csdf(&g).unwrap();
+        let r = self_timed_makespan(&conv, &AnalysisConfig::default());
+        let depth = stg_analysis::streaming_depth(&g).unwrap();
+        let ratio = r.period.unwrap() as f64 / depth as f64;
+        assert!((0.9..=1.15).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Canonical task graph → CSDF conversion (Section 7.2).
+//!
+//! "Provided that there are no buffer nodes (not supported in CSDFGs), we
+//! can convert a given canonical task graph into an equivalent CSDFG":
+//!
+//! - a node with production rate `p/q` (lowest terms) becomes an actor with
+//!   `max(p,q)` unit-duration phases consuming `[1]*q ++ [0]*…` and
+//!   producing `[0]*… ++ [1]*p` per cycle, repeated `I/q` times per graph
+//!   iteration;
+//! - entry actors (sources / root tasks) get one phase per produced element
+//!   (`O` phases, one cycle per iteration), exit actors one phase per
+//!   consumed element — so "the first/last firing of an iteration" is a
+//!   well-defined phase;
+//! - to allow only one instance of the graph in execution (as the paper
+//!   does), feedback channels with one initial token run from every exit to
+//!   every entry: consumed on the entry's first phase, produced on the
+//!   exit's last.
+
+use crate::model::{ActorId, CsdfGraph};
+use stg_model::{CanonicalGraph, NodeKind};
+
+/// The result of a conversion.
+#[derive(Clone, Debug)]
+pub struct Converted {
+    /// The CSDF graph (data channels first, then feedback channels).
+    pub graph: CsdfGraph,
+    /// Phase-cycles per iteration for each actor.
+    pub cycles: Vec<u64>,
+    /// Actors marking iteration completion (exit actors).
+    pub exits: Vec<ActorId>,
+}
+
+/// Errors the conversion can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConvertError {
+    /// Buffer nodes cannot be expressed in a CSDF graph (the paper makes
+    /// the same restriction).
+    HasBufferNodes,
+    /// A node had no volume information (invalid canonical graph).
+    Invalid,
+}
+
+#[derive(Clone, Copy)]
+struct Shape {
+    phases: usize,
+    /// Consumes one token on each of the first `q` phases.
+    q: u64,
+    /// Produces one token on each of the last `p` phases.
+    p: u64,
+    /// Phase-cycles per iteration.
+    cycles: u64,
+}
+
+fn shape_of(g: &CanonicalGraph, v: stg_graph::NodeId) -> Result<Shape, ConvertError> {
+    let i_vol = g.input_volume(v).unwrap_or(0);
+    let o_vol = g.output_volume(v).unwrap_or(0);
+    Ok(match (i_vol, o_vol) {
+        (0, 0) => return Err(ConvertError::Invalid),
+        (0, o) => Shape {
+            phases: o as usize,
+            q: 0,
+            p: o,
+            cycles: 1,
+        },
+        (i, 0) => Shape {
+            phases: i as usize,
+            q: i,
+            p: 0,
+            cycles: 1,
+        },
+        (i, o) => {
+            let gcd = {
+                let (mut a, mut b) = (i, o);
+                while b != 0 {
+                    let t = a % b;
+                    a = b;
+                    b = t;
+                }
+                a
+            };
+            let (p, q) = (o / gcd, i / gcd);
+            Shape {
+                phases: p.max(q) as usize,
+                q,
+                p,
+                cycles: i / q,
+            }
+        }
+    })
+}
+
+/// Converts a buffer-free canonical task graph to an equivalent CSDF graph.
+pub fn to_csdf(g: &CanonicalGraph) -> Result<Converted, ConvertError> {
+    let dag = g.dag();
+    if dag.node_ids().any(|v| g.kind(v) == NodeKind::Buffer) {
+        return Err(ConvertError::HasBufferNodes);
+    }
+
+    let mut out = CsdfGraph::default();
+    let mut actor_of = vec![usize::MAX; dag.node_count()];
+    let mut shapes = Vec::with_capacity(dag.node_count());
+    let mut cycles = Vec::new();
+    let mut entries: Vec<ActorId> = Vec::new();
+    let mut exits: Vec<ActorId> = Vec::new();
+
+    for v in dag.node_ids() {
+        let s = shape_of(g, v)?;
+        let a = out.add_actor(g.node(v).name.clone(), s.phases, 1);
+        actor_of[v.index()] = a;
+        shapes.push(s);
+        cycles.push(s.cycles);
+        if s.q == 0 {
+            entries.push(a);
+        }
+        if s.p == 0 {
+            exits.push(a);
+        }
+    }
+
+    // Data channels.
+    for (_, e) in dag.edges() {
+        let ss = shapes[e.src.index()];
+        let ds = shapes[e.dst.index()];
+        let prod: Vec<u64> = (0..ss.phases)
+            .map(|f| u64::from(f as u64 >= ss.phases as u64 - ss.p))
+            .collect();
+        let cons: Vec<u64> = (0..ds.phases).map(|f| u64::from((f as u64) < ds.q)).collect();
+        out.add_channel(
+            actor_of[e.src.index()],
+            actor_of[e.dst.index()],
+            prod,
+            cons,
+            0,
+        );
+    }
+
+    // Feedback channels: exit's last phase -> entry's first phase, one
+    // initial token (one graph iteration in flight).
+    for &ex in &exits {
+        for &en in &entries {
+            let exp = out.actors[ex].phases;
+            let enp = out.actors[en].phases;
+            let mut prod = vec![0u64; exp];
+            prod[exp - 1] = 1;
+            let mut cons = vec![0u64; enp];
+            cons[0] = 1;
+            out.add_channel(ex, en, prod, cons, 1);
+        }
+    }
+
+    Ok(Converted {
+        graph: out,
+        cycles,
+        exits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_model::Builder;
+
+    #[test]
+    fn chain_converts_consistently() {
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..4).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 16);
+        let g = b.finish().unwrap();
+        let c = to_csdf(&g).unwrap();
+        // 4 actors, 3 data channels + 1 feedback.
+        assert_eq!(c.graph.actors.len(), 4);
+        assert_eq!(c.graph.channels.len(), 4);
+        c.graph.check(&c.cycles).unwrap();
+        // Entry/exit actors span a whole iteration in one phase cycle.
+        assert_eq!(c.graph.actors[0].phases, 16);
+        assert_eq!(c.cycles[0], 1);
+        // Interior element-wise actors fire 16 single-phase cycles.
+        assert_eq!(c.graph.actors[1].phases, 1);
+        assert_eq!(c.cycles[1], 16);
+    }
+
+    #[test]
+    fn downsampler_phases() {
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let d = b.compute("d");
+        let t1 = b.compute("t1");
+        b.edge(t0, d, 16);
+        b.edge(d, t1, 4);
+        let g = b.finish().unwrap();
+        let c = to_csdf(&g).unwrap();
+        c.graph.check(&c.cycles).unwrap();
+        // d: rate 1/4 -> 4 phases consuming [1,1,1,1], producing [0,0,0,1].
+        let d_actor = 1;
+        assert_eq!(c.graph.actors[d_actor].phases, 4);
+        let ch = &c.graph.channels[0]; // t0 -> d
+        assert_eq!(ch.cons, vec![1, 1, 1, 1]);
+        let ch = &c.graph.channels[1]; // d -> t1
+        assert_eq!(ch.prod, vec![0, 0, 0, 1]);
+        assert_eq!(c.cycles[d_actor], 4);
+    }
+
+    #[test]
+    fn upsampler_phases() {
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let u = b.compute("u");
+        let t1 = b.compute("t1");
+        b.edge(t0, u, 4);
+        b.edge(u, t1, 12);
+        let g = b.finish().unwrap();
+        let c = to_csdf(&g).unwrap();
+        c.graph.check(&c.cycles).unwrap();
+        // u: rate 3 -> 3 phases consuming [1,0,0], producing [1,1,1].
+        let ch = &c.graph.channels[0]; // t0 -> u
+        assert_eq!(ch.cons, vec![1, 0, 0]);
+        let ch = &c.graph.channels[1]; // u -> t1
+        assert_eq!(ch.prod, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn buffers_rejected() {
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let buf = b.buffer("B");
+        let t1 = b.compute("t1");
+        b.edge(t0, buf, 8);
+        b.edge(buf, t1, 8);
+        let g = b.finish().unwrap();
+        assert_eq!(to_csdf(&g).unwrap_err(), ConvertError::HasBufferNodes);
+    }
+
+    #[test]
+    fn multi_entry_exit_feedback() {
+        // Two roots, two leaves -> 4 feedback channels.
+        let mut b = Builder::new();
+        let r0 = b.compute("r0");
+        let r1 = b.compute("r1");
+        let j = b.compute("j");
+        let l0 = b.compute("l0");
+        let l1 = b.compute("l1");
+        b.edge(r0, j, 8);
+        b.edge(r1, j, 8);
+        b.edge(j, l0, 8);
+        b.edge(j, l1, 8);
+        let g = b.finish().unwrap();
+        let c = to_csdf(&g).unwrap();
+        c.graph.check(&c.cycles).unwrap();
+        assert_eq!(c.exits.len(), 2);
+        assert_eq!(c.graph.channels.len(), 4 + 4);
+    }
+}

@@ -1,0 +1,18 @@
+//! # stg-csdf
+//!
+//! Cyclo-static dataflow graphs as the comparison substrate of Section 7.2
+//! (the paper uses SDF3 and Kiter; this crate replaces them from scratch):
+//! a CSDF model ([`model`]), the canonical-graph conversion with one-
+//! iteration-in-flight feedback channels ([`convert`]), and self-timed
+//! token-level execution computing the optimal throughput and hence the
+//! makespan of the implied optimal schedule ([`analysis`]).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod convert;
+pub mod model;
+
+pub use analysis::{self_timed_makespan, AnalysisConfig, AnalysisResult};
+pub use convert::{to_csdf, ConvertError, Converted};
+pub use model::{ActorId, ChannelId, CsdfActor, CsdfChannel, CsdfError, CsdfGraph};

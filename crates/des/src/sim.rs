@@ -1,0 +1,636 @@
+//! The element-level dataflow simulator.
+//!
+//! Every compute task is a process that performs at most one *input beat*
+//! and one *output beat* per cycle:
+//!
+//! - an input beat pops one element from **every** input channel (lock-step,
+//!   like a PE reading all its ports) — this is what makes Figure 9 ①
+//!   deadlock under small FIFOs;
+//! - after consuming `q` elements (the denominator of the production rate
+//!   `R = p/q` in lowest terms) the batch's `p` output elements become ready
+//!   one cycle later;
+//! - an output beat pushes one ready element to **every** output channel,
+//!   blocking if any streaming FIFO is full; writes to global memory
+//!   (buffers, sinks, later blocks) never block.
+//!
+//! Sources multicast a single pass of their data into each consuming block;
+//! buffer nodes fill from their producers and then replay per-edge from
+//! memory; spatial blocks are gang-scheduled back-to-back.
+
+use stg_analysis::Schedule;
+use stg_buffer::BufferPlan;
+use stg_model::{CanonicalGraph, NodeKind};
+use stg_graph::{EdgeId, NodeId};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Simulation limits.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// FIFO capacity used for streaming edges not covered by the plan.
+    pub default_capacity: u64,
+    /// Abort when simulated time exceeds this bound (guards against
+    /// unexpected livelock; generous by default).
+    pub max_time: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            default_capacity: 1,
+            max_time: u64::MAX / 4,
+        }
+    }
+}
+
+/// Why a simulation stopped early.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimFailure {
+    /// No runnable process and unfinished work: the block deadlocked.
+    /// Contains the unfinished compute nodes.
+    Deadlock(Vec<NodeId>),
+    /// `max_time` exceeded.
+    TimeLimit,
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Simulated makespan (max completion over compute tasks), if the run
+    /// finished.
+    pub makespan: u64,
+    /// First-out time observed per node (compute nodes with outputs).
+    pub fo: Vec<Option<u64>>,
+    /// Completion time observed per node.
+    pub lo: Vec<Option<u64>>,
+    /// Total beats executed (a size measure of the simulation).
+    pub beats: u64,
+    /// Failure, if the run did not complete.
+    pub failure: Option<SimFailure>,
+}
+
+impl SimResult {
+    /// True if every task finished.
+    pub fn completed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Runs the simulator with the capacities of a computed buffer plan.
+pub fn simulate(
+    g: &CanonicalGraph,
+    schedule: &Schedule,
+    plan: &BufferPlan,
+    config: SimConfig,
+) -> SimResult {
+    simulate_with(g, schedule, |e| plan.capacity_of(e), config)
+}
+
+/// Runs the simulator with explicit per-edge capacities (`None` = use the
+/// default for streaming edges). Used to demonstrate deadlocks under
+/// insufficient buffer space.
+pub fn simulate_with(
+    g: &CanonicalGraph,
+    schedule: &Schedule,
+    capacity_of: impl Fn(EdgeId) -> Option<u64>,
+    config: SimConfig,
+) -> SimResult {
+    Sim::build(g, schedule, capacity_of, config).run()
+}
+
+// ---------------------------------------------------------------------------
+// internal machinery
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Chan {
+    /// Streaming FIFO with bounded capacity.
+    Fifo { cap: u64 },
+    /// Read side gated on a memory fill; replays `volume` elements.
+    Gated,
+    /// Non-blocking write into memory (buffer fill, sink, later block).
+    Write,
+    /// No simulation traffic (source→buffer prefills, buffer→buffer
+    /// reshapes — handled by gate propagation).
+    Inert,
+}
+
+#[derive(Clone)]
+struct EdgeState {
+    kind: Chan,
+    /// FIFO occupancy.
+    len: u64,
+    /// Elements popped from a gated replay.
+    popped: u64,
+    /// Elements pushed by the producer (for buffer fills).
+    pushed: u64,
+    volume: u64,
+    /// Gate open time for gated reads.
+    gate: Option<u64>,
+    /// Producer / consumer process ids (u32::MAX = none).
+    producer: u32,
+    consumer: u32,
+}
+
+struct Proc {
+    /// Original node (compute) or source node (for source instances).
+    node: NodeId,
+    block: u32,
+    /// Batch shape: consume `q`, produce `p` (q=0: pure producer,
+    /// p=0: pure consumer).
+    q: u64,
+    p: u64,
+    in_edges: Vec<EdgeId>,
+    out_edges: Vec<EdgeId>,
+    to_consume: u64,
+    in_batch: u64,
+    pending: VecDeque<(u64, u64)>, // (ready time, remaining count)
+    to_emit: u64,
+    last_in: u64,
+    last_out: u64,
+    fo: Option<u64>,
+    done: bool,
+    /// Whether completion counts toward block barriers / makespan.
+    is_task: bool,
+}
+
+struct Sim<'a> {
+    g: &'a CanonicalGraph,
+    procs: Vec<Proc>,
+    edges: Vec<EdgeState>,
+    /// Per block: activation time (None = not yet) and remaining tasks.
+    act: Vec<Option<u64>>,
+    remaining: Vec<u64>,
+    /// Per block: list of process ids to wake on activation.
+    block_procs: Vec<Vec<u32>>,
+    /// Buffers: per node, (undelivered in-edges, gate time when 0).
+    buf_missing: Vec<u64>,
+    buf_gate: Vec<Option<u64>>,
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    config: SimConfig,
+    beats: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn build(
+        g: &'a CanonicalGraph,
+        schedule: &Schedule,
+        capacity_of: impl Fn(EdgeId) -> Option<u64>,
+        config: SimConfig,
+    ) -> Sim<'a> {
+        let dag = g.dag();
+        let n = dag.node_count();
+        let n_blocks = schedule.block_spans.len().max(1);
+
+        let mut procs: Vec<Proc> = Vec::new();
+        let mut block_procs: Vec<Vec<u32>> = vec![Vec::new(); n_blocks];
+        let mut remaining = vec![0u64; n_blocks];
+
+        // Compute-task processes.
+        for v in g.compute_nodes() {
+            let block = schedule.block_of[v.index()].expect("scheduled compute node") as usize;
+            let i_vol = g.input_volume(v).unwrap_or(0);
+            let o_vol = g.output_volume(v).unwrap_or(0);
+            let (p, q) = match (i_vol, o_vol) {
+                (0, o) => (o.min(1), 0), // pure producer: batches seeded at activation
+                (_, 0) => (0, 1),        // pure consumer: no emission
+                (i, o) => {
+                    let gcd = {
+                        let (mut a, mut b) = (i, o);
+                        while b != 0 {
+                            let t = a % b;
+                            a = b;
+                            b = t;
+                        }
+                        a
+                    };
+                    (o / gcd, i / gcd)
+                }
+            };
+            let id = procs.len() as u32;
+            procs.push(Proc {
+                node: v,
+                block: block as u32,
+                q,
+                p,
+                in_edges: dag.in_edge_ids(v).to_vec(),
+                out_edges: dag.out_edge_ids(v).to_vec(),
+                to_consume: i_vol,
+                in_batch: 0,
+                pending: VecDeque::new(),
+                to_emit: o_vol,
+                last_in: 0,
+                last_out: 0,
+                fo: None,
+                done: false,
+                is_task: true,
+            });
+            block_procs[block].push(id);
+            remaining[block] += 1;
+        }
+
+        // Source-instance processes: one per (source, consuming block), over
+        // the streaming edges into that block.
+        for s in dag.node_ids().filter(|&s| g.kind(s) == NodeKind::Source) {
+            let mut per_block: std::collections::BTreeMap<u32, Vec<EdgeId>> =
+                std::collections::BTreeMap::new();
+            for &e in dag.out_edge_ids(s) {
+                let dst = dag.edge(e).dst;
+                if schedule.streaming_edge[e.index()] {
+                    if let Some(b) = schedule.block_of[dst.index()] {
+                        per_block.entry(b).or_default().push(e);
+                    }
+                }
+            }
+            for (b, edges) in per_block {
+                let vol = g.output_volume(s).unwrap_or(0);
+                let id = procs.len() as u32;
+                procs.push(Proc {
+                    node: s,
+                    block: b,
+                    q: 0,
+                    p: 1,
+                    in_edges: Vec::new(),
+                    out_edges: edges,
+                    to_consume: 0,
+                    in_batch: 0,
+                    pending: VecDeque::new(),
+                    to_emit: vol,
+                    last_in: 0,
+                    last_out: 0,
+                    fo: None,
+                    done: false,
+                    is_task: false,
+                });
+                block_procs[b as usize].push(id);
+            }
+        }
+
+        // Channel states.
+        let mut edges: Vec<EdgeState> = Vec::with_capacity(dag.edge_count());
+        for (eid, e) in dag.edges() {
+            let src_kind = g.kind(e.src);
+            let dst_kind = g.kind(e.dst);
+            let kind = if schedule.streaming_edge[eid.index()] && dst_kind == NodeKind::Compute {
+                Chan::Fifo {
+                    cap: capacity_of(eid).unwrap_or(config.default_capacity).max(1),
+                }
+            } else if dst_kind == NodeKind::Compute {
+                // Memory-gated read: from a buffer, or an earlier block's
+                // output, (or a non-streaming source edge, which cannot
+                // occur by construction).
+                Chan::Gated
+            } else if src_kind == NodeKind::Compute {
+                Chan::Write
+            } else {
+                Chan::Inert
+            };
+            edges.push(EdgeState {
+                kind,
+                len: 0,
+                popped: 0,
+                pushed: 0,
+                volume: e.weight,
+                gate: None,
+                producer: u32::MAX,
+                consumer: u32::MAX,
+            });
+        }
+        // Wire producers/consumers.
+        for (pid, p) in procs.iter().enumerate() {
+            for &e in &p.out_edges {
+                edges[e.index()].producer = pid as u32;
+            }
+            for &e in &p.in_edges {
+                edges[e.index()].consumer = pid as u32;
+            }
+        }
+
+        // Buffer fill dependencies: count in-edges that must deliver.
+        let mut buf_missing = vec![0u64; n];
+        let mut buf_gate: Vec<Option<u64>> = vec![None; n];
+        for b in dag.node_ids().filter(|&b| g.kind(b) == NodeKind::Buffer) {
+            let mut missing = 0;
+            for &e in dag.in_edge_ids(b) {
+                match g.kind(dag.edge(e).src) {
+                    NodeKind::Source => {} // prefilled from global memory
+                    _ => missing += 1,     // compute writes or upstream buffers
+                }
+            }
+            buf_missing[b.index()] = missing;
+            if missing == 0 {
+                buf_gate[b.index()] = Some(0);
+            }
+        }
+
+        let mut sim = Sim {
+            g,
+            procs,
+            edges,
+            act: vec![None; n_blocks],
+            remaining,
+            block_procs,
+            buf_missing,
+            buf_gate,
+            heap: BinaryHeap::new(),
+            config,
+            beats: 0,
+        };
+        // Propagate gates of prefilled buffers (chains of buffers).
+        for b in dag.node_ids() {
+            if g.kind(b) == NodeKind::Buffer && sim.buf_gate[b.index()] == Some(0) {
+                sim.propagate_buffer_gate(b, 0);
+            }
+        }
+        // Open gates on already-gated edges whose producers are sources
+        // (cannot occur) — nothing else to do. Activate block 0.
+        sim.activate_block(0, 0);
+        sim
+    }
+
+    fn wake(&mut self, pid: u32, t: u64) {
+        self.heap.push(std::cmp::Reverse((t, pid)));
+    }
+
+    fn activate_block(&mut self, b: usize, t: u64) {
+        if b >= self.act.len() || self.act[b].is_some() {
+            return;
+        }
+        self.act[b] = Some(t);
+        // Producer-only processes seed their pending batch at activation.
+        for pid in self.block_procs[b].clone() {
+            let pr = &mut self.procs[pid as usize];
+            if pr.q == 0 && pr.to_emit > 0 {
+                pr.pending.push_back((t + 1, pr.to_emit));
+            }
+            self.wake(pid, t + 1);
+        }
+        // An empty block (no tasks — cannot happen via the engine, but be
+        // safe) immediately yields to the next one.
+        if self.remaining[b] == 0 {
+            self.activate_block(b + 1, t);
+        }
+    }
+
+    /// A buffer's fill completed at `t`: open its out-edges and propagate to
+    /// downstream buffers.
+    fn propagate_buffer_gate(&mut self, b: NodeId, t: u64) {
+        self.buf_gate[b.index()] = Some(t);
+        let outs: Vec<EdgeId> = self.g.dag().out_edge_ids(b).to_vec();
+        for e in outs {
+            let dst = self.g.dag().edge(e).dst;
+            match self.g.kind(dst) {
+                NodeKind::Compute => {
+                    self.edges[e.index()].gate = Some(t);
+                    let consumer = self.edges[e.index()].consumer;
+                    if consumer != u32::MAX {
+                        let block = self.procs[consumer as usize].block as usize;
+                        if let Some(act) = self.act[block] {
+                            self.wake(consumer, t.max(act) + 1);
+                        }
+                    }
+                }
+                NodeKind::Buffer => {
+                    self.buf_missing[dst.index()] -= 1;
+                    if self.buf_missing[dst.index()] == 0 {
+                        self.propagate_buffer_gate(dst, t);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Producer finished delivering on a write edge at time `t`.
+    fn write_edge_delivered(&mut self, e: EdgeId, t: u64) {
+        let dst = self.g.dag().edge(e).dst;
+        match self.g.kind(dst) {
+            NodeKind::Buffer => {
+                self.buf_missing[dst.index()] -= 1;
+                if self.buf_missing[dst.index()] == 0 {
+                    self.propagate_buffer_gate(dst, t);
+                }
+            }
+            NodeKind::Compute => {
+                // Cross-block memory read: gate on full delivery.
+                self.edges[e.index()].gate = Some(t);
+                let consumer = self.edges[e.index()].consumer;
+                if consumer != u32::MAX {
+                    let block = self.procs[consumer as usize].block as usize;
+                    if let Some(act) = self.act[block] {
+                        self.wake(consumer, t.max(act) + 1);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Attempts beats for `pid` at time `t`; returns true if progressed.
+    fn step(&mut self, pid: u32, t: u64) -> bool {
+        let mut progressed = false;
+        // Output beat first: drains pending so the input beat of the same
+        // cycle sees the freed batch slot.
+        progressed |= self.try_output_beat(pid, t);
+        progressed |= self.try_input_beat(pid, t);
+        progressed
+    }
+
+    fn try_output_beat(&mut self, pid: u32, t: u64) -> bool {
+        let pr = &self.procs[pid as usize];
+        if pr.done || pr.to_emit == 0 || pr.last_out >= t {
+            return false;
+        }
+        match pr.pending.front() {
+            Some(&(ready, _)) if ready <= t => {}
+            _ => return false,
+        }
+        // All streaming out-edges need space.
+        for &e in &pr.out_edges {
+            if let Chan::Fifo { cap } = self.edges[e.index()].kind {
+                if self.edges[e.index()].len >= cap {
+                    return false;
+                }
+            }
+        }
+        // Commit the beat.
+        let out_edges = self.procs[pid as usize].out_edges.clone();
+        for &e in &out_edges {
+            let es = &mut self.edges[e.index()];
+            es.pushed += 1;
+            match es.kind {
+                Chan::Fifo { .. } => {
+                    es.len += 1;
+                    let consumer = es.consumer;
+                    if consumer != u32::MAX {
+                        self.wake(consumer, t);
+                    }
+                }
+                // Write: memory fill (buffer/sink). Gated: a cross-block
+                // edge — a memory write on the producer side whose gate
+                // opens for the consumer once fully delivered.
+                Chan::Write | Chan::Gated => {
+                    if es.pushed == es.volume {
+                        self.write_edge_delivered(e, t);
+                    }
+                }
+                Chan::Inert => {}
+            }
+        }
+        let pr = &mut self.procs[pid as usize];
+        pr.last_out = t;
+        pr.fo = pr.fo.or(Some(t));
+        pr.to_emit -= 1;
+        let front = pr.pending.front_mut().expect("checked above");
+        front.1 -= 1;
+        if front.1 == 0 {
+            pr.pending.pop_front();
+        }
+        self.beats += 1;
+        if pr.to_emit == 0 && pr.to_consume == 0 {
+            self.complete(pid, t);
+        } else {
+            self.wake(pid, t + 1);
+        }
+        true
+    }
+
+    fn try_input_beat(&mut self, pid: u32, t: u64) -> bool {
+        let pr = &self.procs[pid as usize];
+        if pr.done || pr.to_consume == 0 || pr.last_in >= t {
+            return false;
+        }
+        // Emission backlog: do not consume a new batch while a full batch
+        // is still pending (constant-space node).
+        if pr.p > 0 {
+            let backlog: u64 = pr.pending.iter().map(|&(_, c)| c).sum();
+            if backlog >= pr.p {
+                return false;
+            }
+        }
+        let act = self.act[pr.block as usize].expect("process woken implies active block");
+        // All in-edges must be poppable.
+        for &e in &pr.in_edges {
+            let es = &self.edges[e.index()];
+            match es.kind {
+                Chan::Fifo { .. } => {
+                    if es.len == 0 {
+                        return false;
+                    }
+                }
+                Chan::Gated => {
+                    match es.gate {
+                        Some(gate) if es.popped < es.volume && t > gate.max(act) => {}
+                        _ => return false,
+                    }
+                }
+                _ => unreachable!("input edges are FIFO or gated"),
+            }
+        }
+        // Commit the beat.
+        let in_edges = self.procs[pid as usize].in_edges.clone();
+        for &e in &in_edges {
+            let es = &mut self.edges[e.index()];
+            match es.kind {
+                Chan::Fifo { .. } => {
+                    es.len -= 1;
+                    let producer = es.producer;
+                    if producer != u32::MAX {
+                        self.wake(producer, t);
+                    }
+                }
+                Chan::Gated => es.popped += 1,
+                _ => unreachable!(),
+            }
+        }
+        let pr = &mut self.procs[pid as usize];
+        pr.last_in = t;
+        pr.to_consume -= 1;
+        self.beats += 1;
+        if pr.p > 0 {
+            pr.in_batch += 1;
+            if pr.in_batch == pr.q {
+                pr.in_batch = 0;
+                pr.pending.push_back((t + 1, pr.p));
+            }
+        }
+        if pr.to_consume == 0 && pr.to_emit == 0 {
+            // Pure consumer: one more cycle to process the last element.
+            self.complete(pid, t + 1);
+        } else {
+            self.wake(pid, t + 1);
+        }
+        true
+    }
+
+    fn complete(&mut self, pid: u32, t: u64) {
+        let pr = &mut self.procs[pid as usize];
+        debug_assert!(!pr.done);
+        pr.done = true;
+        pr.last_out = pr.last_out.max(t);
+        let (block, is_task) = (pr.block as usize, pr.is_task);
+        if is_task {
+            self.remaining[block] -= 1;
+            if self.remaining[block] == 0 {
+                self.activate_block(block + 1, t);
+            }
+        }
+    }
+
+    fn run(mut self) -> SimResult {
+        let mut max_t = 0u64;
+        while let Some(std::cmp::Reverse((t, pid))) = self.heap.pop() {
+            if t > self.config.max_time {
+                return self.finish(max_t, Some(SimFailure::TimeLimit));
+            }
+            max_t = max_t.max(t);
+            if self.procs[pid as usize].done {
+                continue;
+            }
+            self.step(pid, t);
+        }
+        let unfinished: Vec<NodeId> = self
+            .procs
+            .iter()
+            .filter(|p| p.is_task && !p.done)
+            .map(|p| p.node)
+            .collect();
+        let failure = if unfinished.is_empty() {
+            None
+        } else {
+            Some(SimFailure::Deadlock(unfinished))
+        };
+        let makespan = self
+            .procs
+            .iter()
+            .filter(|p| p.is_task && p.done)
+            .map(completion_time)
+            .max()
+            .unwrap_or(0);
+        self.finish(makespan, failure)
+    }
+
+    fn finish(self, makespan: u64, failure: Option<SimFailure>) -> SimResult {
+        let n = self.g.dag().node_count();
+        let mut fo = vec![None; n];
+        let mut lo = vec![None; n];
+        for p in &self.procs {
+            if p.is_task {
+                fo[p.node.index()] = p.fo;
+                if p.done {
+                    lo[p.node.index()] = Some(completion_time(p));
+                }
+            }
+        }
+        SimResult {
+            makespan,
+            fo,
+            lo,
+            beats: self.beats,
+            failure,
+        }
+    }
+}
+
+fn completion_time(p: &Proc) -> u64 {
+    p.last_out.max(p.last_in + u64::from(p.p == 0))
+}

@@ -1,0 +1,141 @@
+//! Ablation: design choices the paper leaves implicit.
+//!
+//! 1. **Block-start semantics** — gang-scheduled barriers (our default, the
+//!    Theorem A.1 reading) vs. the literal dependency-based Section 5.1
+//!    recurrences (optimistic). Measured as the streaming speedup on the
+//!    synthetic suite and on the transformer encoder.
+//! 2. **Buffer sizing policy** — converging-node sizing (matches both
+//!    worked examples of Section 6) vs. the literal cycles-only policy,
+//!    measured as total FIFO space and DES schedule fidelity.
+//! 3. **Partitioner choice** — Algorithm 1 (SB-LTS/SB-RLX) vs. the
+//!    appendix partitioners on their home turf.
+
+use stg_analysis::BlockStartRule;
+use stg_buffer::SizingPolicy;
+use stg_core::StreamingScheduler;
+use stg_experiments::{par_map, summary, Args};
+use stg_ml::{encoder_layer, TransformerConfig};
+use stg_sched::{downsampler_partition, elementwise_partition, SbVariant};
+use stg_workloads::{generate, paper_suite, Topology};
+
+fn main() {
+    let args = Args::parse();
+    println!("== Ablation 1: block-start semantics (speedup, SB-LTS) ==\n");
+    for (topo, pe_counts) in paper_suite() {
+        let p = pe_counts[pe_counts.len() / 2];
+        let rows = par_map(args.graphs.min(50), |i| {
+            let g = generate(topo, args.seed + i);
+            let barrier = StreamingScheduler::new(p)
+                .block_rule(BlockStartRule::Barrier)
+                .run(&g)
+                .expect("schedulable");
+            let dep = StreamingScheduler::new(p)
+                .block_rule(BlockStartRule::Dependency)
+                .run(&g)
+                .expect("schedulable");
+            [barrier.metrics().speedup, dep.metrics().speedup]
+        });
+        let b = summary(&rows.iter().map(|r| r[0]).collect::<Vec<_>>());
+        let d = summary(&rows.iter().map(|r| r[1]).collect::<Vec<_>>());
+        println!(
+            "  {:24} P={p:4}  barrier median {:7.2}   dependency median {:7.2}",
+            topo.name(),
+            b.median,
+            d.median
+        );
+    }
+    let tf = encoder_layer(&TransformerConfig::default());
+    for p in [256usize, 1024] {
+        let barrier = StreamingScheduler::new(p)
+            .block_rule(BlockStartRule::Barrier)
+            .run(&tf)
+            .expect("schedulable");
+        let dep = StreamingScheduler::new(p)
+            .block_rule(BlockStartRule::Dependency)
+            .run(&tf)
+            .expect("schedulable");
+        println!(
+            "  {:24} P={p:4}  barrier        {:7.2}   dependency        {:7.2}",
+            "Transformer encoder",
+            barrier.metrics().speedup,
+            dep.metrics().speedup
+        );
+    }
+
+    println!("\n== Ablation 2: buffer sizing policy (total FIFO elements / fidelity) ==\n");
+    for (topo, pe_counts) in paper_suite() {
+        let p = pe_counts[pe_counts.len() / 2];
+        let rows = par_map(args.graphs.min(50), |i| {
+            let g = generate(topo, args.seed + i);
+            let conv = StreamingScheduler::new(p)
+                .sizing(SizingPolicy::Converging)
+                .run(&g)
+                .expect("schedulable");
+            let cyc = StreamingScheduler::new(p)
+                .sizing(SizingPolicy::CyclesOnly)
+                .run(&g)
+                .expect("schedulable");
+            let conv_sim = conv.validate(&g);
+            let cyc_sim = cyc.validate(&g);
+            (
+                conv.buffers.total_elements as f64,
+                cyc.buffers.total_elements as f64,
+                conv_sim.completed(),
+                cyc_sim.completed(),
+                cyc_sim
+                    .completed()
+                    .then(|| cyc_sim.makespan as f64 / conv_sim.makespan.max(1) as f64),
+            )
+        });
+        let conv_mem = summary(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
+        let cyc_mem = summary(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
+        let conv_dead = rows.iter().filter(|r| !r.2).count();
+        let cyc_dead = rows.iter().filter(|r| !r.3).count();
+        let slowdowns: Vec<f64> = rows.iter().filter_map(|r| r.4).collect();
+        let slow = if slowdowns.is_empty() {
+            f64::NAN
+        } else {
+            summary(&slowdowns).median
+        };
+        println!(
+            "  {:24} P={p:4}  converging {:9.0} el ({} deadlocks)   cycles-only {:9.0} el ({} deadlocks, sim slowdown x{:.3})",
+            topo.name(),
+            conv_mem.median,
+            conv_dead,
+            cyc_mem.median,
+            cyc_dead,
+            slow
+        );
+    }
+
+    println!("\n== Ablation 3: partitioners on structured graphs ==\n");
+    // Element-wise chain: Theorem A.1's level-order partitioner vs Algorithm 1.
+    let chain = generate(Topology::Chain { tasks: 8 }, args.seed);
+    for p in [2usize, 4] {
+        let a1 = StreamingScheduler::new(p).run(&chain).expect("schedulable");
+        let lvl = StreamingScheduler::new(p)
+            .run_with_partition(&chain, elementwise_partition(&chain, p))
+            .expect("schedulable");
+        let work = StreamingScheduler::new(p)
+            .run_with_partition(&chain, downsampler_partition(&chain, p))
+            .expect("schedulable");
+        println!(
+            "  Chain(8)  P={p}: Algorithm1 {:.2}  level-order {:.2}  work-order {:.2}",
+            a1.metrics().speedup,
+            lvl.metrics().speedup,
+            work.metrics().speedup
+        );
+    }
+    for variant in [SbVariant::Lts, SbVariant::Rlx] {
+        let g = generate(Topology::Cholesky { tiles: 8 }, args.seed + 1);
+        let r = StreamingScheduler::new(64)
+            .variant(variant)
+            .run(&g)
+            .expect("schedulable");
+        println!(
+            "  Cholesky(8) P=64 {variant}: speedup {:.2}, {} blocks",
+            r.metrics().speedup,
+            r.metrics().blocks
+        );
+    }
+}

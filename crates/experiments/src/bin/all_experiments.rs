@@ -1,0 +1,28 @@
+//! Runs every experiment binary's logic in sequence (figures 10–13 and
+//! table 2) by re-executing the sibling binaries with the same arguments.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("binary directory");
+    for bin in [
+        "fig10_speedup",
+        "fig11_sslr",
+        "fig12_csdf",
+        "fig13_validation",
+        "table2_ml",
+    ] {
+        let path = dir.join(bin);
+        eprintln!("--- running {bin} ---");
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} failed with {status}");
+            std::process::exit(status.code().unwrap_or(1));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 10: speedup distributions over sequential execution for the four
+//! synthetic topologies, comparing STR-SCH-1 (SB-LTS), STR-SCH-2 (SB-RLX),
+//! and the buffered NSTR-SCH baseline, with mean PE utilization.
+
+use stg_core::{NonStreamingScheduler, StreamingScheduler};
+use stg_experiments::{par_map, summary, Args};
+use stg_sched::SbVariant;
+use stg_workloads::{generate, paper_suite};
+
+fn main() {
+    let args = Args::parse();
+    if args.csv {
+        println!("topology,tasks,pes,scheduler,min,q1,median,q3,max,mean_utilization");
+    } else {
+        println!("== Figure 10: speedup over sequential execution ==");
+        println!("(boxplot columns: min q1 median q3 max; util = mean PE utilization)\n");
+    }
+
+    for (topo, pe_counts) in paper_suite() {
+        if !args.csv {
+            println!("{} (#Tasks = {})", topo.name(), topo.task_count());
+        }
+        for &p in &pe_counts {
+            let rows = par_map(args.graphs, |i| {
+                let g = generate(topo, args.seed + i);
+                let lts = StreamingScheduler::new(p)
+                    .variant(SbVariant::Lts)
+                    .run(&g)
+                    .expect("schedulable");
+                let rlx = StreamingScheduler::new(p)
+                    .variant(SbVariant::Rlx)
+                    .run(&g)
+                    .expect("schedulable");
+                let nstr = NonStreamingScheduler::new(p).run(&g);
+                [
+                    (lts.metrics().speedup, lts.metrics().utilization),
+                    (rlx.metrics().speedup, rlx.metrics().utilization),
+                    (nstr.metrics.speedup, nstr.metrics.utilization),
+                ]
+            });
+            for (slot, name) in ["STR-SCH-1", "STR-SCH-2", "NSTR-SCH"].iter().enumerate() {
+                let speeds: Vec<f64> = rows.iter().map(|r| r[slot].0).collect();
+                let utils: Vec<f64> = rows.iter().map(|r| r[slot].1).collect();
+                let s = summary(&speeds);
+                let u = utils.iter().sum::<f64>() / utils.len() as f64;
+                if args.csv {
+                    println!(
+                        "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                        topo.name().replace(' ', "_"),
+                        topo.task_count(),
+                        p,
+                        name,
+                        s.min,
+                        s.q1,
+                        s.median,
+                        s.q3,
+                        s.max,
+                        u
+                    );
+                } else {
+                    println!("  P={p:4}  {name:10} {}  util {u:5.2}", s.boxplot());
+                }
+            }
+        }
+        if !args.csv {
+            println!();
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 11: Streaming Scheduling Length Ratio (SSLR = makespan / T_s∞)
+//! distributions for the two streaming heuristic variants.
+
+use stg_core::StreamingScheduler;
+use stg_experiments::{par_map, summary, Args};
+use stg_sched::SbVariant;
+use stg_workloads::{generate, paper_suite};
+
+fn main() {
+    let args = Args::parse();
+    if args.csv {
+        println!("topology,tasks,pes,scheduler,min,q1,median,q3,max");
+    } else {
+        println!("== Figure 11: Streaming SLR (makespan / streaming depth) ==\n");
+    }
+
+    for (topo, pe_counts) in paper_suite() {
+        if !args.csv {
+            println!("{} (#Tasks = {})", topo.name(), topo.task_count());
+        }
+        for &p in &pe_counts {
+            let rows = par_map(args.graphs, |i| {
+                let g = generate(topo, args.seed + i);
+                let lts = StreamingScheduler::new(p)
+                    .variant(SbVariant::Lts)
+                    .run(&g)
+                    .expect("schedulable");
+                let rlx = StreamingScheduler::new(p)
+                    .variant(SbVariant::Rlx)
+                    .run(&g)
+                    .expect("schedulable");
+                [lts.metrics().sslr, rlx.metrics().sslr]
+            });
+            for (slot, name) in ["STR-SCH-1", "STR-SCH-2"].iter().enumerate() {
+                let vals: Vec<f64> = rows.iter().map(|r| r[slot]).collect();
+                let s = summary(&vals);
+                if args.csv {
+                    println!(
+                        "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                        topo.name().replace(' ', "_"),
+                        topo.task_count(),
+                        p,
+                        name,
+                        s.min,
+                        s.q1,
+                        s.median,
+                        s.q3,
+                        s.max
+                    );
+                } else {
+                    println!("  P={p:4}  {name:10} {}", s.boxplot());
+                }
+            }
+        }
+        if !args.csv {
+            println!();
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure 12: comparison against cyclo-static dataflow analysis.
+//!
+//! Left: analysis (scheduling) time of canonical task graphs vs self-timed
+//! CSDF throughput analysis, with timeout counts ("x/N timed out"). Right:
+//! the ratio between the canonical-graph makespan and the CSDF-derived one.
+//!
+//! As in the paper, the number of PEs is set to the number of nodes (a
+//! single spatial block) and the SB-RLX heuristic is used. The CSDF timeout
+//! defaults to 2 s per graph (`--timeout-ms`), a scaled-down stand-in for
+//! the paper's 1-hour cap on SDF3/Kiter.
+
+use std::time::{Duration, Instant};
+use stg_core::StreamingScheduler;
+use stg_csdf::{self_timed_makespan, to_csdf, AnalysisConfig};
+use stg_experiments::{par_map, summary, Args};
+use stg_sched::SbVariant;
+use stg_workloads::{generate, paper_suite};
+
+fn main() {
+    let args = Args::parse();
+    if args.csv {
+        println!(
+            "topology,graphs,timeouts,sched_time_median_us,csdf_time_median_us,\
+             ratio_min,ratio_q1,ratio_median,ratio_q3,ratio_max"
+        );
+    } else {
+        println!("== Figure 12: canonical scheduling vs CSDF throughput analysis ==\n");
+    }
+
+    for (topo, _) in paper_suite() {
+        let p = topo.task_count(); // P = number of nodes, as in the paper.
+        let rows = par_map(args.graphs, |i| {
+            let g = generate(topo, args.seed + i);
+
+            let t0 = Instant::now();
+            let plan = StreamingScheduler::new(p)
+                .variant(SbVariant::Rlx)
+                .run(&g)
+                .expect("schedulable");
+            let sched_time = t0.elapsed();
+
+            let t1 = Instant::now();
+            let analysis = to_csdf(&g).ok().map(|c| {
+                self_timed_makespan(
+                    &c,
+                    &AnalysisConfig {
+                        timeout: Duration::from_millis(args.timeout_ms),
+                        max_firings: u64::MAX,
+                    },
+                )
+            });
+            let csdf_time = t1.elapsed();
+
+            let (csdf_makespan, timed_out) = match &analysis {
+                Some(a) if !a.timed_out => (a.period, false),
+                Some(_) => (None, true),
+                None => (None, true),
+            };
+            (
+                sched_time.as_secs_f64() * 1e6,
+                csdf_time.as_secs_f64() * 1e6,
+                plan.metrics().makespan,
+                csdf_makespan,
+                timed_out,
+            )
+        });
+
+        let timeouts = rows.iter().filter(|r| r.4).count();
+        let sched_us: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let csdf_us: Vec<f64> = rows.iter().filter(|r| !r.4).map(|r| r.1).collect();
+        let ratios: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.3.map(|c| r.2 as f64 / c as f64))
+            .collect();
+
+        let st = summary(&sched_us);
+        let ct = if csdf_us.is_empty() {
+            None
+        } else {
+            Some(summary(&csdf_us))
+        };
+        let rt = if ratios.is_empty() {
+            None
+        } else {
+            Some(summary(&ratios))
+        };
+
+        if args.csv {
+            println!(
+                "{},{},{},{:.1},{},{}",
+                topo.name().replace(' ', "_"),
+                args.graphs,
+                timeouts,
+                st.median,
+                ct.map_or("NA".into(), |c| format!("{:.1}", c.median)),
+                rt.map_or("NA,NA,NA,NA,NA".into(), |r| format!(
+                    "{:.4},{:.4},{:.4},{:.4},{:.4}",
+                    r.min, r.q1, r.median, r.q3, r.max
+                )),
+            );
+        } else {
+            println!("{} (P = #tasks = {p})", topo.name());
+            println!(
+                "  STR-SCHD analysis time   median {:9.1} us   ({}/{} timed out: 0)",
+                st.median, 0, args.graphs
+            );
+            match ct {
+                Some(c) => println!(
+                    "  CSDF self-timed analysis median {:9.1} us   ({timeouts}/{} timed out)",
+                    c.median, args.graphs
+                ),
+                None => println!(
+                    "  CSDF self-timed analysis all timed out       ({timeouts}/{})",
+                    args.graphs
+                ),
+            }
+            match rt {
+                Some(r) => println!(
+                    "  makespan ratio (ours / CSDF): {}   median {:.4}\n",
+                    r.boxplot(),
+                    r.median
+                ),
+                None => println!("  makespan ratio: no completed CSDF runs\n"),
+            }
+        }
+    }
+}

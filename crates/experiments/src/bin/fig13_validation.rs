@@ -1,0 +1,85 @@
+//! Figure 13 (Appendix B): validation of the analytic makespan by discrete
+//! event simulation — relative error distributions per topology, PE count,
+//! and heuristic variant. A deadlock in any simulation would falsify the
+//! buffer-space computation; the binary reports and fails on any.
+
+use stg_core::StreamingScheduler;
+use stg_des::relative_error;
+use stg_experiments::{par_map, summary, Args};
+use stg_sched::SbVariant;
+use stg_workloads::{generate, paper_suite};
+
+fn main() {
+    let args = Args::parse();
+    if args.csv {
+        println!("topology,tasks,pes,scheduler,min,q1,median,q3,max,deadlocks");
+    } else {
+        println!("== Figure 13: relative error (simulated vs analytic makespan, %) ==\n");
+    }
+
+    let mut total_deadlocks = 0usize;
+    for (topo, pe_counts) in paper_suite() {
+        if !args.csv {
+            println!("{} (#Tasks = {})", topo.name(), topo.task_count());
+        }
+        for &p in &pe_counts {
+            let rows = par_map(args.graphs, |i| {
+                let g = generate(topo, args.seed + i);
+                let run = |variant| {
+                    let plan = StreamingScheduler::new(p)
+                        .variant(variant)
+                        .run(&g)
+                        .expect("schedulable");
+                    let sim = plan.validate(&g);
+                    let deadlocked = !sim.completed();
+                    let err = if deadlocked {
+                        f64::NAN
+                    } else {
+                        100.0 * relative_error(plan.metrics().makespan, sim.makespan)
+                    };
+                    (err, deadlocked)
+                };
+                [run(SbVariant::Lts), run(SbVariant::Rlx)]
+            });
+            for (slot, name) in ["STR-SCH-1", "STR-SCH-2"].iter().enumerate() {
+                let deadlocks = rows.iter().filter(|r| r[slot].1).count();
+                total_deadlocks += deadlocks;
+                let errs: Vec<f64> = rows
+                    .iter()
+                    .filter(|r| !r[slot].1)
+                    .map(|r| r[slot].0)
+                    .collect();
+                let s = summary(&errs);
+                if args.csv {
+                    println!(
+                        "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{}",
+                        topo.name().replace(' ', "_"),
+                        topo.task_count(),
+                        p,
+                        name,
+                        s.min,
+                        s.q1,
+                        s.median,
+                        s.q3,
+                        s.max,
+                        deadlocks
+                    );
+                } else {
+                    println!(
+                        "  P={p:4}  {name:10} {}  deadlocks {deadlocks}",
+                        s.boxplot()
+                    );
+                }
+            }
+        }
+        if !args.csv {
+            println!();
+        }
+    }
+    if total_deadlocks > 0 {
+        eprintln!("ERROR: {total_deadlocks} simulations deadlocked — buffer sizing failed");
+        std::process::exit(1);
+    } else if !args.csv {
+        println!("all simulations completed without deadlocks");
+    }
+}

@@ -1,0 +1,90 @@
+//! Table 2: streaming vs non-streaming speedups on machine-learning
+//! inference workloads — ResNet-50 and a base transformer encoder layer —
+//! with the gain G of streaming over buffered scheduling.
+//!
+//! The paper reports the SB-LTS variant (the two variants did not differ
+//! noticeably on these graphs); we do the same.
+
+use stg_analysis::BlockStartRule;
+use stg_core::{NonStreamingScheduler, StreamingScheduler};
+use stg_experiments::Args;
+use stg_ml::{encoder_layer, resnet50, LowerConfig, ResNetConfig, TransformerConfig};
+use stg_sched::SbVariant;
+
+fn main() {
+    let args = Args::parse();
+    if args.csv {
+        println!(
+            "model,nodes,buffer_nodes,pes,str_speedup,str_dep_speedup,nstr_speedup,gain,gain_dep"
+        );
+    } else {
+        println!("== Table 2: ML inference workloads (STR-SCH = SB-LTS) ==");
+        println!("(STR* = dependency-based block starts, the literal Section 5.1 reading;");
+        println!(" STR  = gang-scheduled barriers, what the simulator validates)\n");
+    }
+
+    let lower = LowerConfig { max_parallel: 256 };
+
+    let resnet = resnet50(&ResNetConfig { image: 224, lower });
+    run_model("Resnet-50", &resnet, &[512, 1024, 1536, 2048], &args);
+
+    let tf = encoder_layer(&TransformerConfig {
+        lower,
+        ..TransformerConfig::default()
+    });
+    run_model("Transformer encoder", &tf, &[256, 512, 768, 1024], &args);
+}
+
+fn run_model(name: &str, g: &stg_model::CanonicalGraph, pes: &[usize], args: &Args) {
+    let buffers = g
+        .node_ids()
+        .filter(|&v| g.kind(v) == stg_model::NodeKind::Buffer)
+        .count();
+    if !args.csv {
+        println!(
+            "{name}: {} nodes ({} buffer nodes, {} tasks)",
+            g.node_count(),
+            buffers,
+            g.compute_count()
+        );
+        println!("  #PEs   STR speedup   STR* speedup   NSTR speedup      G     G*");
+    }
+    for &p in pes {
+        let s = StreamingScheduler::new(p)
+            .variant(SbVariant::Lts)
+            .run(g)
+            .expect("schedulable");
+        let sd = StreamingScheduler::new(p)
+            .variant(SbVariant::Lts)
+            .block_rule(BlockStartRule::Dependency)
+            .run(g)
+            .expect("schedulable");
+        let n = NonStreamingScheduler::new(p).run(g);
+        let gain = n.metrics.makespan as f64 / s.metrics().makespan as f64;
+        let gain_dep = n.metrics.makespan as f64 / sd.metrics().makespan as f64;
+        if args.csv {
+            println!(
+                "{},{},{},{},{:.1},{:.1},{:.1},{:.2},{:.2}",
+                name.replace(' ', "_"),
+                g.node_count(),
+                buffers,
+                p,
+                s.metrics().speedup,
+                sd.metrics().speedup,
+                n.metrics.speedup,
+                gain,
+                gain_dep
+            );
+        } else {
+            println!(
+                "  {p:5}    {:10.1}    {:11.1}    {:11.1}   {gain:5.2}  {gain_dep:5.2}",
+                s.metrics().speedup,
+                sd.metrics().speedup,
+                n.metrics.speedup,
+            );
+        }
+    }
+    if !args.csv {
+        println!();
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared experiment plumbing: argument parsing and a scoped-thread
+//! parallel map (crossbeam) for sweeping the 100-graph samples.
+
+use std::str::FromStr;
+
+/// Common experiment options, parsed from the command line.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Graphs per (topology, configuration) sample (paper: 100).
+    pub graphs: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Per-graph CSDF analysis timeout in milliseconds (Figure 12).
+    pub timeout_ms: u64,
+    /// Emit machine-readable CSV instead of aligned tables.
+    pub csv: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            graphs: 100,
+            seed: 0xC0FFEE,
+            timeout_ms: 2_000,
+            csv: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `--graphs N --seed S --timeout-ms T --csv` from `std::env`.
+    pub fn parse() -> Args {
+        let mut args = Args::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--graphs" => args.graphs = next_value(&mut it, "--graphs"),
+                "--seed" => args.seed = next_value(&mut it, "--seed"),
+                "--timeout-ms" => args.timeout_ms = next_value(&mut it, "--timeout-ms"),
+                "--csv" => args.csv = true,
+                other => {
+                    eprintln!("unknown flag {other}; supported: --graphs --seed --timeout-ms --csv");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn next_value<T: FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} expects a numeric value");
+            std::process::exit(2);
+        })
+}
+
+/// Applies `f` to `0..n` in parallel with scoped worker threads, returning
+/// results in index order. The closure receives the job index.
+pub fn par_map<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1) as usize);
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                **slots[i as usize].lock().expect("slot lock") = Some(value);
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("all jobs completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(64, |i| i * i);
+        assert_eq!(out.len(), 64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn par_map_handles_zero_jobs() {
+        let out: Vec<u64> = par_map(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_args() {
+        let a = Args::default();
+        assert_eq!(a.graphs, 100);
+        assert!(!a.csv);
+    }
+}

@@ -1,0 +1,24 @@
+//! # stg-experiments
+//!
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation section. One binary per artifact:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `fig10_speedup`   | Figure 10 — speedup distributions + PE utilization |
+//! | `fig11_sslr`      | Figure 11 — streaming SLR distributions |
+//! | `fig12_csdf`      | Figure 12 — scheduling time & makespan vs CSDF |
+//! | `fig13_validation`| Figure 13 — DES relative-error distributions |
+//! | `table2_ml`       | Table 2 — ResNet-50 / transformer speedups |
+//! | `ablation_semantics` | design-choice ablations (block starts, sizing, partitioners) |
+//! | `all_experiments` | everything above, sequentially |
+//!
+//! All binaries accept `--graphs N --seed S --timeout-ms T --csv`.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod stats;
+
+pub use harness::{par_map, Args};
+pub use stats::{summary, Summary};

@@ -1,0 +1,97 @@
+//! Distribution summaries for the boxplot-style figures.
+
+/// Five-number summary plus mean, as plotted in Figures 10–13.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Smallest sample.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+/// Computes a five-number summary (linear interpolation between order
+/// statistics, the same convention as numpy's default percentile).
+pub fn summary(values: &[f64]) -> Summary {
+    assert!(!values.is_empty(), "summary of empty sample");
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let q = |p: f64| -> f64 {
+        let pos = p * (v.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            v[lo]
+        } else {
+            let frac = pos - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        }
+    };
+    Summary {
+        min: v[0],
+        q1: q(0.25),
+        median: q(0.5),
+        q3: q(0.75),
+        max: v[v.len() - 1],
+        mean: v.iter().sum::<f64>() / v.len() as f64,
+        n: v.len(),
+    }
+}
+
+impl Summary {
+    /// A compact one-line rendering: `min/q1/med/q3/max`.
+    pub fn boxplot(&self) -> String {
+        format!(
+            "{:7.2} {:7.2} {:7.2} {:7.2} {:7.2}",
+            self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summary(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn summary_interpolates() {
+        let s = summary(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.q1, 1.75);
+        assert_eq!(s.q3, 3.25);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summary(&[7.0]);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = summary(&[]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Misc. DAG algorithms: longest paths, reachability, condensation.
+
+use crate::dag::{Dag, NodeId};
+use crate::topo::{topological_order, CycleError};
+
+/// Longest path weights from any source, where each node contributes
+/// `node_cost(v)` and edges are free. Returns per-node "finish" weights:
+/// `finish(v) = node_cost(v) + max over predecessors finish(u)` (0 if none).
+///
+/// This is the critical-path / bottom-up dual of [`bottom_levels`].
+pub fn top_levels<N, E>(
+    g: &Dag<N, E>,
+    mut node_cost: impl FnMut(NodeId) -> u64,
+) -> Result<Vec<u64>, CycleError> {
+    let order = topological_order(g)?;
+    let mut finish = vec![0u64; g.node_count()];
+    for &v in &order {
+        let best = g.predecessors(v).map(|p| finish[p.index()]).max().unwrap_or(0);
+        finish[v.index()] = best + node_cost(v);
+    }
+    Ok(finish)
+}
+
+/// Bottom levels: `bl(v) = node_cost(v) + max over successors bl(s)`.
+///
+/// This is the classic priority used by critical-path list scheduling
+/// (CP/MISF-style, Section 7's NSTR-SCH baseline).
+pub fn bottom_levels<N, E>(
+    g: &Dag<N, E>,
+    mut node_cost: impl FnMut(NodeId) -> u64,
+) -> Result<Vec<u64>, CycleError> {
+    let order = topological_order(g)?;
+    let mut bl = vec![0u64; g.node_count()];
+    for &v in order.iter().rev() {
+        let best = g.successors(v).map(|s| bl[s.index()]).max().unwrap_or(0);
+        bl[v.index()] = best + node_cost(v);
+    }
+    Ok(bl)
+}
+
+/// The critical-path length of the DAG under `node_cost` (max top level).
+pub fn critical_path_length<N, E>(
+    g: &Dag<N, E>,
+    node_cost: impl FnMut(NodeId) -> u64,
+) -> Result<u64, CycleError> {
+    Ok(top_levels(g, node_cost)?.into_iter().max().unwrap_or(0))
+}
+
+/// Condenses a DAG given a node partition: component `c` becomes supernode
+/// `c`; an edge is added between distinct supernodes for every original edge
+/// crossing components (deduplicated). Nodes labelled `u32::MAX` are skipped.
+///
+/// Used to build the supernode DAG `H` of Section 4.2.3 (WCCs connected
+/// through split buffer nodes).
+pub fn condense<N, E>(
+    g: &Dag<N, E>,
+    component: &[u32],
+    component_count: usize,
+) -> Dag<Vec<NodeId>, ()> {
+    let mut h: Dag<Vec<NodeId>, ()> = Dag::with_capacity(component_count, component_count);
+    for _ in 0..component_count {
+        h.add_node(Vec::new());
+    }
+    for v in g.node_ids() {
+        let c = component[v.index()];
+        if c != u32::MAX {
+            h.node_mut(NodeId(c)).push(v);
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    for (_, e) in g.edges() {
+        let (cs, cd) = (component[e.src.index()], component[e.dst.index()]);
+        if cs == u32::MAX || cd == u32::MAX || cs == cd {
+            continue;
+        }
+        if seen.insert((cs, cd)) {
+            h.add_edge(NodeId(cs), NodeId(cd), ());
+        }
+    }
+    h
+}
+
+/// Strongly connected components via an iterative Tarjan algorithm.
+///
+/// Returns `(component_of_node, component_count)`. Components are numbered
+/// in reverse topological order of the condensation (Tarjan's natural
+/// output). Used to detect directed cycles through buffer nodes in the
+/// mixed-direction graph of the Section 4.2.3 placement rule.
+pub fn strongly_connected_components<N, E>(g: &Dag<N, E>) -> (Vec<u32>, usize) {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut timer = 0u32;
+    let mut count = 0usize;
+    // DFS frame: (node, next successor index).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+    for start in g.node_ids() {
+        if index[start.index()] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start.index()] = timer;
+        low[start.index()] = timer;
+        timer += 1;
+        stack.push(start);
+        on_stack[start.index()] = true;
+        while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+            let succs = g.out_edge_ids(v);
+            if *next < succs.len() {
+                let to = g.edge(succs[*next]).dst;
+                *next += 1;
+                if index[to.index()] == UNVISITED {
+                    index[to.index()] = timer;
+                    low[to.index()] = timer;
+                    timer += 1;
+                    stack.push(to);
+                    on_stack[to.index()] = true;
+                    frames.push((to, 0));
+                } else if on_stack[to.index()] {
+                    low[v.index()] = low[v.index()].min(index[to.index()]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    low[parent.index()] = low[parent.index()].min(low[v.index()]);
+                }
+                if low[v.index()] == index[v.index()] {
+                    loop {
+                        let w = stack.pop().expect("SCC stack underflow");
+                        on_stack[w.index()] = false;
+                        comp[w.index()] = count as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+    (comp, count)
+}
+
+/// Nodes reachable from `start` following edge direction (including `start`).
+pub fn reachable_from<N, E>(g: &Dag<N, E>, start: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(v) = stack.pop() {
+        for s in g.successors(v) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_diamond() -> (Dag<u64, ()>, [NodeId; 4]) {
+        // a(1) -> b(5) -> d(2); a -> c(1) -> d
+        let mut g = Dag::new();
+        let a = g.add_node(1u64);
+        let b = g.add_node(5);
+        let c = g.add_node(1);
+        let d = g.add_node(2);
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        g.add_edge(b, d, ());
+        g.add_edge(c, d, ());
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn top_levels_follow_longest_path() {
+        let (g, [a, b, c, d]) = weighted_diamond();
+        let tl = top_levels(&g, |v| *g.node(v)).unwrap();
+        assert_eq!(tl[a.index()], 1);
+        assert_eq!(tl[b.index()], 6);
+        assert_eq!(tl[c.index()], 2);
+        assert_eq!(tl[d.index()], 8);
+        assert_eq!(critical_path_length(&g, |v| *g.node(v)).unwrap(), 8);
+    }
+
+    #[test]
+    fn bottom_levels_follow_longest_path() {
+        let (g, [a, b, c, d]) = weighted_diamond();
+        let bl = bottom_levels(&g, |v| *g.node(v)).unwrap();
+        assert_eq!(bl[d.index()], 2);
+        assert_eq!(bl[b.index()], 7);
+        assert_eq!(bl[c.index()], 3);
+        assert_eq!(bl[a.index()], 8);
+    }
+
+    #[test]
+    fn condensation_of_two_components() {
+        // 0 -> 1 (comp 0), 2 -> 3 (comp 1), bridge 1 -> 2.
+        let mut g: Dag<(), ()> = Dag::new();
+        let v: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(v[0], v[1], ());
+        g.add_edge(v[1], v[2], ());
+        g.add_edge(v[2], v[3], ());
+        let comp = vec![0u32, 0, 1, 1];
+        let h = condense(&g, &comp, 2);
+        assert_eq!(h.node_count(), 2);
+        assert_eq!(h.edge_count(), 1);
+        assert_eq!(h.node(NodeId(0)), &vec![v[0], v[1]]);
+        assert_eq!(h.node(NodeId(1)), &vec![v[2], v[3]]);
+    }
+
+    #[test]
+    fn condensation_dedups_cross_edges() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let v: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(v[0], v[2], ());
+        g.add_edge(v[1], v[3], ());
+        let comp = vec![0u32, 0, 1, 1];
+        let h = condense(&g, &comp, 2);
+        assert_eq!(h.edge_count(), 1);
+    }
+
+    #[test]
+    fn scc_on_dag_is_all_singletons() {
+        let (g, _) = weighted_diamond();
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 4);
+        let mut sorted = comp.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn scc_detects_cycle() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let v: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(v[0], v[1], ());
+        g.add_edge(v[1], v[2], ());
+        g.add_edge(v[2], v[0], ());
+        g.add_edge(v[2], v[3], ());
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[3], comp[0]);
+    }
+
+    #[test]
+    fn scc_two_cycles() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let v: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        g.add_edge(v[0], v[1], ());
+        g.add_edge(v[1], v[0], ());
+        g.add_edge(v[1], v[2], ());
+        g.add_edge(v[2], v[3], ());
+        g.add_edge(v[3], v[4], ());
+        g.add_edge(v[4], v[2], ());
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, [a, b, c, d]) = weighted_diamond();
+        let r = reachable_from(&g, b);
+        assert!(r[b.index()] && r[d.index()]);
+        assert!(!r[a.index()] && !r[c.index()]);
+        let r = reachable_from(&g, a);
+        assert!(r.iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,326 @@
+//! Arena-based directed acyclic graph.
+//!
+//! The whole workspace stores task graphs in this flat, index-based arena:
+//! nodes and edges are `u32` indices into contiguous `Vec`s, adjacency is
+//! CSR-like (per-node `Vec<EdgeId>`), and node/edge payloads are generic.
+//! This layout keeps the O(V+E) analysis passes cache-friendly, which matters
+//! for the ResNet-50 graph (tens of thousands of nodes).
+
+use std::fmt;
+
+/// Index of a node in a [`Dag`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Index of an edge in a [`Dag`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An edge record: `src -> dst` with payload `E`.
+#[derive(Clone, Debug)]
+pub struct Edge<E> {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Edge payload (for canonical graphs: the data volume).
+    pub weight: E,
+}
+
+/// A directed graph stored in arena form. Acyclicity is not enforced on
+/// every mutation (builders insert freely) but can be verified with
+/// [`crate::topo::topological_order`], which fails on cycles.
+#[derive(Clone, Debug)]
+pub struct Dag<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<Edge<E>>,
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl<N, E> Default for Dag<N, E> {
+    fn default() -> Self {
+        Dag::new()
+    }
+}
+
+impl<N, E> Dag<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Dag {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Dag {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            out_edges: Vec::with_capacity(nodes),
+            in_edges: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node with the given payload, returning its id.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count exceeds u32"));
+        self.nodes.push(weight);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Adds an edge `src -> dst`, returning its id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of bounds or if `src == dst`
+    /// (self-loops can never appear in a DAG).
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: E) -> EdgeId {
+        assert!(src.index() < self.nodes.len(), "edge source out of bounds");
+        assert!(dst.index() < self.nodes.len(), "edge target out of bounds");
+        assert_ne!(src, dst, "self-loop not allowed in a DAG");
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count exceeds u32"));
+        self.edges.push(Edge { src, dst, weight });
+        self.out_edges[src.index()].push(id);
+        self.in_edges[dst.index()].push(id);
+        id
+    }
+
+    /// Node payload accessor.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node payload accessor.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Edge record accessor.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge<E> {
+        &self.edges[id.index()]
+    }
+
+    /// Mutable edge payload accessor.
+    #[inline]
+    pub fn edge_weight_mut(&mut self, id: EdgeId) -> &mut E {
+        &mut self.edges[id.index()].weight
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone + 'static {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + Clone + 'static {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterator over `(NodeId, &N)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Iterator over `(EdgeId, &Edge<E>)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge<E>)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// Ids of edges leaving `v`.
+    #[inline]
+    pub fn out_edge_ids(&self, v: NodeId) -> &[EdgeId] {
+        &self.out_edges[v.index()]
+    }
+
+    /// Ids of edges entering `v`.
+    #[inline]
+    pub fn in_edge_ids(&self, v: NodeId) -> &[EdgeId] {
+        &self.in_edges[v.index()]
+    }
+
+    /// Successor nodes of `v` (with multiplicity if parallel edges exist).
+    pub fn successors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges[v.index()].iter().map(|e| self.edges[e.index()].dst)
+    }
+
+    /// Predecessor nodes of `v` (with multiplicity if parallel edges exist).
+    pub fn predecessors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_edges[v.index()].iter().map(|e| self.edges[e.index()].src)
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_edges[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_edges[v.index()].len()
+    }
+
+    /// Nodes with no incoming edges.
+    pub fn sources(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&v| self.in_degree(v) == 0)
+    }
+
+    /// Nodes with no outgoing edges.
+    pub fn sinks(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&v| self.out_degree(v) == 0)
+    }
+
+    /// Maps node payloads, preserving structure.
+    pub fn map_nodes<M>(&self, mut f: impl FnMut(NodeId, &N) -> M) -> Dag<M, E>
+    where
+        E: Clone,
+    {
+        Dag {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| f(NodeId(i as u32), n))
+                .collect(),
+            edges: self.edges.clone(),
+            out_edges: self.out_edges.clone(),
+            in_edges: self.in_edges.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dag<&'static str, u64>, [NodeId; 4]) {
+        // a -> b -> d, a -> c -> d
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1);
+        g.add_edge(a, c, 2);
+        g.add_edge(b, d, 3);
+        g.add_edge(c, d, 4);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.out_degree(d), 0);
+        assert_eq!(g.in_degree(a), 0);
+        assert_eq!(*g.node(b), "b");
+        assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(g.predecessors(d).collect::<Vec<_>>(), vec![b, c]);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (g, [a, _, _, d]) = diamond();
+        assert_eq!(g.sources().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(g.sinks().collect::<Vec<_>>(), vec![d]);
+    }
+
+    #[test]
+    fn edge_weights() {
+        let (g, _) = diamond();
+        let total: u64 = g.edges().map(|(_, e)| e.weight).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn map_nodes_preserves_structure() {
+        let (g, [a, ..]) = diamond();
+        let mapped = g.map_nodes(|_, n| n.len());
+        assert_eq!(mapped.node_count(), 4);
+        assert_eq!(*mapped.node(a), 1);
+        assert_eq!(mapped.edge_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Dag<(), ()> = Dag::new();
+        assert!(g.is_empty());
+        assert_eq!(g.sources().count(), 0);
+    }
+}

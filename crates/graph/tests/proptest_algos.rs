@@ -1,0 +1,108 @@
+//! Property-based tests for the graph algorithms on random DAGs.
+
+use proptest::prelude::*;
+use stg_graph::{
+    bottom_levels, levels, strongly_connected_components, top_levels, topological_order,
+    undirected_cycle_nodes, weakly_connected_components, Dag, NodeId,
+};
+
+/// Random DAG strategy: `n` nodes, forward edges only (so acyclic by
+/// construction), with random density.
+fn random_dag() -> impl Strategy<Value = Dag<(), ()>> {
+    (2usize..24, any::<u64>()).prop_map(|(n, seed)| {
+        let mut g: Dag<(), ()> = Dag::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        // Simple deterministic PRNG from the seed (keeps proptest shrinking
+        // stable without depending on rand here).
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for j in 1..n {
+            // Each node gets 1..=3 predecessors among earlier nodes.
+            let preds = 1 + (next() % 3) as usize;
+            for _ in 0..preds.min(j) {
+                let i = (next() % j as u64) as usize;
+                g.add_edge(nodes[i], nodes[j], ());
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn topo_order_respects_edges(g in random_dag()) {
+        let order = topological_order(&g).expect("constructed acyclic");
+        let mut pos = vec![0usize; g.node_count()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (_, e) in g.edges() {
+            prop_assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+        prop_assert_eq!(order.len(), g.node_count());
+    }
+
+    #[test]
+    fn levels_increase_along_edges(g in random_dag()) {
+        let (lv, max) = levels(&g).expect("acyclic");
+        for (_, e) in g.edges() {
+            prop_assert!(lv[e.src.index()] < lv[e.dst.index()]);
+        }
+        prop_assert_eq!(*lv.iter().max().unwrap(), max);
+    }
+
+    #[test]
+    fn top_plus_bottom_bounds_critical_path(g in random_dag()) {
+        // For any node: top_level(v) + bottom_level(v) − cost(v) ≤ CP.
+        let cost = |_: NodeId| 1u64;
+        let tl = top_levels(&g, cost).expect("acyclic");
+        let bl = bottom_levels(&g, cost).expect("acyclic");
+        let cp = tl.iter().max().copied().unwrap_or(0);
+        for v in g.node_ids() {
+            prop_assert!(tl[v.index()] + bl[v.index()] - 1 <= cp);
+        }
+        prop_assert_eq!(cp, bl.iter().max().copied().unwrap_or(0));
+    }
+
+    #[test]
+    fn scc_of_dag_is_discrete(g in random_dag()) {
+        let (comp, count) = strongly_connected_components(&g);
+        prop_assert_eq!(count, g.node_count());
+        let mut seen = std::collections::HashSet::new();
+        for c in comp {
+            prop_assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn wcc_labels_are_connected_classes(g in random_dag()) {
+        let (labels, count) = weakly_connected_components(&g, |_| true);
+        prop_assert!(count >= 1);
+        // Every edge joins same-labelled nodes.
+        for (_, e) in g.edges() {
+            prop_assert_eq!(labels[e.src.index()], labels[e.dst.index()]);
+        }
+        prop_assert!(labels.iter().all(|&l| (l as usize) < count));
+    }
+
+    #[test]
+    fn cycle_nodes_have_two_disjoint_connections(g in random_dag()) {
+        // Every node marked on an undirected cycle has degree ≥ 2 in the
+        // undirected sense; no marked node can be a degree-1 leaf.
+        let cyc = undirected_cycle_nodes(&g, |_| true, |_| true);
+        for v in g.node_ids() {
+            if cyc.on_cycle[v.index()] {
+                prop_assert!(g.in_degree(v) + g.out_degree(v) >= 2);
+            }
+        }
+        // Groups partition the marked nodes.
+        let marked: usize = cyc.on_cycle.iter().filter(|&&b| b).count();
+        let grouped: usize = cyc.groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(marked, grouped);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for exact rational arithmetic: field axioms,
+//! ordering consistency, and ceiling/floor laws — the foundations the
+//! streaming-interval computations rest on.
+
+use proptest::prelude::*;
+use stg_graph::Ratio;
+
+fn ratio() -> impl Strategy<Value = Ratio> {
+    // Numerators/denominators in the range real volumes produce.
+    (-1_000_000i128..1_000_000, 1i128..1_000_000).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in ratio(), b in ratio()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associates(a in ratio(), b in ratio(), c in ratio()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutes(a in ratio(), b in ratio()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_distributes(a in ratio(), b in ratio(), c in ratio()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in ratio(), b in ratio()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn div_inverts_mul(a in ratio(), b in ratio()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(a * b / b, a);
+    }
+
+    #[test]
+    fn recip_involutes(a in ratio()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.recip().recip(), a);
+    }
+
+    #[test]
+    fn normalized_gcd_is_one(a in ratio()) {
+        let g = {
+            let (mut x, mut y) = (a.num().abs(), a.den());
+            while y != 0 {
+                let t = x % y;
+                x = y;
+                y = t;
+            }
+            x
+        };
+        prop_assert!(a.num() == 0 || g == 1, "not in lowest terms: {a:?}");
+        prop_assert!(a.den() > 0);
+    }
+
+    #[test]
+    fn ceil_floor_bracket(a in ratio()) {
+        let c = a.ceil();
+        let f = a.floor();
+        prop_assert!(Ratio::integer(f) <= a && a <= Ratio::integer(c));
+        prop_assert!(c - f <= 1);
+        if a.is_integer() {
+            prop_assert_eq!(c, f);
+        }
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in ratio(), b in ratio()) {
+        prop_assert_eq!(a < b, (b - a).is_positive());
+        prop_assert_eq!(a == b, (a - b).is_zero());
+    }
+
+    #[test]
+    fn max_min_are_ordered(a in ratio(), b in ratio()) {
+        prop_assert!(a.max(b) >= a.min(b));
+        prop_assert_eq!(a.max(b) + a.min(b), a + b);
+    }
+
+    #[test]
+    fn to_f64_close(a in ratio()) {
+        let f = a.to_f64();
+        let back = a.num() as f64 / a.den() as f64;
+        prop_assert!((f - back).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,21 @@
+//! # stg-ml
+//!
+//! Machine-learning inference workloads as canonical task graphs (Section
+//! 7.3 of the paper). The paper extracts ONNX operator graphs with DaCeML;
+//! this crate substitutes a from-scratch operator-level lowering API
+//! ([`lower`]) applying the same rules — element-wise ops map one-to-one,
+//! data movement becomes buffer nodes, pooling becomes down-samplers, and
+//! `MatMul`/`Conv`(im2col)/`Softmax`/`LayerNorm` expand into the canonical
+//! subgraphs of Section 3.2 — plus builders for the two evaluated models:
+//! ResNet-50 ([`resnet50`]) and a base transformer encoder layer
+//! ([`encoder_layer`]).
+
+#![warn(missing_docs)]
+
+pub mod lower;
+pub mod resnet;
+pub mod transformer;
+
+pub use lower::{LowerConfig, Tap};
+pub use resnet::{resnet50, ResNetConfig};
+pub use transformer::{encoder_layer, TransformerConfig};

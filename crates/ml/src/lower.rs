@@ -1,0 +1,453 @@
+//! Operator-level lowering onto canonical task graphs (Section 7.3).
+//!
+//! Each function splices one ML operator into a [`Builder`], following the
+//! paper's rules:
+//!
+//! - `Add`, `Relu`, `BatchNorm` (inference-folded) map one-to-one to
+//!   element-wise tasks; `MaxPool`/`ReduceSum`-style operators map to
+//!   down-samplers;
+//! - `Reshape`/`Transpose`/`Slice` become buffer nodes;
+//! - `MatMul`, `Softmax`, and `Conv` (via im2col) are expanded into
+//!   canonical subgraphs as in Section 3.2, choosing the matmul
+//!   implementation that maximizes parallelism for the given shapes.
+//!
+//! A `Tap` is a handle to a producing node plus the element count it
+//! delivers; op functions consume taps and return taps, so model builders
+//! compose operators like a define-by-run API.
+
+use stg_model::Builder;
+use stg_graph::NodeId;
+
+/// A dataflow tap: a node producing `elems` elements per output edge.
+#[derive(Clone, Copy, Debug)]
+pub struct Tap {
+    /// The producing node.
+    pub node: NodeId,
+    /// Elements delivered on each edge drawn from this tap.
+    pub elems: u64,
+}
+
+/// Lowering options.
+#[derive(Clone, Copy, Debug)]
+pub struct LowerConfig {
+    /// Worker-count cap for matmul expansions. The paper's expansions give
+    /// `M`-way (column-parallel) or `K`-way (outer-product) parallelism;
+    /// shapes beyond the cap are grouped, trading input streaming for
+    /// bounded task counts (the device has finitely many PEs anyway).
+    pub max_parallel: u64,
+}
+
+impl Default for LowerConfig {
+    fn default() -> Self {
+        LowerConfig { max_parallel: 256 }
+    }
+}
+
+/// An element-wise unary operator (ReLU, folded BatchNorm, bias, GELU, ...).
+pub fn eltwise_unary(b: &mut Builder, name: &str, x: Tap) -> Tap {
+    let n = b.compute(name);
+    b.edge(x.node, n, x.elems);
+    Tap {
+        node: n,
+        elems: x.elems,
+    }
+}
+
+/// An element-wise binary operator (residual Add, Mul, ...). Inputs must
+/// deliver the same element count.
+pub fn eltwise_binary(b: &mut Builder, name: &str, x: Tap, y: Tap) -> Tap {
+    assert_eq!(x.elems, y.elems, "{name}: shape mismatch");
+    let n = b.compute(name);
+    b.edge(x.node, n, x.elems);
+    b.edge(y.node, n, y.elems);
+    Tap {
+        node: n,
+        elems: x.elems,
+    }
+}
+
+/// A data-movement operator (Reshape / Transpose / Slice / concat-to-memory):
+/// a buffer node, optionally changing the element count (`out_elems`).
+pub fn movement(b: &mut Builder, name: &str, x: Tap, out_elems: u64) -> Tap {
+    let n = b.buffer(name);
+    b.edge(x.node, n, x.elems);
+    Tap {
+        node: n,
+        elems: out_elems,
+    }
+}
+
+/// A reduction operator reading the input once (ReduceSum, non-overlapping
+/// pooling, GlobalAveragePool): a single down-sampler task.
+pub fn reduce(b: &mut Builder, name: &str, x: Tap, out_elems: u64) -> Tap {
+    assert!(out_elems <= x.elems, "{name}: reduction must shrink");
+    let n = b.compute(name);
+    b.edge(x.node, n, x.elems);
+    Tap {
+        node: n,
+        elems: out_elems,
+    }
+}
+
+/// Max pooling with `windows` output positions each reading `patch`
+/// elements. Overlapping windows (stride < kernel) re-read data, so the
+/// input is staged in a buffer replaying `windows·patch` elements; the
+/// down-sampler then emits one element per window.
+pub fn max_pool(b: &mut Builder, name: &str, x: Tap, windows: u64, patch: u64) -> Tap {
+    let read = windows * patch;
+    let src = if read == x.elems {
+        x
+    } else {
+        movement(b, &format!("{name}.win"), x, read)
+    };
+    let n = b.compute(name);
+    b.edge(src.node, n, read);
+    Tap {
+        node: n,
+        elems: windows,
+    }
+}
+
+/// A weight tensor read from global memory.
+pub fn weight(b: &mut Builder, name: &str, elems: u64) -> Tap {
+    let n = b.source(name);
+    Tap { node: n, elems }
+}
+
+/// Matrix multiplication `C[n×m] = A[n×k] · B[k×m]`, expanded per Section
+/// 3.2.2 with the implementation that maximizes parallelism:
+/// column-parallel (`M`-way) when `m ≥ k`, outer-product (`K`-way)
+/// otherwise; worker counts are capped by `cfg.max_parallel` via grouping.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul(
+    b: &mut Builder,
+    name: &str,
+    a: Tap,
+    bm: Tap,
+    n: u64,
+    k: u64,
+    m: u64,
+    cfg: &LowerConfig,
+) -> Tap {
+    assert_eq!(a.elems, n * k, "{name}: A shape");
+    assert_eq!(bm.elems, k * m, "{name}: B shape");
+    if m >= k {
+        matmul_columns(b, name, a, bm, n, k, m, cfg)
+    } else {
+        matmul_outer(b, name, a, bm, n, k, m, cfg)
+    }
+}
+
+/// Column-parallel matmul (Figure 3 ②). `W = min(m, cap)` workers each
+/// produce `m/W` columns of `C`. With `W == m` the `A` matrix streams
+/// through a replicating element-wise task; grouped workers replay `A`
+/// from a buffer instead.
+#[allow(clippy::too_many_arguments)]
+fn matmul_columns(
+    b: &mut Builder,
+    name: &str,
+    a: Tap,
+    bm: Tap,
+    n: u64,
+    k: u64,
+    m: u64,
+    cfg: &LowerConfig,
+) -> Tap {
+    let w = m.min(cfg.max_parallel).max(1);
+    let cols_each = m.div_ceil(w);
+    let w = m.div_ceil(cols_each); // re-derive so w*cols_each covers m
+    let bbuf = b.buffer(format!("{name}.B[KM]"));
+    b.edge(bm.node, bbuf, k * m);
+    let feeder: NodeId = if cols_each == 1 {
+        let rep = b.compute(format!("{name}.rep"));
+        b.edge(a.node, rep, n * k);
+        rep
+    } else {
+        let abuf = b.buffer(format!("{name}.A[NK]"));
+        b.edge(a.node, abuf, n * k);
+        abuf
+    };
+    let per_worker_in = n * k * cols_each;
+    let per_worker_out = n * cols_each;
+    let gather = b.buffer(format!("{name}.C[NM]"));
+    for i in 0..w {
+        let d = b.compute(format!("{name}.mv{i}"));
+        b.edge(feeder, d, per_worker_in);
+        b.edge(bbuf, d, per_worker_in);
+        b.edge(d, gather, per_worker_out);
+    }
+    Tap {
+        node: gather,
+        elems: n * m,
+    }
+}
+
+/// Outer-product matmul (Figure 3 ③). `W = min(k, cap)` workers each
+/// accumulate `k/W` rank-1 updates; an element-wise adder tree reduces the
+/// partial results and streams `C` onward.
+#[allow(clippy::too_many_arguments)]
+fn matmul_outer(
+    b: &mut Builder,
+    name: &str,
+    a: Tap,
+    bm: Tap,
+    n: u64,
+    k: u64,
+    m: u64,
+    cfg: &LowerConfig,
+) -> Tap {
+    let w = k.min(cfg.max_parallel).max(1);
+    let ranks_each = k.div_ceil(w);
+    let w = k.div_ceil(ranks_each);
+    let abuf = b.buffer(format!("{name}.A[NK]"));
+    b.edge(a.node, abuf, n * k);
+    let bbuf = b.buffer(format!("{name}.B[KM]"));
+    b.edge(bm.node, bbuf, k * m);
+    let per_worker_in = n * m * ranks_each;
+    let nm = n * m;
+    let mut frontier: Vec<NodeId> = (0..w)
+        .map(|i| {
+            let e = b.compute(format!("{name}.op{i}"));
+            b.edge(abuf, e, per_worker_in);
+            b.edge(bbuf, e, per_worker_in);
+            e
+        })
+        .collect();
+    let mut adder = 0u64;
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+        for pair in frontier.chunks(2) {
+            if pair.len() == 2 {
+                let s = b.compute(format!("{name}.sum{adder}"));
+                adder += 1;
+                b.edge(pair[0], s, nm);
+                b.edge(pair[1], s, nm);
+                next.push(s);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        frontier = next;
+    }
+    Tap {
+        node: frontier[0],
+        elems: nm,
+    }
+}
+
+/// 2-D convolution via im2col (Chellapilla et al., as in the paper): a
+/// reshaping buffer materializes the `pixels × patch` matrix, which then
+/// multiplies the `patch × c_out` weight matrix.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(
+    b: &mut Builder,
+    name: &str,
+    x: Tap,
+    pixels: u64,
+    patch: u64,
+    c_out: u64,
+    cfg: &LowerConfig,
+) -> Tap {
+    let cols = movement(b, &format!("{name}.im2col"), x, pixels * patch);
+    let wts = weight(b, &format!("{name}.W"), patch * c_out);
+    matmul(b, name, cols, wts, pixels, patch, c_out, cfg)
+}
+
+/// Row-batched numerically-stable softmax (Figure 5 generalized to `rows`
+/// independent rows of `cols` elements).
+pub fn softmax(b: &mut Builder, name: &str, x: Tap, rows: u64, cols: u64) -> Tap {
+    let n = rows * cols;
+    assert_eq!(x.elems, n, "{name}: shape");
+    let bx = movement(b, &format!("{name}.x"), x, n);
+    let dmax = b.compute(format!("{name}.max"));
+    b.edge(bx.node, dmax, n);
+    let bmax = b.buffer(format!("{name}.B[max]"));
+    b.edge(dmax, bmax, rows);
+    let sub = b.compute(format!("{name}.sub"));
+    b.edge(bx.node, sub, n);
+    b.edge(bmax, sub, n);
+    let exp = b.compute(format!("{name}.exp"));
+    b.edge(sub, exp, n);
+    let dsum = b.compute(format!("{name}.sum"));
+    b.edge(exp, dsum, n);
+    let bexp = b.buffer(format!("{name}.B[exp]"));
+    b.edge(exp, bexp, n);
+    let bden = b.buffer(format!("{name}.B[den]"));
+    b.edge(dsum, bden, rows);
+    let div = b.compute(format!("{name}.div"));
+    b.edge(bexp, div, n);
+    b.edge(bden, div, n);
+    Tap { node: div, elems: n }
+}
+
+/// Layer normalization over `rows` rows of `cols` features: mean and
+/// variance reductions with buffered replays, then a normalizing
+/// element-wise task (scale/shift folded in).
+pub fn layer_norm(b: &mut Builder, name: &str, x: Tap, rows: u64, cols: u64) -> Tap {
+    let n = rows * cols;
+    assert_eq!(x.elems, n, "{name}: shape");
+    let bx = movement(b, &format!("{name}.x"), x, n);
+    // Mean per row, replicated back to full width.
+    let dmean = b.compute(format!("{name}.mean"));
+    b.edge(bx.node, dmean, n);
+    let umean = b.compute(format!("{name}.rep_mean"));
+    b.edge(dmean, umean, rows);
+    // Centered values, staged for the two remaining passes.
+    let sub = b.compute(format!("{name}.sub"));
+    b.edge(bx.node, sub, n);
+    b.edge(umean, sub, n);
+    let bsub = b.buffer(format!("{name}.B[centered]"));
+    b.edge(sub, bsub, n);
+    // Variance per row.
+    let sq = b.compute(format!("{name}.sq"));
+    b.edge(bsub, sq, n);
+    let dvar = b.compute(format!("{name}.var"));
+    b.edge(sq, dvar, n);
+    let uvar = b.compute(format!("{name}.rep_var"));
+    b.edge(dvar, uvar, rows);
+    // Normalize (γ/β folded).
+    let norm = b.compute(format!("{name}.norm"));
+    b.edge(bsub, norm, n);
+    b.edge(uvar, norm, n);
+    Tap { node: norm, elems: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_model::{CanonicalGraph, NodeClass};
+
+    fn finish(b: Builder, out: Tap) -> CanonicalGraph {
+        let mut b = b;
+        let y = b.sink("y");
+        b.edge(out.node, y, out.elems);
+        b.finish().unwrap()
+    }
+
+    fn input(b: &mut Builder, elems: u64) -> Tap {
+        let x = b.source("x");
+        Tap { node: x, elems }
+    }
+
+    #[test]
+    fn eltwise_chain_lowers() {
+        let mut b = Builder::new();
+        let x = input(&mut b, 64);
+        let r = eltwise_unary(&mut b, "relu", x);
+        let g = finish(b, r);
+        assert_eq!(g.compute_count(), 1);
+    }
+
+    #[test]
+    fn small_matmul_is_column_parallel_with_streaming_a() {
+        let mut b = Builder::new();
+        let a = input(&mut b, 4 * 8);
+        let w = weight(&mut b, "W", 8 * 16);
+        let c = matmul(&mut b, "mm", a, w, 4, 8, 16, &LowerConfig::default());
+        assert_eq!(c.elems, 64);
+        let g = finish(b, c);
+        g.validate().unwrap();
+        // m=16 >= k=8: column-parallel with 16 ungrouped workers; A streams
+        // through a replicator (element-wise).
+        let rep = g.node_ids().find(|&v| g.node(v).name == "mm.rep").unwrap();
+        assert_eq!(g.class(rep), NodeClass::ElementWise);
+        let workers = g
+            .node_ids()
+            .filter(|&v| g.node(v).name.starts_with("mm.mv"))
+            .count();
+        assert_eq!(workers, 16);
+    }
+
+    #[test]
+    fn tall_matmul_uses_outer_product() {
+        let mut b = Builder::new();
+        let a = input(&mut b, 4 * 32);
+        let w = weight(&mut b, "W", 32 * 8);
+        let c = matmul(&mut b, "mm", a, w, 4, 32, 8, &LowerConfig::default());
+        let g = finish(b, c);
+        g.validate().unwrap();
+        // k=32 > m=8: outer-product with 32 workers + 31 tree adders.
+        let workers = g
+            .node_ids()
+            .filter(|&v| g.node(v).name.starts_with("mm.op"))
+            .count();
+        assert_eq!(workers, 32);
+        let adders = g
+            .node_ids()
+            .filter(|&v| g.node(v).name.starts_with("mm.sum"))
+            .count();
+        assert_eq!(adders, 31);
+    }
+
+    #[test]
+    fn parallelism_cap_groups_workers() {
+        let cfg = LowerConfig { max_parallel: 4 };
+        let mut b = Builder::new();
+        let a = input(&mut b, 2 * 8);
+        let w = weight(&mut b, "W", 8 * 64);
+        let c = matmul(&mut b, "mm", a, w, 2, 8, 64, &cfg);
+        let g = finish(b, c);
+        g.validate().unwrap();
+        let workers: Vec<_> = g
+            .node_ids()
+            .filter(|&v| g.node(v).name.starts_with("mm.mv"))
+            .collect();
+        assert_eq!(workers.len(), 4);
+        // Each worker handles 16 columns: reads 2*8*16 elements per input.
+        assert_eq!(g.input_volume(workers[0]), Some(256));
+        assert_eq!(g.output_volume(workers[0]), Some(32));
+        assert_eq!(c.elems, 128);
+    }
+
+    #[test]
+    fn conv_lowers_via_im2col() {
+        let mut b = Builder::new();
+        // 8x8x3 input, 3x3 kernel stride 1 -> 36 pixels (6x6), patch 27.
+        let x = input(&mut b, 8 * 8 * 3);
+        let c = conv2d(&mut b, "conv", x, 36, 27, 16, &LowerConfig::default());
+        assert_eq!(c.elems, 36 * 16);
+        let g = finish(b, c);
+        g.validate().unwrap();
+        assert!(g.node_ids().any(|v| g.node(v).name == "conv.im2col"));
+    }
+
+    #[test]
+    fn softmax_batches_rows() {
+        let mut b = Builder::new();
+        let x = input(&mut b, 4 * 8);
+        let s = softmax(&mut b, "sm", x, 4, 8);
+        let g = finish(b, s);
+        g.validate().unwrap();
+        let dmax = g.node_ids().find(|&v| g.node(v).name == "sm.max").unwrap();
+        // 32 inputs reduce to 4 row maxima.
+        assert_eq!(g.output_volume(dmax), Some(4));
+        assert_eq!(g.class(dmax), NodeClass::Downsampler);
+    }
+
+    #[test]
+    fn layer_norm_lowers_canonically() {
+        let mut b = Builder::new();
+        let x = input(&mut b, 16 * 32);
+        let ln = layer_norm(&mut b, "ln", x, 16, 32);
+        let g = finish(b, ln);
+        g.validate().unwrap();
+        // Replicators bring the row statistics back to full width.
+        let um = g
+            .node_ids()
+            .find(|&v| g.node(v).name == "ln.rep_mean")
+            .unwrap();
+        assert_eq!(g.class(um), NodeClass::Upsampler);
+    }
+
+    #[test]
+    fn overlapping_max_pool_stages_through_buffer() {
+        let mut b = Builder::new();
+        let x = input(&mut b, 64);
+        // 16 windows of 9 elements each (overlapping: 144 > 64 reads).
+        let p = max_pool(&mut b, "pool", x, 16, 9);
+        assert_eq!(p.elems, 16);
+        let g = finish(b, p);
+        g.validate().unwrap();
+        assert!(g.node_ids().any(|v| g.node(v).name == "pool.win"));
+    }
+}

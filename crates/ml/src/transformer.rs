@@ -1,0 +1,201 @@
+//! A transformer encoder layer (Vaswani et al., base configuration) as a
+//! canonical task graph.
+//!
+//! Multi-head attention is decomposed into per-head Q·Kᵀ and P·V matmul
+//! expansions with a row-batched softmax in between (Figure 5); head
+//! splits/concats and transposes become buffer nodes; residual adds are
+//! element-wise joins and the two LayerNorms lower to reduction +
+//! replication + element-wise subgraphs.
+
+use crate::lower::{
+    eltwise_binary, eltwise_unary, layer_norm, matmul, movement, softmax, weight, LowerConfig, Tap,
+};
+use stg_model::{Builder, CanonicalGraph};
+
+/// Encoder layer dimensions.
+#[derive(Clone, Copy, Debug)]
+pub struct TransformerConfig {
+    /// Sequence length.
+    pub seq: u64,
+    /// Model width `d_model`.
+    pub d_model: u64,
+    /// Number of attention heads.
+    pub heads: u64,
+    /// Feed-forward inner width `d_ff`.
+    pub d_ff: u64,
+    /// Lowering options.
+    pub lower: LowerConfig,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> Self {
+        // The base model of Vaswani et al. at a 128-token sequence.
+        TransformerConfig {
+            seq: 128,
+            d_model: 512,
+            heads: 8,
+            d_ff: 2048,
+            lower: LowerConfig::default(),
+        }
+    }
+}
+
+/// Builds one encoder layer (batch size 1).
+pub fn encoder_layer(cfg: &TransformerConfig) -> CanonicalGraph {
+    assert_eq!(cfg.d_model % cfg.heads, 0, "head width must divide d_model");
+    let mut b = Builder::new();
+    let lc = cfg.lower;
+    let (s, d, h) = (cfg.seq, cfg.d_model, cfg.heads);
+    let dk = d / h;
+
+    let x_src = b.source("input");
+    // The input is consumed by Q/K/V projections and the residual add, so
+    // it is staged in a buffer (read four times).
+    let x_buf = b.buffer("x.B");
+    b.edge(x_src, x_buf, s * d);
+    let x = Tap {
+        node: x_buf,
+        elems: s * d,
+    };
+
+    // Projections.
+    let project = |b: &mut Builder, name: &str, x: Tap| -> Tap {
+        let w = weight(b, &format!("{name}.W"), d * d);
+        matmul(b, name, x, w, s, d, d, &lc)
+    };
+    let q = project(&mut b, "attn.q", x);
+    let k = project(&mut b, "attn.k", x);
+    let v = project(&mut b, "attn.v", x);
+
+    // Per-head attention; head slices and the Kᵀ transpose are buffers.
+    let concat = b.buffer("attn.concat");
+    for head in 0..h {
+        let name = format!("attn.h{head}");
+        let qh = movement(&mut b, &format!("{name}.q"), q, s * dk);
+        let kt = movement(&mut b, &format!("{name}.kT"), k, dk * s);
+        let vh = movement(&mut b, &format!("{name}.v"), v, s * dk);
+        let scores = matmul(&mut b, &format!("{name}.qkT"), qh, kt, s, dk, s, &lc);
+        let scaled = eltwise_unary(&mut b, &format!("{name}.scale"), scores);
+        let probs = softmax(&mut b, &format!("{name}.softmax"), scaled, s, s);
+        let ctx = matmul(&mut b, &format!("{name}.pv"), probs, vh, s, s, dk, &lc);
+        b.edge(ctx.node, concat, s * dk);
+    }
+    let heads_out = Tap {
+        node: concat,
+        elems: s * d,
+    };
+
+    // Output projection, residual, first LayerNorm.
+    let wo = weight(&mut b, "attn.out.W", d * d);
+    let attn = matmul(&mut b, "attn.out", heads_out, wo, s, d, d, &lc);
+    let res1 = eltwise_binary(&mut b, "add1", attn, x);
+    let ln1 = layer_norm(&mut b, "ln1", res1, s, d);
+    // The LayerNorm output feeds both the FFN and the second residual.
+    let ln1_buf = movement(&mut b, "ln1.B", ln1, s * d);
+
+    // Feed-forward block.
+    let w1 = weight(&mut b, "ffn.W1", d * cfg.d_ff);
+    let f1 = matmul(&mut b, "ffn.fc1", ln1_buf, w1, s, d, cfg.d_ff, &lc);
+    let f1 = eltwise_unary(&mut b, "ffn.relu", f1);
+    let w2 = weight(&mut b, "ffn.W2", cfg.d_ff * d);
+    let f2 = matmul(&mut b, "ffn.fc2", f1, w2, s, cfg.d_ff, d, &lc);
+    let res2 = eltwise_binary(&mut b, "add2", f2, ln1_buf);
+    let ln2 = layer_norm(&mut b, "ln2", res2, s, d);
+
+    let y = b.sink("output");
+    b.edge(ln2.node, y, s * d);
+
+    b.finish().expect("encoder lowering is canonical")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_encoder_is_canonical() {
+        let cfg = TransformerConfig::default();
+        let g = encoder_layer(&cfg);
+        // The paper's encoder graph has 4,748 nodes; ours lands in the same
+        // order of magnitude (exact counts depend on expansion granularity).
+        assert!(
+            g.node_count() > 1_000,
+            "unexpectedly small: {}",
+            g.node_count()
+        );
+        let buffers = g
+            .node_ids()
+            .filter(|&v| g.kind(v) == stg_model::NodeKind::Buffer)
+            .count();
+        assert!(buffers > 20, "head slicing should create buffers: {buffers}");
+    }
+
+    #[test]
+    fn tiny_encoder_validates() {
+        let cfg = TransformerConfig {
+            seq: 8,
+            d_model: 16,
+            heads: 2,
+            d_ff: 32,
+            lower: LowerConfig { max_parallel: 4 },
+        };
+        let g = encoder_layer(&cfg);
+        g.validate().unwrap();
+        // Two residual adds, two LayerNorms, eight per-head softmax maxima.
+        let adds = g
+            .node_ids()
+            .filter(|&v| g.node(v).name.starts_with("add"))
+            .count();
+        assert_eq!(adds, 2);
+        let softmaxes = g
+            .node_ids()
+            .filter(|&v| g.node(v).name.ends_with(".softmax.max"))
+            .count();
+        assert_eq!(softmaxes, 2);
+    }
+
+    #[test]
+    fn attention_matmul_variant_selection() {
+        // At base dims: Q·Kᵀ has (k=64, m=seq=128) → column-parallel
+        // workers; P·V has (k=seq=128, m=64) → outer-product workers.
+        let g = encoder_layer(&TransformerConfig::default());
+        assert!(
+            g.node_ids()
+                .any(|v| g.node(v).name.starts_with("attn.h0.qkT.mv")),
+            "QKᵀ should be column-parallel"
+        );
+        assert!(
+            g.node_ids()
+                .any(|v| g.node(v).name.starts_with("attn.h0.pv.op")),
+            "P·V should be outer-product"
+        );
+    }
+
+    #[test]
+    fn per_head_softmax_reduces_rows() {
+        let cfg = TransformerConfig::default();
+        let g = encoder_layer(&cfg);
+        let dmax = g
+            .node_ids()
+            .find(|&v| g.node(v).name == "attn.h0.softmax.max")
+            .expect("per-head softmax");
+        // seq² scores reduce to seq row maxima.
+        assert_eq!(g.input_volume(dmax), Some(cfg.seq * cfg.seq));
+        assert_eq!(g.output_volume(dmax), Some(cfg.seq));
+    }
+
+    #[test]
+    fn head_count_scales_attention_tasks() {
+        let mk = |heads| {
+            encoder_layer(&TransformerConfig {
+                seq: 8,
+                d_model: 16,
+                heads,
+                d_ff: 32,
+                lower: LowerConfig { max_parallel: 4 },
+            })
+            .node_count()
+        };
+        assert!(mk(4) > mk(2));
+    }
+}

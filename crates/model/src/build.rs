@@ -1,0 +1,108 @@
+//! Fluent construction of canonical task graphs.
+
+use crate::graph::{CanonicalGraph, Violation};
+use crate::node::{CanonicalNode, NodeKind};
+use stg_graph::{EdgeId, NodeId};
+
+/// A convenience builder over [`CanonicalGraph`].
+///
+/// ```
+/// use stg_model::Builder;
+///
+/// let mut b = Builder::new();
+/// let x = b.source("x");
+/// let t = b.compute("t");
+/// let y = b.sink("y");
+/// b.edge(x, t, 64);
+/// b.edge(t, y, 64);
+/// let graph = b.finish().expect("canonical");
+/// assert_eq!(graph.compute_count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Builder {
+    graph: CanonicalGraph,
+}
+
+impl Builder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node of arbitrary kind.
+    pub fn node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
+        self.graph.dag_mut().add_node(CanonicalNode::new(kind, name))
+    }
+
+    /// Adds a source (global-memory read) node.
+    pub fn source(&mut self, name: impl Into<String>) -> NodeId {
+        self.node(NodeKind::Source, name)
+    }
+
+    /// Adds a sink (global-memory write) node.
+    pub fn sink(&mut self, name: impl Into<String>) -> NodeId {
+        self.node(NodeKind::Sink, name)
+    }
+
+    /// Adds a buffer node.
+    pub fn buffer(&mut self, name: impl Into<String>) -> NodeId {
+        self.node(NodeKind::Buffer, name)
+    }
+
+    /// Adds a computational node.
+    pub fn compute(&mut self, name: impl Into<String>) -> NodeId {
+        self.node(NodeKind::Compute, name)
+    }
+
+    /// Adds a data dependency carrying `volume` elements.
+    pub fn edge(&mut self, from: NodeId, to: NodeId, volume: u64) -> EdgeId {
+        self.graph.dag_mut().add_edge(from, to, volume)
+    }
+
+    /// Adds a linear chain of edges, all with the same volume.
+    pub fn chain(&mut self, nodes: &[NodeId], volume: u64) {
+        for w in nodes.windows(2) {
+            self.edge(w[0], w[1], volume);
+        }
+    }
+
+    /// Validates and returns the graph.
+    pub fn finish(self) -> Result<CanonicalGraph, Vec<Violation>> {
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+
+    /// Returns the graph without validation (for intentionally malformed
+    /// test fixtures).
+    pub fn finish_unchecked(self) -> CanonicalGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_builder() {
+        let mut b = Builder::new();
+        let s = b.source("s");
+        let t1 = b.compute("t1");
+        let t2 = b.compute("t2");
+        let k = b.sink("k");
+        b.chain(&[s, t1, t2, k], 32);
+        let g = b.finish().unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.sequential_time(), 64);
+    }
+
+    #[test]
+    fn finish_unchecked_keeps_invalid_graphs() {
+        let mut b = Builder::new();
+        let _ = b.compute("floating");
+        let g = b.finish_unchecked();
+        assert_eq!(g.node_count(), 1);
+        assert!(g.validate().is_err());
+    }
+}

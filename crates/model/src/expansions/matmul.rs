@@ -1,0 +1,234 @@
+//! Matrix-matrix multiplication expansions (Section 3.2.2, Figure 3).
+
+use crate::build::Builder;
+use crate::graph::CanonicalGraph;
+use stg_graph::NodeId;
+
+/// Node handles of a matmul expansion `C = A·B`, `A: N×K`, `B: K×M`.
+#[derive(Clone, Debug)]
+pub struct MatMulHandles {
+    /// Source streaming matrix `A` (N·K elements).
+    pub a: NodeId,
+    /// Source streaming matrix `B` (K·M elements).
+    pub b: NodeId,
+    /// Sink receiving `C` (N·M elements).
+    pub c: NodeId,
+    /// The compute tasks doing the multiply work (one for the inner-product
+    /// variant, M matrix-vector tasks for the column-parallel variant, K
+    /// outer-product tasks for the outer-product variant).
+    pub workers: Vec<NodeId>,
+}
+
+/// Figure 3 ①: naive inner-product implementation. Both matrices are
+/// buffered and replayed; a single downsampler with production rate `1/K`
+/// produces `C` one element at a time. No input streaming is possible.
+pub fn matmul_inner_product(n: u64, k: u64, m: u64) -> (CanonicalGraph, MatMulHandles) {
+    assert!(n > 0 && k > 0 && m > 0);
+    let mut b = Builder::new();
+    let a_src = b.source("A");
+    let b_src = b.source("B");
+    let c_snk = b.sink("C");
+    let nkm = n * k * m;
+    // A (N·K) replayed M times; B (K·M) replayed N times.
+    let ba = b.buffer("B[NK]");
+    b.edge(a_src, ba, n * k);
+    let bb = b.buffer("B[KM]");
+    b.edge(b_src, bb, k * m);
+    let dot = b.compute("D(DOT)");
+    b.edge(ba, dot, nkm);
+    b.edge(bb, dot, nkm);
+    b.edge(dot, c_snk, n * m);
+    let g = b.finish().expect("inner-product matmul is canonical");
+    (
+        g,
+        MatMulHandles {
+            a: a_src,
+            b: b_src,
+            c: c_snk,
+            workers: vec![dot],
+        },
+    )
+}
+
+/// Figure 3 ②: column-parallel implementation. `A` streams (row-by-row)
+/// through a replicating element-wise task into `M` matrix-vector
+/// downsamplers `D_i`, each of which also reads a replayed column of `B`
+/// from a buffer and produces one column of `C` (`N` elements).
+///
+/// If `stream_output` is true the columns are merged by a concatenating
+/// upsampler and `C` streams onward (profitable when `K > M`, see the
+/// paper); otherwise `C` is gathered in a buffer.
+pub fn matmul_column_parallel(
+    n: u64,
+    k: u64,
+    m: u64,
+    stream_output: bool,
+) -> (CanonicalGraph, MatMulHandles) {
+    assert!(n > 0 && k > 0 && m > 0);
+    let mut b = Builder::new();
+    let a_src = b.source("A");
+    let b_src = b.source("B");
+    let c_snk = b.sink("C");
+    let nk = n * k;
+    // The replicator: element-wise in time (consumes N·K, emits N·K on each
+    // of its M output edges).
+    let rep = b.compute("E(rep)");
+    b.edge(a_src, rep, nk);
+    // B buffered; each D_i reads its column replayed N times: N·K elements.
+    let bb = b.buffer("B[KM]");
+    b.edge(b_src, bb, k * m);
+    let mut workers = Vec::with_capacity(m as usize);
+    for i in 0..m {
+        let d = b.compute(format!("D{i}(MV)"));
+        b.edge(rep, d, nk);
+        b.edge(bb, d, nk);
+        workers.push(d);
+    }
+    if stream_output {
+        // Concatenating upsampler: consumes one element from each of the M
+        // columns, emits M elements — C streams row-by-row.
+        let cat = b.compute("E(cat)");
+        for &d in &workers {
+            b.edge(d, cat, n);
+        }
+        b.edge(cat, c_snk, n * m);
+    } else {
+        let bc = b.buffer("B[NM]");
+        for &d in &workers {
+            b.edge(d, bc, n);
+        }
+        b.edge(bc, c_snk, n * m);
+    }
+    let g = b.finish().expect("column-parallel matmul is canonical");
+    (
+        g,
+        MatMulHandles {
+            a: a_src,
+            b: b_src,
+            c: c_snk,
+            workers,
+        },
+    )
+}
+
+/// Figure 3 ③: K-parallel outer-product implementation. Each task `E_i`
+/// multiplies a (replicated) column of `A` with a (replicated) row of `B`,
+/// producing a rank-1 contribution of `N·M` elements; a binary tree of
+/// element-wise adders reduces the K contributions. `C` streams.
+pub fn matmul_outer_product(n: u64, k: u64, m: u64) -> (CanonicalGraph, MatMulHandles) {
+    assert!(n > 0 && k > 0 && m > 0);
+    let mut b = Builder::new();
+    let a_src = b.source("A");
+    let b_src = b.source("B");
+    let c_snk = b.sink("C");
+    let nm = n * m;
+    let ba = b.buffer("B[NK]");
+    b.edge(a_src, ba, n * k);
+    let bb = b.buffer("B[KM]");
+    b.edge(b_src, bb, k * m);
+    let mut workers = Vec::with_capacity(k as usize);
+    for i in 0..k {
+        let e = b.compute(format!("E{i}(MUL)"));
+        b.edge(ba, e, nm);
+        b.edge(bb, e, nm);
+        workers.push(e);
+    }
+    // Binary reduction tree of element-wise adders.
+    let mut frontier: Vec<NodeId> = workers.clone();
+    let mut adder = 0usize;
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+        let mut it = frontier.chunks(2);
+        for pair in &mut it {
+            if pair.len() == 2 {
+                let s = b.compute(format!("E(SUM{adder})"));
+                adder += 1;
+                b.edge(pair[0], s, nm);
+                b.edge(pair[1], s, nm);
+                next.push(s);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        frontier = next;
+    }
+    b.edge(frontier[0], c_snk, nm);
+    let g = b.finish().expect("outer-product matmul is canonical");
+    (
+        g,
+        MatMulHandles {
+            a: a_src,
+            b: b_src,
+            c: c_snk,
+            workers,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeClass;
+    use stg_graph::Ratio;
+
+    #[test]
+    fn inner_product_rate() {
+        let (g, h) = matmul_inner_product(4, 8, 2);
+        assert_eq!(g.class(h.workers[0]), NodeClass::Downsampler);
+        assert_eq!(g.rate(h.workers[0]), Some(Ratio::new(1, 8)));
+        assert_eq!(g.input_volume(h.workers[0]), Some(64));
+        assert_eq!(g.output_volume(h.workers[0]), Some(8));
+    }
+
+    #[test]
+    fn column_parallel_structure() {
+        let (g, h) = matmul_column_parallel(4, 8, 3, false);
+        assert_eq!(h.workers.len(), 3);
+        for &d in &h.workers {
+            assert_eq!(g.class(d), NodeClass::Downsampler);
+            assert_eq!(g.rate(d), Some(Ratio::new(1, 8)));
+            assert_eq!(g.output_volume(d), Some(4));
+        }
+        // Replicator is element-wise in time.
+        let rep = g.node_ids().find(|&v| g.node(v).name == "E(rep)").unwrap();
+        assert_eq!(g.class(rep), NodeClass::ElementWise);
+    }
+
+    #[test]
+    fn column_parallel_streamed_output_uses_concat_upsampler() {
+        let (g, _) = matmul_column_parallel(4, 8, 3, true);
+        let cat = g.node_ids().find(|&v| g.node(v).name == "E(cat)").unwrap();
+        assert_eq!(g.class(cat), NodeClass::Upsampler);
+        assert_eq!(g.rate(cat), Some(Ratio::integer(3)));
+        // No output buffer in the streamed variant.
+        assert!(g.node_ids().all(|v| g.node(v).name != "B[NM]"));
+    }
+
+    #[test]
+    fn outer_product_tree_size() {
+        let (g, h) = matmul_outer_product(2, 8, 2);
+        assert_eq!(h.workers.len(), 8);
+        // 8 multipliers + 7 tree adders = 15 compute nodes.
+        assert_eq!(g.compute_count(), 15);
+        for &e in &h.workers {
+            assert_eq!(g.class(e), NodeClass::ElementWise);
+        }
+    }
+
+    #[test]
+    fn outer_product_odd_k() {
+        let (g, h) = matmul_outer_product(2, 5, 3);
+        assert_eq!(h.workers.len(), 5);
+        // 5 multipliers + 4 adders.
+        assert_eq!(g.compute_count(), 9);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn all_variants_validate() {
+        matmul_inner_product(3, 4, 5).0.validate().unwrap();
+        matmul_column_parallel(3, 4, 5, true).0.validate().unwrap();
+        matmul_column_parallel(3, 4, 5, false).0.validate().unwrap();
+        matmul_outer_product(3, 4, 5).0.validate().unwrap();
+    }
+}

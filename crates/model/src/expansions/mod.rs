@@ -1,0 +1,21 @@
+//! Canonical expansions of generic computations (Section 3.2).
+//!
+//! Operations whose tasks exchange non-uniform data volumes (outer products,
+//! matrix multiplication, normalizations, softmax) are represented as small
+//! canonical *subgraphs* that capture their actual compute time, dataflow,
+//! and streaming opportunities. Each function here reproduces one of the
+//! paper's Figures 2–5 as a standalone canonical graph. (The operator-level
+//! splicing that embeds the same structures into larger graphs lives in
+//! `stg-ml`'s lowering module.)
+
+mod matmul;
+mod norm;
+mod outer;
+mod softmax;
+
+pub use matmul::{
+    matmul_column_parallel, matmul_inner_product, matmul_outer_product, MatMulHandles,
+};
+pub use norm::{vector_norm_buffered, vector_norm_streamed, VectorNormHandles};
+pub use outer::{outer_product, OuterHandles, OuterVariant};
+pub use softmax::{softmax, SoftmaxHandles};

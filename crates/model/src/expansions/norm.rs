@@ -1,0 +1,106 @@
+//! Vector normalization expansions (Section 3.2.3, Figure 4).
+
+use crate::build::Builder;
+use crate::graph::CanonicalGraph;
+use stg_graph::NodeId;
+
+/// Node handles of a vector normalization expansion `y = x / ‖x‖`.
+#[derive(Clone, Debug)]
+pub struct VectorNormHandles {
+    /// Source streaming `x` (N elements).
+    pub x: NodeId,
+    /// The norm-computing downsampler `D(NRM)`.
+    pub nrm: NodeId,
+    /// The dividing element-wise task `E(DIV)`.
+    pub div: NodeId,
+    /// Sink receiving `y`.
+    pub y: NodeId,
+}
+
+/// Figure 4 ①: `x` is buffered (it is read twice — once for the norm, once
+/// for the division) and the scalar norm is buffered and replayed N times.
+/// No streaming communication is possible; the two operations execute one
+/// after the other.
+pub fn vector_norm_buffered(n: u64) -> (CanonicalGraph, VectorNormHandles) {
+    assert!(n > 0);
+    let mut b = Builder::new();
+    let x = b.source("x");
+    let y = b.sink("y");
+    let bx = b.buffer("B[N]");
+    b.edge(x, bx, n);
+    let nrm = b.compute("D(NRM)");
+    b.edge(bx, nrm, n);
+    let bnorm = b.buffer("B[1]");
+    b.edge(nrm, bnorm, 1);
+    let div = b.compute("E(DIV)");
+    b.edge(bx, div, n);
+    b.edge(bnorm, div, n);
+    b.edge(div, y, n);
+    let g = b.finish().expect("buffered vector norm is canonical");
+    (g, VectorNormHandles { x, nrm, div, y })
+}
+
+/// Figure 4 ②: `x` streams directly to both the downsampler and the
+/// element-wise division; the norm scalar is replicated by an upsampler.
+/// This exposes an undirected cycle (`x → D → U → E` vs. `x → E`), so
+/// deadlock-free execution requires the buffer space analysis of Section 6.
+pub fn vector_norm_streamed(n: u64) -> (CanonicalGraph, VectorNormHandles) {
+    assert!(n > 0);
+    let mut b = Builder::new();
+    let x = b.source("x");
+    let y = b.sink("y");
+    let nrm = b.compute("D(NRM)");
+    b.edge(x, nrm, n);
+    let up = b.compute("U");
+    b.edge(nrm, up, 1);
+    let div = b.compute("E(DIV)");
+    b.edge(x, div, n);
+    b.edge(up, div, n);
+    b.edge(div, y, n);
+    let g = b.finish().expect("streamed vector norm is canonical");
+    (g, VectorNormHandles { x, nrm, div, y })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeClass, NodeKind};
+    use stg_graph::{undirected_cycle_nodes, Ratio};
+
+    #[test]
+    fn buffered_variant_structure() {
+        let (g, h) = vector_norm_buffered(16);
+        assert_eq!(g.class(h.nrm), NodeClass::Downsampler);
+        assert_eq!(g.rate(h.nrm), Some(Ratio::new(1, 16)));
+        assert_eq!(g.class(h.div), NodeClass::ElementWise);
+        let buffers = g
+            .node_ids()
+            .filter(|&v| g.kind(v) == NodeKind::Buffer)
+            .count();
+        assert_eq!(buffers, 2);
+        // The scalar buffer replays the norm N times.
+        let b1 = g.node_ids().find(|&v| g.node(v).name == "B[1]").unwrap();
+        assert_eq!(g.rate(b1), Some(Ratio::integer(16)));
+    }
+
+    #[test]
+    fn streamed_variant_has_undirected_cycle() {
+        let (g, h) = vector_norm_streamed(16);
+        let cyc = undirected_cycle_nodes(g.dag(), |_| true, |_| true);
+        assert!(cyc.on_cycle[h.div.index()]);
+        assert!(cyc.on_cycle[h.nrm.index()]);
+        assert!(cyc.on_cycle[h.x.index()]);
+        // The upsampler replicates the scalar N times.
+        let up = g.node_ids().find(|&v| g.node(v).name == "U").unwrap();
+        assert_eq!(g.rate(up), Some(Ratio::integer(16)));
+        assert_eq!(g.class(up), NodeClass::Upsampler);
+    }
+
+    #[test]
+    fn both_variants_compute_same_work() {
+        let (g1, h1) = vector_norm_buffered(16);
+        let (g2, h2) = vector_norm_streamed(16);
+        assert_eq!(g1.work(h1.nrm), g2.work(h2.nrm));
+        assert_eq!(g1.work(h1.div), g2.work(h2.div));
+    }
+}

@@ -1,0 +1,140 @@
+//! Outer product expansions (Section 3.2.1, Figure 2).
+
+use crate::build::Builder;
+use crate::graph::CanonicalGraph;
+use stg_graph::NodeId;
+
+/// Which of Figure 2's implementations to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OuterVariant {
+    /// ①: stream `u`, buffer `vᵀ`; `A` is produced row-by-row.
+    StreamU,
+    /// ②: stream `vᵀ`, buffer `u`; `A` is produced column-by-column.
+    StreamV,
+    /// ③: buffer both inputs; only the result streams.
+    BufferBoth,
+}
+
+/// Node handles of an outer-product expansion.
+#[derive(Clone, Debug)]
+pub struct OuterHandles {
+    /// Source for `u` (length N).
+    pub u: NodeId,
+    /// Source for `vᵀ` (length M).
+    pub v: NodeId,
+    /// The element-wise multiply task (`E(MUL)` in the figure).
+    pub mul: NodeId,
+    /// Sink receiving `A` (N·M elements).
+    pub a: NodeId,
+}
+
+/// Builds the outer product `A = u · vᵀ` of an `n`-vector and an `m`-vector
+/// as a canonical task graph, per Figure 2.
+///
+/// All variants perform `n·m` multiplications through a single element-wise
+/// node fed `n·m` elements on both inputs; they differ in *how* the inputs
+/// are replicated (upsampler vs. buffer), which determines what can stream.
+pub fn outer_product(n: u64, m: u64, variant: OuterVariant) -> (CanonicalGraph, OuterHandles) {
+    assert!(n > 0 && m > 0, "outer product dimensions must be positive");
+    let mut b = Builder::new();
+    let u = b.source("u");
+    let v = b.source("vT");
+    let mul = b.compute("E(MUL)");
+    let a = b.sink("A");
+    let nm = n * m;
+    match variant {
+        OuterVariant::StreamU => {
+            // u streamed through an upsampler replicating each element m
+            // times; vᵀ buffered and read n times.
+            let up = b.compute("U");
+            b.edge(u, up, n);
+            b.edge(up, mul, nm);
+            let bv = b.buffer("B[M]");
+            b.edge(v, bv, m);
+            b.edge(bv, mul, nm);
+        }
+        OuterVariant::StreamV => {
+            let up = b.compute("U");
+            b.edge(v, up, m);
+            b.edge(up, mul, nm);
+            let bu = b.buffer("B[N]");
+            b.edge(u, bu, n);
+            b.edge(bu, mul, nm);
+        }
+        OuterVariant::BufferBoth => {
+            let bu = b.buffer("B[N]");
+            b.edge(u, bu, n);
+            b.edge(bu, mul, nm);
+            let bv = b.buffer("B[M]");
+            b.edge(v, bv, m);
+            b.edge(bv, mul, nm);
+        }
+    }
+    b.edge(mul, a, nm);
+    let g = b.finish().expect("outer product expansion is canonical");
+    (g, OuterHandles { u, v, mul, a })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeClass;
+    use stg_graph::Ratio;
+
+    #[test]
+    fn stream_u_structure() {
+        let (g, h) = outer_product(8, 4, OuterVariant::StreamU);
+        // source u, source v, upsampler, buffer, mul, sink = 6 nodes.
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.class(h.mul), NodeClass::ElementWise);
+        assert_eq!(g.input_volume(h.mul), Some(32));
+        assert_eq!(g.output_volume(h.mul), Some(32));
+        // The upsampler replicates each u element m=4 times.
+        let up = g
+            .node_ids()
+            .find(|&v| g.node(v).name == "U")
+            .expect("upsampler present");
+        assert_eq!(g.class(up), NodeClass::Upsampler);
+        assert_eq!(g.rate(up), Some(Ratio::integer(4)));
+        // One buffer node (for vᵀ), replicating n=8 times.
+        let buf = g
+            .node_ids()
+            .find(|&v| g.node(v).name == "B[M]")
+            .expect("buffer present");
+        assert_eq!(g.rate(buf), Some(Ratio::integer(8)));
+    }
+
+    #[test]
+    fn stream_v_is_symmetric() {
+        let (g, _) = outer_product(8, 4, OuterVariant::StreamV);
+        let up = g.node_ids().find(|&v| g.node(v).name == "U").unwrap();
+        // Now each vᵀ element is replicated n=8 times.
+        assert_eq!(g.rate(up), Some(Ratio::integer(8)));
+    }
+
+    #[test]
+    fn buffer_both_has_two_buffers_no_upsampler() {
+        let (g, _) = outer_product(3, 5, OuterVariant::BufferBoth);
+        let buffers = g
+            .node_ids()
+            .filter(|&v| g.kind(v) == crate::node::NodeKind::Buffer)
+            .count();
+        assert_eq!(buffers, 2);
+        assert!(g.node_ids().all(|v| g.node(v).name != "U"));
+    }
+
+    #[test]
+    fn all_variants_have_same_work() {
+        // The compute work (sequential time) is implementation-dependent in
+        // general, but the multiply task always does n·m work.
+        for variant in [
+            OuterVariant::StreamU,
+            OuterVariant::StreamV,
+            OuterVariant::BufferBoth,
+        ] {
+            let (g, h) = outer_product(6, 7, variant);
+            assert_eq!(g.work(h.mul), 42);
+            g.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Numerically stable softmax expansion (Section 3.2.4, Figure 5).
+
+use crate::build::Builder;
+use crate::graph::CanonicalGraph;
+use stg_graph::NodeId;
+
+/// Node handles of a softmax expansion.
+#[derive(Clone, Debug)]
+pub struct SoftmaxHandles {
+    /// Source streaming `x` (N elements).
+    pub x: NodeId,
+    /// `D(max)`: the running-maximum downsampler.
+    pub max: NodeId,
+    /// `E(sub)`: subtracts the max from each element.
+    pub sub: NodeId,
+    /// `E(exp)`: exponentiates each element.
+    pub exp: NodeId,
+    /// `D(sum)`: sums the exponentials (the denominator).
+    pub sum: NodeId,
+    /// `E(div)`: the final division.
+    pub div: NodeId,
+    /// Sink receiving `y`.
+    pub y: NodeId,
+}
+
+/// Builds the numerically stable softmax
+/// `y_i = e^{x_i − max(x)} / Σ_j e^{x_j − max(x)}`
+/// over an `n`-element vector as a canonical task graph (Figure 5).
+///
+/// `x` must be read twice (for the max and for the subtraction), so it is
+/// buffered; the max and the denominator are scalars buffered and replayed
+/// `n` times; the exponentials are computed once and buffered for the final
+/// division while also streaming into the sum — so the inner
+/// `sub → exp → sum` pipeline streams.
+pub fn softmax(n: u64) -> (CanonicalGraph, SoftmaxHandles) {
+    assert!(n > 0);
+    let mut b = Builder::new();
+    let x = b.source("x");
+    let y = b.sink("y");
+
+    // First pass over x: the maximum.
+    let max = b.compute("D(max)");
+    b.edge(x, max, n);
+    let bmax = b.buffer("B[1]max");
+    b.edge(max, bmax, 1);
+
+    // Second pass over x: buffered replay into the subtraction.
+    let bx = b.buffer("B[N]x");
+    b.edge(x, bx, n);
+    let sub = b.compute("E(sub)");
+    b.edge(bx, sub, n);
+    b.edge(bmax, sub, n);
+
+    // exp streams into the sum and is buffered for the division.
+    let exp = b.compute("E(exp)");
+    b.edge(sub, exp, n);
+    let sum = b.compute("D(sum)");
+    b.edge(exp, sum, n);
+    let bexp = b.buffer("B[N]exp");
+    b.edge(exp, bexp, n);
+    let bden = b.buffer("B[1]den");
+    b.edge(sum, bden, 1);
+
+    let div = b.compute("E(div)");
+    b.edge(bexp, div, n);
+    b.edge(bden, div, n);
+    b.edge(div, y, n);
+
+    let g = b.finish().expect("softmax expansion is canonical");
+    (
+        g,
+        SoftmaxHandles {
+            x,
+            max,
+            sub,
+            exp,
+            sum,
+            div,
+            y,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeClass, NodeKind};
+    use stg_graph::Ratio;
+
+    #[test]
+    fn structure_matches_figure5() {
+        let (g, h) = softmax(32);
+        assert_eq!(g.class(h.max), NodeClass::Downsampler);
+        assert_eq!(g.rate(h.max), Some(Ratio::new(1, 32)));
+        assert_eq!(g.class(h.sub), NodeClass::ElementWise);
+        assert_eq!(g.class(h.exp), NodeClass::ElementWise);
+        assert_eq!(g.class(h.sum), NodeClass::Downsampler);
+        assert_eq!(g.class(h.div), NodeClass::ElementWise);
+        // 5 compute nodes, 4 buffers, 1 source, 1 sink.
+        assert_eq!(g.compute_count(), 5);
+        let buffers = g
+            .node_ids()
+            .filter(|&v| g.kind(v) == NodeKind::Buffer)
+            .count();
+        assert_eq!(buffers, 4);
+        assert_eq!(g.node_count(), 11);
+    }
+
+    #[test]
+    fn exp_feeds_both_sum_and_division() {
+        // The values e^{x_i - max} are computed once and reused (the paper
+        // highlights this allows partially streaming the computation).
+        let (g, h) = softmax(8);
+        assert_eq!(g.dag().out_degree(h.exp), 2);
+        assert_eq!(g.output_volume(h.exp), Some(8));
+    }
+
+    #[test]
+    fn work_accounting() {
+        let (g, h) = softmax(16);
+        assert_eq!(g.work(h.max), 16);
+        assert_eq!(g.work(h.sub), 16);
+        assert_eq!(g.work(h.div), 16);
+        // T1 = 5 tasks × 16.
+        assert_eq!(g.sequential_time(), 80);
+    }
+}

@@ -1,0 +1,485 @@
+//! The canonical task graph container and its validation rules.
+
+use crate::node::{CanonicalNode, NodeClass, NodeKind};
+use stg_graph::{
+    strongly_connected_components, topological_order, Dag, EdgeId, NodeId, Ratio, UnionFind,
+};
+
+/// A canonical task graph (Section 3): a DAG of canonical nodes whose edges
+/// carry data volumes in unitary elements.
+///
+/// Invariants (checked by [`CanonicalGraph::validate`]):
+/// - the graph is acyclic;
+/// - every node receives the same volume on all input edges and produces the
+///   same volume on all output edges;
+/// - sources have no inputs, sinks no outputs; buffer nodes have at least one
+///   input and one output; compute nodes may be roots ("producer tasks" that
+///   generate data, as in the synthetic workloads of Section 7.1) or leaves
+///   ("consumer tasks") but not both;
+/// - edge volumes are positive;
+/// - the buffer placement rule of Section 4.2.3 holds: treating edges between
+///   pairs of non-buffer nodes as undirected while buffer-incident edges keep
+///   their direction, no directed cycle contains a buffer node.
+#[derive(Clone, Debug, Default)]
+pub struct CanonicalGraph {
+    dag: Dag<CanonicalNode, u64>,
+}
+
+/// A violation of the canonical task graph rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Input edges of a node carry different volumes.
+    InputVolumeMismatch(NodeId),
+    /// Output edges of a node carry different volumes.
+    OutputVolumeMismatch(NodeId),
+    /// A source node has input edges.
+    SourceWithInputs(NodeId),
+    /// A sink node has output edges.
+    SinkWithOutputs(NodeId),
+    /// A buffer or sink node is missing inputs.
+    MissingInputs(NodeId),
+    /// A buffer or source node is missing outputs.
+    MissingOutputs(NodeId),
+    /// A compute node with neither inputs nor outputs.
+    IsolatedCompute(NodeId),
+    /// An edge carries a zero volume.
+    ZeroVolume(EdgeId),
+    /// The graph has a directed cycle through this node.
+    Cyclic(NodeId),
+    /// A buffer node lies on a mixed-direction cycle (Section 4.2.3
+    /// placement rule), which would require unbounded implicit buffering.
+    BufferCycle(NodeId),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::InputVolumeMismatch(v) => write!(f, "{v:?}: input volumes differ"),
+            Violation::OutputVolumeMismatch(v) => write!(f, "{v:?}: output volumes differ"),
+            Violation::SourceWithInputs(v) => write!(f, "{v:?}: source has inputs"),
+            Violation::SinkWithOutputs(v) => write!(f, "{v:?}: sink has outputs"),
+            Violation::MissingInputs(v) => write!(f, "{v:?}: node needs at least one input"),
+            Violation::MissingOutputs(v) => write!(f, "{v:?}: node needs at least one output"),
+            Violation::IsolatedCompute(v) => write!(f, "{v:?}: compute node has no edges"),
+            Violation::ZeroVolume(e) => write!(f, "{e:?}: zero data volume"),
+            Violation::Cyclic(v) => write!(f, "directed cycle through {v:?}"),
+            Violation::BufferCycle(v) => {
+                write!(f, "{v:?}: buffer node on a mixed-direction cycle")
+            }
+        }
+    }
+}
+
+impl CanonicalGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the underlying DAG.
+    #[inline]
+    pub fn dag(&self) -> &Dag<CanonicalNode, u64> {
+        &self.dag
+    }
+
+    /// Mutable access to the underlying DAG (used by builders/generators;
+    /// callers are responsible for re-validating).
+    #[inline]
+    pub fn dag_mut(&mut self) -> &mut Dag<CanonicalNode, u64> {
+        &mut self.dag
+    }
+
+    /// Number of nodes (all kinds).
+    pub fn node_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.dag.edge_count()
+    }
+
+    /// Number of compute (PE-schedulable) nodes.
+    pub fn compute_count(&self) -> usize {
+        self.dag.nodes().filter(|(_, n)| n.is_schedulable()).count()
+    }
+
+    /// The node payload.
+    #[inline]
+    pub fn node(&self, v: NodeId) -> &CanonicalNode {
+        self.dag.node(v)
+    }
+
+    /// The node's structural kind.
+    #[inline]
+    pub fn kind(&self, v: NodeId) -> NodeKind {
+        self.dag.node(v).kind
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone + 'static {
+        self.dag.node_ids()
+    }
+
+    /// Iterator over compute node ids.
+    pub fn compute_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dag
+            .node_ids()
+            .filter(move |&v| self.dag.node(v).is_schedulable())
+    }
+
+    /// `I(v)`: the volume on each input edge (`None` for nodes without
+    /// inputs, i.e. sources).
+    pub fn input_volume(&self, v: NodeId) -> Option<u64> {
+        self.dag
+            .in_edge_ids(v)
+            .first()
+            .map(|&e| self.dag.edge(e).weight)
+    }
+
+    /// `O(v)`: the volume on each output edge (`None` for nodes without
+    /// outputs, i.e. sinks).
+    pub fn output_volume(&self, v: NodeId) -> Option<u64> {
+        self.dag
+            .out_edge_ids(v)
+            .first()
+            .map(|&e| self.dag.edge(e).weight)
+    }
+
+    /// The production rate `R(v) = O(v)/I(v)` for nodes that have both sides
+    /// (compute and buffer nodes).
+    pub fn rate(&self, v: NodeId) -> Option<Ratio> {
+        let i = self.input_volume(v)?;
+        let o = self.output_volume(v)?;
+        Some(Ratio::new(o as i128, i as i128))
+    }
+
+    /// The behavioural class of the node.
+    pub fn class(&self, v: NodeId) -> NodeClass {
+        match self.kind(v) {
+            NodeKind::Source => NodeClass::Source,
+            NodeKind::Sink => NodeClass::Sink,
+            NodeKind::Buffer => NodeClass::Buffer,
+            NodeKind::Compute => match self.rate(v) {
+                Some(r) => NodeClass::of_rate(r),
+                // Degenerate (invalid) compute nodes default to element-wise.
+                None => NodeClass::ElementWise,
+            },
+        }
+    }
+
+    /// `W(v) = max(I(v), O(v))`: the work of a node (Section 4.2), i.e. its
+    /// ideal isolated execution time under the one-element-per-cycle model.
+    pub fn work(&self, v: NodeId) -> u64 {
+        self.input_volume(v)
+            .unwrap_or(0)
+            .max(self.output_volume(v).unwrap_or(0))
+    }
+
+    /// `T1 = Σ_v W(v)` over compute nodes: the sequential execution time of
+    /// the graph on one PE (Section 4.2, "work of the graph").
+    pub fn sequential_time(&self) -> u64 {
+        self.compute_nodes().map(|v| self.work(v)).sum()
+    }
+
+    /// Checks all canonicity rules; returns every violation found.
+    pub fn validate(&self) -> Result<(), Vec<Violation>> {
+        let mut violations = Vec::new();
+        for (eid, e) in self.dag.edges() {
+            if e.weight == 0 {
+                violations.push(Violation::ZeroVolume(eid));
+            }
+        }
+        for v in self.dag.node_ids() {
+            let ins: Vec<u64> = self
+                .dag
+                .in_edge_ids(v)
+                .iter()
+                .map(|&e| self.dag.edge(e).weight)
+                .collect();
+            let outs: Vec<u64> = self
+                .dag
+                .out_edge_ids(v)
+                .iter()
+                .map(|&e| self.dag.edge(e).weight)
+                .collect();
+            if ins.windows(2).any(|w| w[0] != w[1]) {
+                violations.push(Violation::InputVolumeMismatch(v));
+            }
+            if outs.windows(2).any(|w| w[0] != w[1]) {
+                violations.push(Violation::OutputVolumeMismatch(v));
+            }
+            match self.kind(v) {
+                NodeKind::Source => {
+                    if !ins.is_empty() {
+                        violations.push(Violation::SourceWithInputs(v));
+                    }
+                    if outs.is_empty() {
+                        violations.push(Violation::MissingOutputs(v));
+                    }
+                }
+                NodeKind::Sink => {
+                    if !outs.is_empty() {
+                        violations.push(Violation::SinkWithOutputs(v));
+                    }
+                    if ins.is_empty() {
+                        violations.push(Violation::MissingInputs(v));
+                    }
+                }
+                NodeKind::Buffer => {
+                    if ins.is_empty() {
+                        violations.push(Violation::MissingInputs(v));
+                    }
+                    if outs.is_empty() {
+                        violations.push(Violation::MissingOutputs(v));
+                    }
+                }
+                NodeKind::Compute => {
+                    if ins.is_empty() && outs.is_empty() {
+                        violations.push(Violation::IsolatedCompute(v));
+                    }
+                }
+            }
+        }
+        if let Err(e) = topological_order(&self.dag) {
+            violations.push(Violation::Cyclic(e.witness));
+        } else {
+            violations.extend(self.buffer_cycle_violations());
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// The Section 4.2.3 placement rule: build the mixed-direction graph
+    /// where edges between two non-buffer nodes are undirected and
+    /// buffer-incident edges keep their direction, then report every buffer
+    /// node lying on a directed cycle.
+    ///
+    /// Implementation: contract non-buffer nodes into their components over
+    /// non-buffer-pair edges ("free components"); the contracted graph
+    /// alternates free components and buffer nodes, so any directed cycle in
+    /// it passes through a buffer. Buffers inside non-trivial SCCs violate
+    /// the rule.
+    fn buffer_cycle_violations(&self) -> Vec<Violation> {
+        let n = self.dag.node_count();
+        let is_buffer: Vec<bool> = self
+            .dag
+            .node_ids()
+            .map(|v| self.kind(v) == NodeKind::Buffer)
+            .collect();
+        let mut uf = UnionFind::new(n);
+        for (_, e) in self.dag.edges() {
+            if !is_buffer[e.src.index()] && !is_buffer[e.dst.index()] {
+                uf.union(e.src.0, e.dst.0);
+            }
+        }
+        // Contracted graph: one node per union-find root (free components and
+        // buffers are both represented by their own root since buffers are
+        // never unioned).
+        let mut repr = vec![u32::MAX; n];
+        let mut contracted: Dag<(), ()> = Dag::new();
+        let mut id_of_root: std::collections::HashMap<u32, NodeId> =
+            std::collections::HashMap::new();
+        for v in 0..n as u32 {
+            let root = uf.find(v);
+            let id = *id_of_root
+                .entry(root)
+                .or_insert_with(|| contracted.add_node(()));
+            repr[v as usize] = id.0;
+        }
+        for (_, e) in self.dag.edges() {
+            if is_buffer[e.src.index()] || is_buffer[e.dst.index()] {
+                let (a, b) = (repr[e.src.index()], repr[e.dst.index()]);
+                if a != b {
+                    contracted.add_edge(NodeId(a), NodeId(b), ());
+                }
+            }
+        }
+        let (comp, count) = strongly_connected_components(&contracted);
+        let mut comp_size = vec![0u32; count];
+        for &c in &comp {
+            comp_size[c as usize] += 1;
+        }
+        self.dag
+            .node_ids()
+            .filter(|&v| {
+                is_buffer[v.index()] && comp_size[comp[repr[v.index()] as usize] as usize] > 1
+            })
+            .map(Violation::BufferCycle)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Builder;
+
+    #[test]
+    fn volumes_rates_classes() {
+        // src -16-> down(1/4) -4-> elwise -4-> up(x2) -8-> sink
+        let mut b = Builder::new();
+        let s = b.source("x");
+        let d = b.compute("down");
+        let e = b.compute("ew");
+        let u = b.compute("up");
+        let k = b.sink("y");
+        b.edge(s, d, 16);
+        b.edge(d, e, 4);
+        b.edge(e, u, 4);
+        b.edge(u, k, 8);
+        let g = b.finish().unwrap();
+        assert_eq!(g.input_volume(d), Some(16));
+        assert_eq!(g.output_volume(d), Some(4));
+        assert_eq!(g.rate(d), Some(Ratio::new(1, 4)));
+        assert_eq!(g.class(d), NodeClass::Downsampler);
+        assert_eq!(g.class(e), NodeClass::ElementWise);
+        assert_eq!(g.class(u), NodeClass::Upsampler);
+        assert_eq!(g.class(s), NodeClass::Source);
+        assert_eq!(g.class(k), NodeClass::Sink);
+        assert_eq!(g.work(d), 16);
+        assert_eq!(g.work(u), 8);
+        assert_eq!(g.work(s), 16);
+        // T1 counts compute nodes only: 16 + 4 + 8.
+        assert_eq!(g.sequential_time(), 28);
+        assert_eq!(g.compute_count(), 3);
+    }
+
+    #[test]
+    fn input_volume_mismatch_detected() {
+        let mut b = Builder::new();
+        let s1 = b.source("a");
+        let s2 = b.source("b");
+        let c = b.compute("c");
+        let k = b.sink("k");
+        b.edge(s1, c, 4);
+        b.edge(s2, c, 8); // mismatch
+        b.edge(c, k, 4);
+        let err = b.finish().unwrap_err();
+        assert!(err.contains(&Violation::InputVolumeMismatch(c)));
+    }
+
+    #[test]
+    fn output_volume_mismatch_detected() {
+        let mut b = Builder::new();
+        let s = b.source("a");
+        let c = b.compute("c");
+        let k1 = b.sink("k1");
+        let k2 = b.sink("k2");
+        b.edge(s, c, 4);
+        b.edge(c, k1, 4);
+        b.edge(c, k2, 8); // mismatch
+        let err = b.finish().unwrap_err();
+        assert!(err.contains(&Violation::OutputVolumeMismatch(c)));
+    }
+
+    #[test]
+    fn structural_violations_detected() {
+        let mut b = Builder::new();
+        let s = b.source("s");
+        let c = b.compute("dangling"); // no input, no output
+        let k = b.sink("k");
+        b.edge(s, k, 4);
+        let err = b.finish().unwrap_err();
+        assert!(err.contains(&Violation::IsolatedCompute(c)));
+    }
+
+    #[test]
+    fn root_and_leaf_compute_tasks_are_valid() {
+        // Synthetic workloads have no explicit source/sink nodes: the first
+        // task produces data, the last consumes it (Section 7.1).
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let t1 = b.compute("t1");
+        let t2 = b.compute("t2");
+        b.chain(&[t0, t1, t2], 32);
+        let g = b.finish().unwrap();
+        assert_eq!(g.input_volume(t0), None);
+        assert_eq!(g.work(t0), 32);
+        assert_eq!(g.output_volume(t2), None);
+        assert_eq!(g.work(t2), 32);
+        assert_eq!(g.sequential_time(), 96);
+    }
+
+    #[test]
+    fn source_and_sink_degree_violations() {
+        let mut b = Builder::new();
+        let s = b.source("s"); // no outputs
+        let k = b.sink("k"); // no inputs
+        let c1 = b.compute("c1");
+        let c2 = b.compute("c2");
+        b.edge(c1, c2, 4);
+        let err = b.finish().unwrap_err();
+        assert!(err.contains(&Violation::MissingOutputs(s)));
+        assert!(err.contains(&Violation::MissingInputs(k)));
+    }
+
+    #[test]
+    fn zero_volume_detected() {
+        let mut b = Builder::new();
+        let s = b.source("s");
+        let k = b.sink("k");
+        let e = b.edge(s, k, 0);
+        let err = b.finish().unwrap_err();
+        assert!(err.contains(&Violation::ZeroVolume(e)));
+    }
+
+    #[test]
+    fn buffer_cycle_detected() {
+        // s -> buf -> e and s -> e, with s -> e an undirected (non-buffer
+        // pair) edge: the mixed-direction graph has the cycle
+        // s -> buf -> e ~ s, so the buffer violates the placement rule.
+        let mut b = Builder::new();
+        let s = b.compute("s");
+        let buf = b.buffer("B");
+        let e = b.compute("e");
+        let k = b.sink("k");
+        b.edge(s, buf, 4);
+        b.edge(buf, e, 4);
+        b.edge(s, e, 4);
+        b.edge(e, k, 4);
+        let err = b.finish().unwrap_err();
+        assert!(err.contains(&Violation::BufferCycle(buf)));
+    }
+
+    #[test]
+    fn figure4_buffered_norm_respects_placement_rule() {
+        // Figure 4 ①-like structure: x -> B[N] -> {nrm, div},
+        // nrm -> B[1] -> div. Both reads of B[N] happen through buffer-
+        // incident (directed) edges, so no mixed-direction cycle exists and
+        // the graph is valid even though the undirected skeleton has a cycle.
+        let mut b = Builder::new();
+        let x = b.source("x");
+        let bx = b.buffer("B[N]");
+        let nrm = b.compute("D(NRM)");
+        let bn = b.buffer("B[1]");
+        let div = b.compute("E(DIV)");
+        let y = b.sink("y");
+        b.edge(x, bx, 8);
+        b.edge(bx, nrm, 8);
+        b.edge(bx, div, 8);
+        b.edge(nrm, bn, 1);
+        b.edge(bn, div, 8);
+        b.edge(div, y, 8);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn diamond_without_buffer_is_valid() {
+        let mut b = Builder::new();
+        let s = b.source("s");
+        let x = b.compute("x");
+        let y = b.compute("y");
+        let j = b.compute("j");
+        let k = b.sink("k");
+        b.edge(s, x, 4);
+        b.edge(s, y, 4);
+        b.edge(x, j, 4);
+        b.edge(y, j, 4);
+        b.edge(j, k, 4);
+        assert!(b.finish().is_ok());
+    }
+}

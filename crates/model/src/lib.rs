@@ -1,0 +1,28 @@
+//! # stg-model
+//!
+//! Canonical task graphs (Section 3 of the paper): a dataflow-centric DAG
+//! model in which every node receives the same volume on all input edges and
+//! produces the same volume on all output edges, so a node's behaviour is
+//! summarized by its production rate `R(v) = O(v)/I(v)`:
+//!
+//! - `R = 1` — element-wise tasks,
+//! - `R < 1` — down-samplers (reductions),
+//! - `R > 1` — up-samplers (replication / concatenation),
+//!
+//! plus passive *buffer* nodes (store-then-replay, never pipelined through),
+//! and *source*/*sink* global-memory endpoints.
+//!
+//! The [`expansions`] module reproduces the paper's Figures 2–5: canonical
+//! representations of outer products, matrix multiplication (three
+//! parallelization strategies), vector normalization, and softmax.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod expansions;
+pub mod graph;
+pub mod node;
+
+pub use build::Builder;
+pub use graph::{CanonicalGraph, Violation};
+pub use node::{CanonicalNode, NodeClass, NodeKind};

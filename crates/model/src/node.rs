@@ -1,0 +1,98 @@
+//! Canonical node kinds and derived classifications (Section 3.1).
+
+use stg_graph::Ratio;
+
+/// The structural kind of a canonical node.
+///
+/// Volumes are carried by edges; a node's input volume `I(v)` is the (equal)
+/// volume of its input edges and its output volume `O(v)` the (equal) volume
+/// of its output edges. The production rate `R(v) = O(v)/I(v)` is derived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Reads its output from global memory: no inputs, no production rate,
+    /// directly outputs `O(v)` elements (Section 3.1).
+    Source,
+    /// Stores its inputs to global memory: production rate zero, no outputs.
+    Sink,
+    /// Buffers all `I(v)` input elements, then outputs them `R(v)` times
+    /// (possibly reshaped/replicated). Not an active entity: it is not
+    /// scheduled on a PE, and communication cannot be pipelined through it.
+    Buffer,
+    /// A computational task that must be scheduled on a processing element.
+    Compute,
+}
+
+/// The behavioural class of a node, refining [`NodeKind::Compute`] by its
+/// production rate as in Section 3.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// Memory read endpoint.
+    Source,
+    /// Memory write endpoint.
+    Sink,
+    /// Non-pipelineable store-then-replay node.
+    Buffer,
+    /// `R(v) = 1`: vector addition, Hadamard product, activations, ...
+    ElementWise,
+    /// `R(v) < 1`: reductions — dot product, statistics, pooling.
+    Downsampler,
+    /// `R(v) > 1`: replication, vector concatenation.
+    Upsampler,
+}
+
+impl NodeClass {
+    /// Classifies a compute node by its production rate.
+    pub fn of_rate(rate: Ratio) -> NodeClass {
+        use std::cmp::Ordering::*;
+        match rate.cmp(&Ratio::ONE) {
+            Less => NodeClass::Downsampler,
+            Equal => NodeClass::ElementWise,
+            Greater => NodeClass::Upsampler,
+        }
+    }
+}
+
+/// A node of a canonical task graph: its kind plus a human-readable label.
+#[derive(Clone, Debug)]
+pub struct CanonicalNode {
+    /// Structural kind.
+    pub kind: NodeKind,
+    /// Label used in reports, examples, and debugging (not semantically
+    /// meaningful).
+    pub name: String,
+}
+
+impl CanonicalNode {
+    /// Creates a node of the given kind with a label.
+    pub fn new(kind: NodeKind, name: impl Into<String>) -> Self {
+        CanonicalNode {
+            kind,
+            name: name.into(),
+        }
+    }
+
+    /// True for nodes that occupy a processing element when scheduled.
+    pub fn is_schedulable(&self) -> bool {
+        self.kind == NodeKind::Compute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_rate() {
+        assert_eq!(NodeClass::of_rate(Ratio::ONE), NodeClass::ElementWise);
+        assert_eq!(NodeClass::of_rate(Ratio::new(1, 4)), NodeClass::Downsampler);
+        assert_eq!(NodeClass::of_rate(Ratio::integer(4)), NodeClass::Upsampler);
+    }
+
+    #[test]
+    fn schedulability() {
+        assert!(CanonicalNode::new(NodeKind::Compute, "t").is_schedulable());
+        for kind in [NodeKind::Source, NodeKind::Sink, NodeKind::Buffer] {
+            assert!(!CanonicalNode::new(kind, "x").is_schedulable());
+        }
+    }
+}

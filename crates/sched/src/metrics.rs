@@ -1,0 +1,82 @@
+//! Evaluation metrics (Section 7, "Comparison metrics").
+
+use stg_model::CanonicalGraph;
+
+/// Metrics for a computed schedule of a canonical task graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metrics {
+    /// Schedule length.
+    pub makespan: u64,
+    /// `T1 / makespan`: speedup over sequential execution on one PE.
+    pub speedup: f64,
+    /// Streaming Scheduling Length Ratio: `makespan / T_s∞` (the paper's
+    /// extension of Topcuoglu's SLR to streaming schedules).
+    pub sslr: f64,
+    /// Classic SLR against the buffered critical path:
+    /// `makespan / non_streaming_depth`.
+    pub slr: f64,
+    /// PE utilization on the given machine size.
+    pub utilization: f64,
+    /// Number of spatial blocks (1 for non-streaming schedules).
+    pub blocks: usize,
+}
+
+/// Computes metrics given the makespan, a utilization, and a block count.
+pub fn metrics(
+    g: &CanonicalGraph,
+    makespan: u64,
+    utilization: f64,
+    blocks: usize,
+    streaming_depth: u64,
+    non_streaming_depth: u64,
+) -> Metrics {
+    let t1 = g.sequential_time();
+    let div = |a: u64, b: u64| -> f64 {
+        if b == 0 {
+            0.0
+        } else {
+            a as f64 / b as f64
+        }
+    };
+    Metrics {
+        makespan,
+        speedup: div(t1, makespan),
+        sslr: div(makespan, streaming_depth),
+        slr: div(makespan, non_streaming_depth),
+        utilization,
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_model::Builder;
+
+    #[test]
+    fn metric_arithmetic() {
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let t1 = b.compute("t1");
+        b.edge(t0, t1, 32);
+        let g = b.finish().unwrap();
+        // T1 = 64.
+        let m = metrics(&g, 32, 0.5, 2, 16, 64);
+        assert_eq!(m.speedup, 2.0);
+        assert_eq!(m.sslr, 2.0);
+        assert_eq!(m.slr, 0.5);
+        assert_eq!(m.blocks, 2);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let t1 = b.compute("t1");
+        b.edge(t0, t1, 1);
+        let g = b.finish().unwrap();
+        let m = metrics(&g, 0, 0.0, 0, 0, 0);
+        assert_eq!(m.speedup, 0.0);
+        assert_eq!(m.sslr, 0.0);
+    }
+}

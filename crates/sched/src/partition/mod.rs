@@ -1,0 +1,7 @@
+//! Spatial block partitioning heuristics (Section 5.2 and Appendix A).
+
+mod appendix;
+mod lts_rlx;
+
+pub use appendix::{downsampler_partition, elementwise_partition, upsampler_partition};
+pub use lts_rlx::{spatial_block_partition, SbVariant};

@@ -1,0 +1,106 @@
+//! Task-to-PE assignment for streaming schedules.
+//!
+//! The scheduling problem of Section 2 asks for "the graph partitioning and
+//! task-to-PE assignments". With homogeneous PEs and a contention-free NoC
+//! (the paper's machine model, Section 2), any bijection of a block's tasks
+//! onto PEs is makespan-equivalent, so the assignment is deterministic
+//! bookkeeping: tasks keep a stable PE for the lifetime of their block and
+//! PEs are recycled across blocks. Placement-aware devices (CGRAs) would
+//! refine this — the paper explicitly leaves locality to future work.
+
+use stg_analysis::Partition;
+use stg_model::CanonicalGraph;
+use stg_graph::{levels, NodeId};
+
+/// A task-to-PE assignment for a spatial-block partition.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    /// PE index per node (compute nodes only; `None` otherwise).
+    pub pe_of: Vec<Option<u32>>,
+    /// PEs occupied by each block.
+    pub pes_used: Vec<usize>,
+}
+
+impl Placement {
+    /// The PE assigned to a compute node.
+    pub fn pe(&self, v: NodeId) -> Option<u32> {
+        self.pe_of.get(v.index()).copied().flatten()
+    }
+}
+
+/// Assigns each block's tasks to PEs `0..|block|`, in level order (so a
+/// pipeline occupies consecutive PEs — the natural layout on a linear NoC).
+///
+/// # Panics
+/// Panics if the graph is cyclic.
+pub fn assign_pes(g: &CanonicalGraph, partition: &Partition) -> Placement {
+    let (level, _) = levels(g.dag()).expect("canonical graphs are acyclic");
+    let mut pe_of: Vec<Option<u32>> = vec![None; g.dag().node_count()];
+    let mut pes_used = Vec::with_capacity(partition.len());
+    for block in &partition.blocks {
+        let mut members = block.clone();
+        members.sort_by_key(|v| (level[v.index()], v.0));
+        for (pe, v) in members.iter().enumerate() {
+            pe_of[v.index()] = Some(pe as u32);
+        }
+        pes_used.push(members.len());
+    }
+    Placement { pe_of, pes_used }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{spatial_block_partition, SbVariant};
+    use stg_model::Builder;
+
+    fn chain(n: usize) -> CanonicalGraph {
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..n).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 16);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn assignment_is_a_bijection_per_block() {
+        let g = chain(10);
+        let part = spatial_block_partition(&g, 4, SbVariant::Rlx);
+        let placement = assign_pes(&g, &part);
+        for (bi, block) in part.blocks.iter().enumerate() {
+            let mut pes: Vec<u32> = block
+                .iter()
+                .map(|&v| placement.pe(v).expect("assigned"))
+                .collect();
+            pes.sort_unstable();
+            let expect: Vec<u32> = (0..block.len() as u32).collect();
+            assert_eq!(pes, expect, "block {bi}");
+            assert_eq!(placement.pes_used[bi], block.len());
+        }
+    }
+
+    #[test]
+    fn pipelines_occupy_consecutive_pes() {
+        let g = chain(4);
+        let part = spatial_block_partition(&g, 4, SbVariant::Rlx);
+        let placement = assign_pes(&g, &part);
+        // Level order along the chain = PE order.
+        let pes: Vec<u32> = g.compute_nodes().map(|v| placement.pe(v).unwrap()).collect();
+        assert_eq!(pes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn non_compute_nodes_are_unplaced() {
+        let mut b = Builder::new();
+        let s = b.source("s");
+        let t = b.compute("t");
+        let k = b.sink("k");
+        b.edge(s, t, 8);
+        b.edge(t, k, 8);
+        let g = b.finish().unwrap();
+        let part = spatial_block_partition(&g, 2, SbVariant::Lts);
+        let placement = assign_pes(&g, &part);
+        assert_eq!(placement.pe(s), None);
+        assert_eq!(placement.pe(k), None);
+        assert_eq!(placement.pe(t), Some(0));
+    }
+}

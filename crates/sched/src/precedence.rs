@@ -1,0 +1,152 @@
+//! Compute-task precedence closure.
+//!
+//! Both the partitioning heuristics and the non-streaming baseline reason
+//! about precedence between *compute* tasks, with source/sink/buffer nodes
+//! collapsed into edges: task `a` precedes task `b` if the canonical graph
+//! has a path `a → … → b` whose interior nodes are all non-compute.
+
+use stg_model::CanonicalGraph;
+use stg_graph::{topological_order, Dag, NodeId};
+
+/// The compute-task precedence DAG. Node payloads are the original
+/// [`NodeId`]s in the canonical graph; an index map is provided for the
+/// reverse direction.
+#[derive(Clone, Debug)]
+pub struct TaskPrecedence {
+    /// Precedence DAG over compute tasks (payload = original node id).
+    pub dag: Dag<NodeId, ()>,
+    /// `task_of[orig.index()]` = node id in `dag`, for compute nodes.
+    pub task_of: Vec<Option<NodeId>>,
+}
+
+impl TaskPrecedence {
+    /// Builds the precedence closure of `g`'s compute tasks.
+    pub fn build(g: &CanonicalGraph) -> TaskPrecedence {
+        let dag = g.dag();
+        let n = dag.node_count();
+        let mut task_of: Vec<Option<NodeId>> = vec![None; n];
+        let mut out: Dag<NodeId, ()> = Dag::new();
+        for v in g.compute_nodes() {
+            task_of[v.index()] = Some(out.add_node(v));
+        }
+        // Frontier of nearest compute ancestors for each non-compute node.
+        let order = topological_order(dag).expect("canonical graphs are acyclic");
+        let mut frontier: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut edge_seen = std::collections::HashSet::new();
+        for &v in &order {
+            if let Some(tv) = task_of[v.index()] {
+                for u in dag.predecessors(v) {
+                    if let Some(tu) = task_of[u.index()] {
+                        if edge_seen.insert((tu, tv)) {
+                            out.add_edge(tu, tv, ());
+                        }
+                    } else {
+                        for &a in &frontier[u.index()] {
+                            let ta = task_of[a.index()].expect("frontier holds compute nodes");
+                            if edge_seen.insert((ta, tv)) {
+                                out.add_edge(ta, tv, ());
+                            }
+                        }
+                    }
+                }
+            } else {
+                let mut f: Vec<NodeId> = Vec::new();
+                for u in dag.predecessors(v) {
+                    if task_of[u.index()].is_some() {
+                        f.push(u);
+                    } else {
+                        f.extend_from_slice(&frontier[u.index()]);
+                    }
+                }
+                f.sort_unstable();
+                f.dedup();
+                frontier[v.index()] = f;
+            }
+        }
+        TaskPrecedence { dag: out, task_of }
+    }
+
+    /// The precedence-DAG id of an original compute node.
+    pub fn task(&self, orig: NodeId) -> Option<NodeId> {
+        self.task_of.get(orig.index()).copied().flatten()
+    }
+
+    /// The original node id of a precedence-DAG node.
+    pub fn original(&self, task: NodeId) -> NodeId {
+        *self.dag.node(task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_model::Builder;
+
+    #[test]
+    fn direct_edges_preserved() {
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let t1 = b.compute("t1");
+        b.edge(t0, t1, 8);
+        let g = b.finish().unwrap();
+        let p = TaskPrecedence::build(&g);
+        assert_eq!(p.dag.node_count(), 2);
+        assert_eq!(p.dag.edge_count(), 1);
+        let (e0, e) = p.dag.edges().next().map(|(i, e)| (i, e.clone())).unwrap();
+        let _ = e0;
+        assert_eq!(p.original(e.src), t0);
+        assert_eq!(p.original(e.dst), t1);
+    }
+
+    #[test]
+    fn buffers_collapse_into_edges() {
+        // t0 -> B -> t1 and t0 -> B2 -> t1: single precedence edge.
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let b1 = b.buffer("B1");
+        let b2 = b.buffer("B2");
+        let t1 = b.compute("t1");
+        b.edge(t0, b1, 8);
+        b.edge(t0, b2, 8);
+        b.edge(b1, t1, 8);
+        b.edge(b2, t1, 8);
+        let g = b.finish().unwrap();
+        let p = TaskPrecedence::build(&g);
+        assert_eq!(p.dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn sources_and_sinks_do_not_create_precedence() {
+        // src -> t0, src -> t1: t0 and t1 are independent tasks.
+        let mut b = Builder::new();
+        let s = b.source("s");
+        let t0 = b.compute("t0");
+        let t1 = b.compute("t1");
+        let k0 = b.sink("k0");
+        let k1 = b.sink("k1");
+        b.edge(s, t0, 8);
+        b.edge(s, t1, 8);
+        b.edge(t0, k0, 8);
+        b.edge(t1, k1, 8);
+        let g = b.finish().unwrap();
+        let p = TaskPrecedence::build(&g);
+        assert_eq!(p.dag.node_count(), 2);
+        assert_eq!(p.dag.edge_count(), 0);
+    }
+
+    #[test]
+    fn buffer_chains_collapse() {
+        // t0 -> B -> B2 -> t1.
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let b1 = b.buffer("B1");
+        let b2 = b.buffer("B2");
+        let t1 = b.compute("t1");
+        b.edge(t0, b1, 8);
+        b.edge(b1, b2, 8);
+        b.edge(b2, t1, 8);
+        let g = b.finish().unwrap();
+        let p = TaskPrecedence::build(&g);
+        assert_eq!(p.dag.edge_count(), 1);
+    }
+}

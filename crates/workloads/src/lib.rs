@@ -1,0 +1,75 @@
+//! # stg-workloads
+//!
+//! The synthetic task graphs of the paper's evaluation (Section 7.1):
+//! Chain, FFT, Gaussian elimination, and tiled Cholesky topologies with
+//! randomly sampled canonical volumes (seeded, deterministic).
+
+#![warn(missing_docs)]
+
+pub mod topology;
+pub mod volumes;
+
+pub use topology::Topology;
+pub use volumes::{assign_volumes, VolumeConfig};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stg_model::CanonicalGraph;
+
+/// Generates one random canonical task graph for a topology.
+pub fn generate(topology: Topology, seed: u64) -> CanonicalGraph {
+    generate_with(topology, seed, &VolumeConfig::default())
+}
+
+/// Generates one random canonical task graph with custom volume settings.
+pub fn generate_with(topology: Topology, seed: u64, config: &VolumeConfig) -> CanonicalGraph {
+    let t = topology.build();
+    let mut rng = StdRng::seed_from_u64(seed);
+    assign_volumes(&t, &mut rng, config)
+}
+
+/// Generates `count` graphs with seeds `base_seed..base_seed+count` (the
+/// 100-graph samples of Figures 10–13).
+pub fn sample(topology: Topology, count: u64, base_seed: u64) -> Vec<CanonicalGraph> {
+    (0..count)
+        .map(|i| generate(topology, base_seed + i))
+        .collect()
+}
+
+/// The four benchmark topologies at the paper's sizes, with the PE counts
+/// swept in Figures 10–11.
+pub fn paper_suite() -> Vec<(Topology, Vec<usize>)> {
+    vec![
+        (Topology::Chain { tasks: 8 }, vec![2, 4, 6, 8]),
+        (Topology::Fft { points: 32 }, vec![32, 64, 96, 128]),
+        (
+            Topology::GaussianElimination { m: 16 },
+            vec![32, 64, 96, 128],
+        ),
+        (Topology::Cholesky { tiles: 8 }, vec![32, 64, 96, 128]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_produces_expected_task_counts() {
+        for (topo, _) in paper_suite() {
+            let g = generate(topo, 0);
+            assert_eq!(g.compute_count(), topo.task_count());
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn sample_is_seed_shifted() {
+        let graphs = sample(Topology::Chain { tasks: 8 }, 3, 100);
+        assert_eq!(graphs.len(), 3);
+        let direct = generate(Topology::Chain { tasks: 8 }, 101);
+        let a: Vec<u64> = graphs[1].dag().edges().map(|(_, e)| e.weight).collect();
+        let b: Vec<u64> = direct.dag().edges().map(|(_, e)| e.weight).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,258 @@
+//! Task graph topologies of the paper's synthetic evaluation (Section 7.1).
+//!
+//! Each generator returns a bare task DAG (tasks only — the synthetic
+//! graphs have no explicit source/sink/buffer nodes; entry tasks produce
+//! data and exit tasks consume it). Task counts match the paper:
+//!
+//! - Chain(N): `N` tasks;
+//! - FFT(N points): `2N−1` recursive-call tasks plus `N·log2 N` butterfly
+//!   tasks (223 for N = 32);
+//! - Gaussian elimination(M): `(M² + M − 2)/2` tasks (135 for M = 16);
+//! - tiled Cholesky(T): `T³/6 + T²/2 + T/3` tasks (120 for T = 8).
+
+use stg_graph::{Dag, NodeId};
+
+/// A synthetic topology from the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Linear chain of `n` tasks.
+    Chain {
+        /// Number of tasks.
+        tasks: usize,
+    },
+    /// One-dimensional radix-2 FFT task graph over `points` inputs
+    /// (a power of two): a binary recursive-call tree followed by
+    /// `log2(points)` butterfly layers of `points` tasks each.
+    Fft {
+        /// Number of FFT points (must be a power of two ≥ 2).
+        points: usize,
+    },
+    /// Gaussian elimination on an `m × m` matrix: per step a pivot task and
+    /// one update task per remaining column.
+    GaussianElimination {
+        /// Matrix dimension.
+        m: usize,
+    },
+    /// Tiled Cholesky factorization over a `t × t` tile grid
+    /// (POTRF/TRSM/SYRK/GEMM tasks with the standard dependency pattern).
+    Cholesky {
+        /// Tile grid dimension.
+        tiles: usize,
+    },
+}
+
+impl Topology {
+    /// The number of tasks this topology generates.
+    pub fn task_count(&self) -> usize {
+        match *self {
+            Topology::Chain { tasks } => tasks,
+            Topology::Fft { points } => {
+                let m = points.trailing_zeros() as usize;
+                2 * points - 1 + points * m
+            }
+            Topology::GaussianElimination { m } => (m * m + m - 2) / 2,
+            Topology::Cholesky { tiles } => {
+                let t = tiles;
+                t + t * (t - 1) / 2 + t * (t - 1) / 2 + t * (t - 1) * (t - 2) / 6
+            }
+        }
+    }
+
+    /// A short name used in reports ("Chain", "FFT", ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Chain { .. } => "Chain",
+            Topology::Fft { .. } => "FFT",
+            Topology::GaussianElimination { .. } => "Gaussian Elimination",
+            Topology::Cholesky { .. } => "Cholesky Factorization",
+        }
+    }
+
+    /// Builds the bare task DAG (node payload: task label).
+    pub fn build(&self) -> Dag<String, ()> {
+        match *self {
+            Topology::Chain { tasks } => chain(tasks),
+            Topology::Fft { points } => fft(points),
+            Topology::GaussianElimination { m } => gaussian(m),
+            Topology::Cholesky { tiles } => cholesky(tiles),
+        }
+    }
+}
+
+fn chain(n: usize) -> Dag<String, ()> {
+    assert!(n >= 1);
+    let mut g = Dag::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("t{i}"))).collect();
+    for w in nodes.windows(2) {
+        g.add_edge(w[0], w[1], ());
+    }
+    g
+}
+
+fn fft(points: usize) -> Dag<String, ()> {
+    assert!(points >= 2 && points.is_power_of_two(), "FFT needs a power of two ≥ 2");
+    let m = points.trailing_zeros() as usize;
+    let mut g = Dag::new();
+    // Recursive-call tree: depth 0 (root) .. depth m (leaves), data flowing
+    // root -> leaves as the input is recursively split.
+    let mut tree: Vec<Vec<NodeId>> = Vec::with_capacity(m + 1);
+    for d in 0..=m {
+        let row: Vec<NodeId> = (0..1usize << d)
+            .map(|i| g.add_node(format!("rec{d}_{i}")))
+            .collect();
+        if d > 0 {
+            for (i, &node) in row.iter().enumerate() {
+                g.add_edge(tree[d - 1][i / 2], node, ());
+            }
+        }
+        tree.push(row);
+    }
+    // Butterfly layers: layer l task i combines elements i and i ^ 2^l of
+    // the previous layer (leaves for l = 0, with partner i ^ 1).
+    let mut prev: Vec<NodeId> = tree[m].clone();
+    for l in 0..m {
+        let span = 1usize << l;
+        let row: Vec<NodeId> = (0..points)
+            .map(|i| g.add_node(format!("bfly{l}_{i}")))
+            .collect();
+        for (i, &node) in row.iter().enumerate() {
+            let partner = if l == 0 { i ^ 1 } else { i ^ span };
+            g.add_edge(prev[i], node, ());
+            g.add_edge(prev[partner], node, ());
+        }
+        prev = row;
+    }
+    g
+}
+
+#[allow(clippy::needless_range_loop)] // update[j] is written as well as read
+fn gaussian(m: usize) -> Dag<String, ()> {
+    assert!(m >= 2);
+    let mut g = Dag::new();
+    // update[j] holds the last task that touched column j.
+    let mut update: Vec<Option<NodeId>> = vec![None; m + 1];
+    for k in 1..m {
+        let pivot = g.add_node(format!("piv{k}"));
+        if let Some(prev) = update[k] {
+            g.add_edge(prev, pivot, ());
+        }
+        for j in k + 1..=m {
+            let u = g.add_node(format!("upd{k}_{j}"));
+            g.add_edge(pivot, u, ());
+            if let Some(prev) = update[j] {
+                g.add_edge(prev, u, ());
+            }
+            update[j] = Some(u);
+        }
+    }
+    g
+}
+
+fn cholesky(t: usize) -> Dag<String, ()> {
+    assert!(t >= 1);
+    let mut g = Dag::new();
+    // Accumulation frontier per tile: last task writing tile (i, j).
+    let mut diag: Vec<Option<NodeId>> = vec![None; t]; // tile (i,i)
+    let mut lower: Vec<Vec<Option<NodeId>>> = vec![vec![None; t]; t]; // (j,i), j>i
+    let mut trsm_of: Vec<Vec<Option<NodeId>>> = vec![vec![None; t]; t];
+    for k in 0..t {
+        let potrf = g.add_node(format!("potrf{k}"));
+        if let Some(prev) = diag[k] {
+            g.add_edge(prev, potrf, ());
+        }
+        for i in k + 1..t {
+            let trsm = g.add_node(format!("trsm{k}_{i}"));
+            g.add_edge(potrf, trsm, ());
+            if let Some(prev) = lower[i][k] {
+                g.add_edge(prev, trsm, ());
+            }
+            trsm_of[k][i] = Some(trsm);
+        }
+        for i in k + 1..t {
+            let syrk = g.add_node(format!("syrk{k}_{i}"));
+            g.add_edge(trsm_of[k][i].expect("trsm exists"), syrk, ());
+            if let Some(prev) = diag[i] {
+                g.add_edge(prev, syrk, ());
+            }
+            diag[i] = Some(syrk);
+            for j in i + 1..t {
+                let gemm = g.add_node(format!("gemm{k}_{i}_{j}"));
+                g.add_edge(trsm_of[k][i].expect("trsm"), gemm, ());
+                g.add_edge(trsm_of[k][j].expect("trsm"), gemm, ());
+                if let Some(prev) = lower[j][i] {
+                    g.add_edge(prev, gemm, ());
+                }
+                lower[j][i] = Some(gemm);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_graph::is_acyclic;
+
+    #[test]
+    fn paper_task_counts() {
+        // The exact counts reported in Figure 10's captions.
+        assert_eq!(Topology::Chain { tasks: 8 }.task_count(), 8);
+        assert_eq!(Topology::Fft { points: 32 }.task_count(), 223);
+        assert_eq!(Topology::GaussianElimination { m: 16 }.task_count(), 135);
+        assert_eq!(Topology::Cholesky { tiles: 8 }.task_count(), 120);
+    }
+
+    #[test]
+    fn built_graphs_match_declared_counts() {
+        for topo in [
+            Topology::Chain { tasks: 8 },
+            Topology::Fft { points: 32 },
+            Topology::GaussianElimination { m: 16 },
+            Topology::Cholesky { tiles: 8 },
+            Topology::Fft { points: 8 },
+            Topology::GaussianElimination { m: 4 },
+            Topology::Cholesky { tiles: 4 },
+        ] {
+            let g = topo.build();
+            assert_eq!(g.node_count(), topo.task_count(), "{topo:?}");
+            assert!(is_acyclic(&g), "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn fft_butterflies_have_two_inputs() {
+        let g = Topology::Fft { points: 8 }.build();
+        for (id, name) in g.nodes() {
+            if name.starts_with("bfly") {
+                assert_eq!(g.in_degree(id), 2, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_has_linear_structure() {
+        let g = Topology::Chain { tasks: 5 }.build();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.sinks().count(), 1);
+    }
+
+    #[test]
+    fn gaussian_structure() {
+        // M=4: 3 pivots + updates (3+2+1) = 9 tasks.
+        let g = Topology::GaussianElimination { m: 4 }.build();
+        assert_eq!(g.node_count(), 9);
+        // One entry (first pivot) and one exit (last update).
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.sinks().count(), 1);
+    }
+
+    #[test]
+    fn cholesky_structure() {
+        // T=2: potrf0, trsm0_1, syrk0_1, potrf1 = 4 tasks.
+        let g = Topology::Cholesky { tiles: 2 }.build();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.sinks().count(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Random canonical volume assignment.
+//!
+//! "For a given topology, we consider different DAGs by randomly generating
+//! edge weights: therefore, each task graph will have different data volumes
+//! and types of canonical nodes." (Section 7.1)
+//!
+//! Canonicity couples volumes: every edge `(u,v)` forces `O(u) = I(v)`, and
+//! a node's input (output) edges all share one volume. We therefore build
+//! *must-equal classes* with a union-find over per-node `I`/`O` variables,
+//! then assign each class a volume by walking the class DAG with random
+//! production rates — which makes nodes randomly element-wise,
+//! down-samplers, or up-samplers while every sampled graph stays canonical
+//! by construction.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use stg_model::{CanonicalGraph, CanonicalNode, NodeKind};
+use stg_graph::{topological_order, Dag, NodeId, UnionFind};
+
+/// Volume randomization parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct VolumeConfig {
+    /// Entry volumes are `2^k` with `k` uniform in this inclusive range.
+    pub base_log2: (u32, u32),
+    /// Volumes are clamped to `[min_volume, max_volume]`.
+    pub min_volume: u64,
+    /// Upper clamp.
+    pub max_volume: u64,
+}
+
+impl Default for VolumeConfig {
+    fn default() -> Self {
+        VolumeConfig {
+            base_log2: (6, 10), // 64 .. 1024 elements
+            min_volume: 1,
+            max_volume: 4096,
+        }
+    }
+}
+
+/// Production-rate choices and their sampling weights: mostly element-wise,
+/// with a mix of mild reductions and expansions (numerator, denominator,
+/// weight). Extreme rates couple the whole-graph steady state so strongly
+/// that temporally multiplexed schedules can beat the fully co-scheduled
+/// streaming depth; the paper's distributions are mild, and so are these.
+const RATES: &[(u64, u64, u32)] = &[
+    (1, 2, 2),
+    (1, 1, 6),
+    (2, 1, 2),
+];
+
+/// Converts a bare task DAG into a canonical task graph with random volumes.
+pub fn assign_volumes(
+    topology: &Dag<String, ()>,
+    rng: &mut StdRng,
+    config: &VolumeConfig,
+) -> CanonicalGraph {
+    let n = topology.node_count();
+    // Variables: I(v) at 2v, O(v) at 2v+1.
+    let mut uf = UnionFind::new(2 * n);
+    for (_, e) in topology.edges() {
+        uf.union(2 * e.src.0 + 1, 2 * e.dst.0);
+    }
+
+    // Class DAG edges: class(I(v)) -> class(O(v)) for nodes with both sides.
+    // We walk nodes in topological order so a class's volume is decided
+    // before its descendants (classes are intervals of the task order).
+    let order = topological_order(topology).expect("task DAGs are acyclic");
+    let mut class_volume: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let total_weight: u32 = RATES.iter().map(|&(_, _, w)| w).sum();
+    let sample_rate = |rng: &mut StdRng| -> (u64, u64) {
+        let mut pick = rng.gen_range(0..total_weight);
+        for &(p, q, w) in RATES {
+            if pick < w {
+                return (p, q);
+            }
+            pick -= w;
+        }
+        unreachable!()
+    };
+
+    for &v in &order {
+        let has_in = topology.in_degree(v) > 0;
+        let has_out = topology.out_degree(v) > 0;
+        let in_class = uf.find(2 * v.0);
+        let out_class = uf.find(2 * v.0 + 1);
+        if has_in && !class_volume.contains_key(&in_class) {
+            // Defensive: predecessors assign this; an isolated entry side.
+            let k = rng.gen_range(config.base_log2.0..=config.base_log2.1);
+            class_volume.insert(in_class, 1u64 << k);
+        }
+        if !has_out {
+            continue;
+        }
+        if class_volume.contains_key(&out_class) {
+            continue;
+        }
+        let vol = if has_in {
+            let iv = class_volume[&in_class];
+            let (p, q) = sample_rate(rng);
+            (iv * p / q).clamp(config.min_volume, config.max_volume)
+        } else {
+            let k = rng.gen_range(config.base_log2.0..=config.base_log2.1);
+            1u64 << k
+        };
+        class_volume.insert(out_class, vol.max(1));
+    }
+
+    // Materialize the canonical graph.
+    let mut out = CanonicalGraph::new();
+    for (_, name) in topology.nodes() {
+        out.dag_mut()
+            .add_node(CanonicalNode::new(NodeKind::Compute, name.clone()));
+    }
+    for (_, e) in topology.edges() {
+        let class = uf.find(2 * e.src.0 + 1);
+        let vol = class_volume[&class];
+        out.dag_mut().add_edge(NodeId(e.src.0), NodeId(e.dst.0), vol);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_graphs_are_canonical() {
+        for topo in [
+            Topology::Chain { tasks: 8 },
+            Topology::Fft { points: 16 },
+            Topology::GaussianElimination { m: 8 },
+            Topology::Cholesky { tiles: 5 },
+        ] {
+            let t = topo.build();
+            for seed in 0..20 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let g = assign_volumes(&t, &mut rng, &VolumeConfig::default());
+                g.validate()
+                    .unwrap_or_else(|e| panic!("{topo:?} seed {seed}: {e:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let t = Topology::Fft { points: 16 }.build();
+        let g1 = assign_volumes(
+            &t,
+            &mut StdRng::seed_from_u64(7),
+            &VolumeConfig::default(),
+        );
+        let g2 = assign_volumes(
+            &t,
+            &mut StdRng::seed_from_u64(7),
+            &VolumeConfig::default(),
+        );
+        let v1: Vec<u64> = g1.dag().edges().map(|(_, e)| e.weight).collect();
+        let v2: Vec<u64> = g2.dag().edges().map(|(_, e)| e.weight).collect();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t = Topology::GaussianElimination { m: 8 }.build();
+        let volumes = |seed: u64| -> Vec<u64> {
+            let g = assign_volumes(
+                &t,
+                &mut StdRng::seed_from_u64(seed),
+                &VolumeConfig::default(),
+            );
+            g.dag().edges().map(|(_, e)| e.weight).collect()
+        };
+        assert_ne!(volumes(1), volumes(2), "seeds should vary the volumes");
+    }
+
+    #[test]
+    fn rates_produce_mixed_node_classes() {
+        use stg_model::NodeClass;
+        let t = Topology::Fft { points: 32 }.build();
+        let mut classes = std::collections::HashSet::new();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = assign_volumes(&t, &mut rng, &VolumeConfig::default());
+            for v in g.compute_nodes() {
+                classes.insert(g.class(v));
+            }
+        }
+        assert!(classes.contains(&NodeClass::ElementWise));
+        assert!(
+            classes.contains(&NodeClass::Downsampler)
+                || classes.contains(&NodeClass::Upsampler),
+            "rate sampling should produce non-elementwise nodes"
+        );
+    }
+
+    #[test]
+    fn volumes_respect_clamps() {
+        let t = Topology::Chain { tasks: 32 }.build();
+        let cfg = VolumeConfig {
+            base_log2: (8, 8),
+            min_volume: 4,
+            max_volume: 64,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = assign_volumes(&t, &mut rng, &cfg);
+        // Base is 256, above the clamp — but only derived (non-entry)
+        // volumes are clamped, so interior edges stay within bounds after
+        // one hop.
+        for (i, (_, e)) in g.dag().edges().enumerate() {
+            if i > 0 {
+                assert!(e.weight <= 64, "edge {i} volume {}", e.weight);
+                assert!(e.weight >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Scheduling real ML inference graphs on a dataflow device: a transformer
+//! encoder layer and (optionally, pass `--resnet`) ResNet-50, as in the
+//! paper's Table 2.
+//!
+//! ```sh
+//! cargo run --release --example ml_inference            # transformer only
+//! cargo run --release --example ml_inference -- --resnet
+//! ```
+
+use stg_ml::{encoder_layer, resnet50, LowerConfig, ResNetConfig, TransformerConfig};
+use streaming_sched::prelude::*;
+
+fn main() {
+    let with_resnet = std::env::args().any(|a| a == "--resnet");
+
+    println!("== Transformer encoder layer (Vaswani base, seq=128) ==");
+    let tf = encoder_layer(&TransformerConfig::default());
+    describe(&tf);
+    for pes in [256usize, 512, 1024] {
+        run(&tf, pes);
+    }
+
+    if with_resnet {
+        println!("\n== ResNet-50 (224×224) ==");
+        let rn = resnet50(&ResNetConfig {
+            image: 224,
+            lower: LowerConfig { max_parallel: 256 },
+        });
+        describe(&rn);
+        for pes in [512usize, 2048] {
+            run(&rn, pes);
+        }
+    }
+}
+
+fn describe(g: &CanonicalGraph) {
+    let buffers = g
+        .node_ids()
+        .filter(|&v| g.kind(v) == NodeKind::Buffer)
+        .count();
+    println!(
+        "  {} nodes ({} tasks, {} buffer nodes), T1 = {} cycles",
+        g.node_count(),
+        g.compute_count(),
+        buffers,
+        g.sequential_time(),
+    );
+}
+
+fn run(g: &CanonicalGraph, pes: usize) {
+    let plan = StreamingScheduler::new(pes).run(g).expect("schedulable");
+    let baseline = NonStreamingScheduler::new(pes).run(g);
+    println!(
+        "  P={pes:5}: streaming {:8} cycles ({:3} blocks, speedup {:6.1}) | buffered {:8} \
+         (speedup {:6.1}) | gain {:4.2}x",
+        plan.metrics().makespan,
+        plan.metrics().blocks,
+        plan.metrics().speedup,
+        baseline.metrics.makespan,
+        baseline.metrics.speedup,
+        baseline.metrics.makespan as f64 / plan.metrics().makespan as f64,
+    );
+}

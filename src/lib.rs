@@ -1,0 +1,44 @@
+//! # streaming-sched
+//!
+//! A Rust reproduction of *"Streaming Task Graph Scheduling for Dataflow
+//! Architectures"* (De Matteis, Gianinazzi, de Fine Licht, Hoefler — HPDC'23).
+//!
+//! This facade crate re-exports the whole workspace. See the individual
+//! crates for the building blocks:
+//!
+//! - [`stg_graph`] — arena DAG substrate, rational arithmetic, graph algorithms.
+//! - [`stg_model`] — canonical task graphs (Section 3) and canonical expansions
+//!   of generic computations (outer product, matmul, normalization, softmax).
+//! - [`stg_analysis`] — steady-state streaming analysis: streaming intervals
+//!   (Theorem 4.1), work/depth, levels and streaming depth (Section 4).
+//! - [`stg_sched`] — spatial-block partitioning heuristics (SB-LTS / SB-RLX,
+//!   Algorithm 1 and the appendix variants) plus the non-streaming
+//!   critical-path list-scheduling baseline (Section 5).
+//! - [`stg_buffer`] — FIFO buffer sizing for deadlock-free pipelined execution
+//!   (Section 6).
+//! - [`stg_des`] — element-level discrete event simulator used to validate
+//!   schedules (Appendix B).
+//! - [`stg_workloads`] — synthetic task-graph generators (Chain, FFT, Gaussian
+//!   elimination, tiled Cholesky) with canonical random volume assignment.
+//! - [`stg_ml`] — ONNX-like operator graphs lowered to canonical task graphs
+//!   (ResNet-50 and a transformer encoder layer, Section 7.3).
+//! - [`stg_csdf`] — cyclo-static dataflow conversion and self-timed throughput
+//!   analysis used as the SDF3/Kiter comparison substrate (Section 7.2).
+//! - [`stg_core`] — the high-level `StreamingScheduler` pipeline tying
+//!   everything together.
+
+pub use stg_analysis as analysis;
+pub use stg_buffer as buffer;
+pub use stg_core as core;
+pub use stg_csdf as csdf;
+pub use stg_des as des;
+pub use stg_graph as graph;
+pub use stg_ml as ml;
+pub use stg_model as model;
+pub use stg_sched as sched;
+pub use stg_workloads as workloads;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use stg_core::prelude::*;
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the full pipeline (workload generation →
+//! partitioning → analysis → buffer sizing → simulation) on every synthetic
+//! topology and the ML models, including the paper's headline claims.
+
+use streaming_sched::prelude::*;
+use stg_csdf::{self_timed_makespan, to_csdf, AnalysisConfig};
+use stg_workloads::{generate, paper_suite, Topology};
+
+#[test]
+fn every_topology_schedules_sizes_and_simulates() {
+    for (topo, pe_counts) in paper_suite() {
+        for seed in 0..3u64 {
+            let g = generate(topo, seed);
+            for &p in &pe_counts[..2] {
+                for variant in [SbVariant::Lts, SbVariant::Rlx] {
+                    let plan = StreamingScheduler::new(p)
+                        .variant(variant)
+                        .run(&g)
+                        .unwrap_or_else(|e| panic!("{topo:?} seed {seed} P={p}: {e}"));
+                    assert!(plan.result.partition.max_block_size() <= p);
+                    let sim = plan.validate(&g);
+                    assert!(
+                        sim.completed(),
+                        "{topo:?} seed {seed} P={p} {variant}: {:?}",
+                        sim.failure
+                    );
+                    assert!(
+                        sim.makespan <= plan.metrics().makespan,
+                        "{topo:?} seed {seed}: simulation may not exceed the analysis"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_dominates_buffered_on_chains_at_scale() {
+    // The paper's headline: pipelined scheduling breaks the chain's
+    // sequential barrier while list scheduling cannot.
+    let g = generate(Topology::Chain { tasks: 8 }, 7);
+    for p in [2usize, 4, 8] {
+        let s = StreamingScheduler::new(p).run(&g).expect("schedulable");
+        let n = NonStreamingScheduler::new(p).run(&g);
+        assert_eq!(n.metrics.makespan, g.sequential_time());
+        assert!(s.metrics().makespan < n.metrics.makespan);
+    }
+}
+
+#[test]
+fn csdf_agrees_with_canonical_analysis_on_synthetic_graphs() {
+    // Figure 12 right: the two models derive nearly identical makespans.
+    for topo in [
+        Topology::Chain { tasks: 8 },
+        Topology::GaussianElimination { m: 8 },
+    ] {
+        let g = generate(topo, 11);
+        let p = g.compute_count();
+        let plan = StreamingScheduler::new(p)
+            .variant(SbVariant::Rlx)
+            .run(&g)
+            .expect("schedulable");
+        let converted = to_csdf(&g).expect("no buffers in synthetic graphs");
+        let analysis = self_timed_makespan(&converted, &AnalysisConfig::default());
+        let period = analysis.period.expect("no timeout at default budget");
+        let ratio = plan.metrics().makespan as f64 / period as f64;
+        assert!(
+            (0.85..=1.30).contains(&ratio),
+            "{topo:?}: ratio {ratio} (ours {}, csdf {period})",
+            plan.metrics().makespan
+        );
+    }
+}
+
+#[test]
+fn ml_models_schedule_end_to_end() {
+    use stg_ml::{encoder_layer, LowerConfig, TransformerConfig};
+    let tf = encoder_layer(&TransformerConfig {
+        seq: 32,
+        d_model: 64,
+        heads: 4,
+        d_ff: 128,
+        lower: LowerConfig { max_parallel: 16 },
+    });
+    tf.validate().expect("canonical");
+    let s = StreamingScheduler::new(64).run(&tf).expect("schedulable");
+    let n = NonStreamingScheduler::new(64).run(&tf);
+    assert!(s.metrics().speedup > 1.0);
+    assert!(n.metrics.speedup > 1.0);
+}
+
+#[test]
+fn appendix_partitioners_compose_with_the_pipeline() {
+    let g = generate(Topology::Fft { points: 16 }, 3);
+    for p in [4usize, 16] {
+        let lvl = elementwise_partition(&g, p);
+        let plan = StreamingScheduler::new(p)
+            .run_with_partition(&g, lvl)
+            .expect("schedulable");
+        let sim = plan.validate(&g);
+        assert!(sim.completed());
+        let wrk = downsampler_partition(&g, p);
+        let plan = StreamingScheduler::new(p)
+            .run_with_partition(&g, wrk)
+            .expect("schedulable");
+        let sim = plan.validate(&g);
+        assert!(sim.completed());
+    }
+}
+
+#[test]
+fn dependency_rule_never_slower_than_barrier() {
+    use streaming_sched::analysis::BlockStartRule;
+    for (topo, pe_counts) in paper_suite() {
+        let g = generate(topo, 5);
+        let p = pe_counts[0];
+        let barrier = StreamingScheduler::new(p).run(&g).expect("schedulable");
+        let dep = StreamingScheduler::new(p)
+            .block_rule(BlockStartRule::Dependency)
+            .run(&g)
+            .expect("schedulable");
+        assert!(
+            dep.metrics().makespan <= barrier.metrics().makespan,
+            "{topo:?}: dependency starts relax the barrier"
+        );
+    }
+}
+
+#[test]
+fn utilization_is_higher_for_streaming_than_buffered() {
+    // Figure 10's white labels: streaming keeps PEs busier.
+    let g = generate(Topology::GaussianElimination { m: 16 }, 21);
+    let p = 32;
+    let s = StreamingScheduler::new(p)
+        .variant(SbVariant::Rlx)
+        .run(&g)
+        .expect("schedulable");
+    let n = NonStreamingScheduler::new(p).run(&g);
+    assert!(s.metrics().utilization > n.metrics.utilization);
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the model-level laws: Theorem 4.1's interval
+//! structure (Lemma 4.3), canonicity of every expansion at arbitrary sizes,
+//! and CSDF conversion consistency.
+
+use proptest::prelude::*;
+use streaming_sched::prelude::*;
+use stg_csdf::to_csdf;
+use stg_model::expansions::{
+    matmul_column_parallel, matmul_inner_product, matmul_outer_product, outer_product, softmax,
+    vector_norm_buffered, vector_norm_streamed, OuterVariant,
+};
+use stg_workloads::{generate, Topology};
+
+fn workload() -> impl Strategy<Value = (Topology, u64)> {
+    let topo = prop_oneof![
+        (2usize..10).prop_map(|tasks| Topology::Chain { tasks }),
+        (1u32..4).prop_map(|k| Topology::Fft {
+            points: 1usize << (k + 1)
+        }),
+        (2usize..7).prop_map(|m| Topology::GaussianElimination { m }),
+        (2usize..5).prop_map(|tiles| Topology::Cholesky { tiles }),
+    ];
+    (topo, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lemma_4_3_output_flux_is_constant_per_wcc((topo, seed) in workload()) {
+        // For all nodes in the same streaming component,
+        // S_o(v) · O(v) = max volume of the component (Lemma 4.3 /
+        // Theorem 4.1), and every interval is at least 1 (Eq. 1).
+        let g = generate(topo, seed);
+        let iv = StreamingIntervals::for_graph(&g);
+        for v in g.compute_nodes() {
+            if let (Some(so), Some(o)) = (iv.so(v), g.output_volume(v)) {
+                prop_assert!(so >= Ratio::ONE, "{v:?}: S_o < 1");
+                let flux = so * Ratio::from_u64(o);
+                let max = iv.max_volume(v).expect("member has a component");
+                prop_assert_eq!(flux, Ratio::from_u64(max), "{:?}", v);
+            }
+            if let Some(si) = iv.si(v) {
+                prop_assert!(si >= Ratio::ONE, "{v:?}: S_i < 1");
+            }
+        }
+    }
+
+    #[test]
+    fn expansions_are_canonical_at_any_size(
+        n in 1u64..24, m in 1u64..24, k in 1u64..16,
+    ) {
+        for variant in [OuterVariant::StreamU, OuterVariant::StreamV, OuterVariant::BufferBoth] {
+            let (g, _) = outer_product(n, m, variant);
+            prop_assert!(g.validate().is_ok());
+        }
+        prop_assert!(matmul_inner_product(n, k, m).0.validate().is_ok());
+        prop_assert!(matmul_column_parallel(n, k, m, true).0.validate().is_ok());
+        prop_assert!(matmul_column_parallel(n, k, m, false).0.validate().is_ok());
+        prop_assert!(matmul_outer_product(n, k, m).0.validate().is_ok());
+        prop_assert!(vector_norm_buffered(n).0.validate().is_ok());
+        prop_assert!(vector_norm_streamed(n).0.validate().is_ok());
+        prop_assert!(softmax(n).0.validate().is_ok());
+    }
+
+    #[test]
+    fn csdf_conversion_is_consistent((topo, seed) in workload()) {
+        // Every converted graph satisfies the CSDF balance equations under
+        // its computed repetition cycles.
+        let g = generate(topo, seed);
+        let c = to_csdf(&g).expect("synthetic graphs have no buffers");
+        prop_assert!(c.graph.check(&c.cycles).is_ok());
+        // One actor per node; data channels = edges; feedback channels =
+        // entries × exits.
+        prop_assert_eq!(c.graph.actors.len(), g.node_count());
+        let entries = g.compute_nodes().filter(|&v| g.input_volume(v).is_none()).count();
+        let exits = g.compute_nodes().filter(|&v| g.output_volume(v).is_none()).count();
+        prop_assert_eq!(c.graph.channels.len(), g.edge_count() + entries * exits);
+    }
+
+    #[test]
+    fn ml_matmul_lowering_is_canonical(
+        n in 1u64..12, k in 1u64..24, m in 1u64..24, cap in 1u64..8,
+    ) {
+        use stg_ml::lower::{matmul, weight, LowerConfig, Tap};
+        let mut b = Builder::new();
+        let src = b.source("A");
+        let a = Tap { node: src, elems: n * k };
+        let w = weight(&mut b, "W", k * m);
+        let c = matmul(&mut b, "mm", a, w, n, k, m, &LowerConfig { max_parallel: cap });
+        let y = b.sink("y");
+        b.edge(c.node, y, c.elems);
+        let g = b.finish_unchecked();
+        prop_assert!(g.validate().is_ok(), "n={n} k={k} m={m} cap={cap}: {:?}", g.validate());
+        prop_assert_eq!(c.elems, n * m);
+    }
+}
