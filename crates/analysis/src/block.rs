@@ -25,8 +25,8 @@
 //! after their gate opens, last element `⌈(O−1)·S_o⌉+1` cycles after.
 
 use crate::intervals::{EdgeProducer, StreamingIntervals};
-use stg_model::{CanonicalGraph, NodeKind};
 use stg_graph::{topological_order, NodeId, Ratio};
+use stg_model::{CanonicalGraph, NodeKind};
 
 /// An ordered partition of the compute nodes into spatial blocks.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -228,9 +228,7 @@ pub fn schedule_with(
                 // Find a witness predecessor for the error report.
                 let witness = dag
                     .predecessors(v)
-                    .find(|p| {
-                        block_of[p.index()].unwrap_or(min_block_from[p.index()]) > b
-                    })
+                    .find(|p| block_of[p.index()].unwrap_or(min_block_from[p.index()]) > b)
                     .expect("violation implies witness");
                 return Err(ScheduleError::BlockOrderViolation {
                     producer: witness,
@@ -378,12 +376,7 @@ pub fn schedule_with(
 /// producers of their completion (compute: `LO`; source: 0 — the data is
 /// already in global memory; upstream buffers: their own fill time, since a
 /// buffer-to-buffer hop is a memory-level reshape).
-fn fill_time(
-    g: &CanonicalGraph,
-    b: NodeId,
-    lo: &[u64],
-    memo: &mut [Option<u64>],
-) -> u64 {
+fn fill_time(g: &CanonicalGraph, b: NodeId, lo: &[u64], memo: &mut [Option<u64>]) -> u64 {
     if let Some(t) = memo[b.index()] {
         return t;
     }

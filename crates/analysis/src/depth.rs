@@ -14,8 +14,8 @@
 use crate::block::{schedule, Partition, ScheduleError};
 use crate::intervals::StreamingIntervals;
 use crate::level::generalized_levels;
-use stg_model::{CanonicalGraph, NodeKind};
 use stg_graph::{topological_order, NodeId, Ratio};
+use stg_model::{CanonicalGraph, NodeKind};
 
 /// The exact streaming depth `T_s∞`: makespan of the whole graph scheduled
 /// as one co-scheduled spatial block (infinitely many PEs).
@@ -97,9 +97,7 @@ pub fn streaming_depth_bound(g: &CanonicalGraph) -> Option<u64> {
             }
         }
     }
-    let bound_of = |c: usize| -> u64 {
-        (comp_level[c].ceil().max(0) as u64) + comp_vol[c]
-    };
+    let bound_of = |c: usize| -> u64 { (comp_level[c].ceil().max(0) as u64) + comp_vol[c] };
 
     // Supernode DAG H: connect components through buffer nodes (tail side
     // component -> head side component) and through memory (cross-component

@@ -12,8 +12,8 @@
 //!   through independent per-edge replay endpoints, as do reads of earlier
 //!   blocks' outputs from global memory.
 
-use stg_model::{CanonicalGraph, NodeKind};
 use stg_graph::{EdgeId, NodeId, Ratio, UnionFind};
+use stg_model::{CanonicalGraph, NodeKind};
 
 /// Producer-side timing of an edge in a computed schedule: the first-out
 /// time and the output streaming interval of whatever feeds the edge.
@@ -83,19 +83,16 @@ impl StreamingIntervals {
         let mut comp_max: Vec<u64> = Vec::new();
         let mut label_of_root: std::collections::HashMap<u32, u32> =
             std::collections::HashMap::new();
-        let mut label = |uf: &mut UnionFind,
-                         comp: &mut Vec<u32>,
-                         comp_max: &mut Vec<u64>,
-                         slot: u32|
-         -> u32 {
-            let root = uf.find(slot);
-            let c = *label_of_root.entry(root).or_insert_with(|| {
-                comp_max.push(0);
-                (comp_max.len() - 1) as u32
-            });
-            comp[slot as usize] = c;
-            c
-        };
+        let mut label =
+            |uf: &mut UnionFind, comp: &mut Vec<u32>, comp_max: &mut Vec<u64>, slot: u32| -> u32 {
+                let root = uf.find(slot);
+                let c = *label_of_root.entry(root).or_insert_with(|| {
+                    comp_max.push(0);
+                    (comp_max.len() - 1) as u32
+                });
+                comp[slot as usize] = c;
+                c
+            };
         // Member contributions: their own output volumes.
         let mut volumes = vec![(0u64, 0u64); n];
         let mut member = vec![false; n];
@@ -133,7 +130,13 @@ impl StreamingIntervals {
         let members: Vec<NodeId> = g.compute_nodes().collect();
         let block_of: Vec<Option<u32>> = g
             .node_ids()
-            .map(|v| if g.node(v).is_schedulable() { Some(0) } else { None })
+            .map(|v| {
+                if g.node(v).is_schedulable() {
+                    Some(0)
+                } else {
+                    None
+                }
+            })
             .collect();
         Self::for_block(g, &members, &block_of, 0)
     }
@@ -183,15 +186,18 @@ impl StreamingIntervals {
         if c == u32::MAX || volume == 0 {
             return None;
         }
-        Some(Ratio::new(self.comp_max[c as usize] as i128, volume as i128))
+        Some(Ratio::new(
+            self.comp_max[c as usize] as i128,
+            volume as i128,
+        ))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stg_model::Builder;
     use stg_graph::Ratio;
+    use stg_model::Builder;
 
     #[test]
     fn shared_source_couples_consumers_but_buffer_replays_do_not() {
@@ -222,7 +228,8 @@ mod tests {
         let iv = StreamingIntervals::for_graph(&g);
         // a and b share the source's component: b's 32 dominates.
         assert_eq!(iv.wcc_of(a), iv.wcc_of(b));
-        assert_eq!(iv.so(a), Some(Ratio::integer(4))); // 32/8
+        // a reads 32 and writes 8.
+        assert_eq!(iv.so(a), Some(Ratio::integer(4)));
         // c and d read independent buffer replays: separate components.
         assert_ne!(iv.wcc_of(c), iv.wcc_of(d));
         assert_eq!(iv.so(c), Some(Ratio::ONE));

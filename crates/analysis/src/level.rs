@@ -7,8 +7,8 @@
 //! be processed by `v`, accounting for up-samplers. Levels are rationals
 //! because production rates are.
 
-use stg_model::CanonicalGraph;
 use stg_graph::{topological_order, CycleError, Ratio};
+use stg_model::CanonicalGraph;
 
 /// Per-node generalized levels plus the graph level `L(G)`.
 #[derive(Clone, Debug)]

@@ -13,35 +13,25 @@ fn bench_schedulers(c: &mut Criterion) {
     for (topo, pe_counts) in paper_suite() {
         let g = generate(topo, 7);
         let p = *pe_counts.last().expect("pe sweep");
-        group.bench_with_input(
-            BenchmarkId::new("STR-SCH-1", topo.name()),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    StreamingScheduler::new(p)
-                        .variant(SbVariant::Lts)
-                        .run(g)
-                        .expect("schedulable")
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("STR-SCH-2", topo.name()),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    StreamingScheduler::new(p)
-                        .variant(SbVariant::Rlx)
-                        .run(g)
-                        .expect("schedulable")
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("NSTR-SCH", topo.name()),
-            &g,
-            |b, g| b.iter(|| NonStreamingScheduler::new(p).run(g)),
-        );
+        group.bench_with_input(BenchmarkId::new("STR-SCH-1", topo.name()), &g, |b, g| {
+            b.iter(|| {
+                StreamingScheduler::new(p)
+                    .variant(SbVariant::Lts)
+                    .run(g)
+                    .expect("schedulable")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("STR-SCH-2", topo.name()), &g, |b, g| {
+            b.iter(|| {
+                StreamingScheduler::new(p)
+                    .variant(SbVariant::Rlx)
+                    .run(g)
+                    .expect("schedulable")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("NSTR-SCH", topo.name()), &g, |b, g| {
+            b.iter(|| NonStreamingScheduler::new(p).run(g))
+        });
     }
     group.finish();
 }

@@ -28,8 +28,8 @@
 #![warn(missing_docs)]
 
 use stg_analysis::Schedule;
-use stg_model::{CanonicalGraph, NodeKind};
 use stg_graph::{undirected_cycle_nodes, EdgeId, NodeId, Ratio};
+use stg_model::{CanonicalGraph, NodeKind};
 
 /// Which converging nodes receive Eq. (5) sizing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]

@@ -34,6 +34,4 @@
 pub mod pipeline;
 pub mod prelude;
 
-pub use pipeline::{
-    NonStreamingPlan, NonStreamingScheduler, StreamingPlan, StreamingScheduler,
-};
+pub use pipeline::{NonStreamingPlan, NonStreamingScheduler, StreamingPlan, StreamingScheduler};

@@ -109,7 +109,12 @@ impl StreamingPlan {
     /// Validates the plan by element-level discrete event simulation with
     /// the computed buffer sizes.
     pub fn validate(&self, g: &CanonicalGraph) -> SimResult {
-        simulate(g, &self.result.schedule, &self.buffers, SimConfig::default())
+        simulate(
+            g,
+            &self.result.schedule,
+            &self.buffers,
+            SimConfig::default(),
+        )
     }
 
     /// Renders the plan as a human-readable report: per-block task tables
@@ -129,7 +134,11 @@ impl StreamingPlan {
         for (bi, block) in self.result.partition.blocks.iter().enumerate() {
             let (start, end) = s.block_spans[bi];
             let _ = writeln!(out, "block {bi} [{start}..{end}] ({} tasks)", block.len());
-            let _ = writeln!(out, "  {:<20} {:>8} {:>8} {:>8}  S_o", "task", "ST", "FO", "LO");
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>8} {:>8} {:>8}  S_o",
+                "task", "ST", "FO", "LO"
+            );
             let mut members = block.clone();
             members.sort_by_key(|v| s.st[v.index()]);
             for v in members {
@@ -148,7 +157,10 @@ impl StreamingPlan {
             }
         }
         if self.buffers.sized.is_empty() {
-            let _ = writeln!(out, "no skew-sized channels (all FIFOs at default capacity)");
+            let _ = writeln!(
+                out,
+                "no skew-sized channels (all FIFOs at default capacity)"
+            );
         } else {
             let _ = writeln!(out, "sized FIFO channels:");
             for &(e, cap, kind) in &self.buffers.sized {

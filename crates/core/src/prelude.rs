@@ -11,10 +11,10 @@ pub use stg_analysis::{
 };
 pub use stg_buffer::{buffer_sizes, BufferPlan, ChannelKind, SizingPolicy};
 pub use stg_des::{relative_error, simulate, simulate_with, SimConfig, SimFailure, SimResult};
+pub use stg_graph::{Dag, EdgeId, NodeId, Ratio};
 pub use stg_model::{Builder, CanonicalGraph, CanonicalNode, NodeClass, NodeKind, Violation};
 pub use stg_sched::{
     assign_pes, downsampler_partition, elementwise_partition, non_streaming_schedule,
     spatial_block_partition, streaming_schedule, ListSchedule, Metrics, Placement, SbVariant,
     StreamingResult,
 };
-pub use stg_graph::{Dag, EdgeId, NodeId, Ratio};

@@ -124,7 +124,9 @@ pub fn to_csdf(g: &CanonicalGraph) -> Result<Converted, ConvertError> {
         let prod: Vec<u64> = (0..ss.phases)
             .map(|f| u64::from(f as u64 >= ss.phases as u64 - ss.p))
             .collect();
-        let cons: Vec<u64> = (0..ds.phases).map(|f| u64::from((f as u64) < ds.q)).collect();
+        let cons: Vec<u64> = (0..ds.phases)
+            .map(|f| u64::from((f as u64) < ds.q))
+            .collect();
         out.add_channel(
             actor_of[e.src.index()],
             actor_of[e.dst.index()],

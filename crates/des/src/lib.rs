@@ -33,8 +33,8 @@ mod tests {
     use super::*;
     use stg_analysis::{schedule, Partition};
     use stg_buffer::{buffer_sizes, SizingPolicy};
-    use stg_model::{Builder, CanonicalGraph};
     use stg_graph::NodeId;
+    use stg_model::{Builder, CanonicalGraph};
 
     fn run_with_plan(g: &CanonicalGraph, part: &Partition) -> (u64, SimResult) {
         let s = schedule(g, part).unwrap();

@@ -17,11 +17,11 @@
 //! buffer nodes fill from their producers and then replay per-edge from
 //! memory; spatial blocks are gang-scheduled back-to-back.
 
+use std::collections::{BinaryHeap, VecDeque};
 use stg_analysis::Schedule;
 use stg_buffer::BufferPlan;
-use stg_model::{CanonicalGraph, NodeKind};
 use stg_graph::{EdgeId, NodeId};
-use std::collections::{BinaryHeap, VecDeque};
+use stg_model::{CanonicalGraph, NodeKind};
 
 /// Simulation limits.
 #[derive(Clone, Copy, Debug)]
@@ -517,12 +517,10 @@ impl<'a> Sim<'a> {
                         return false;
                     }
                 }
-                Chan::Gated => {
-                    match es.gate {
-                        Some(gate) if es.popped < es.volume && t > gate.max(act) => {}
-                        _ => return false,
-                    }
-                }
+                Chan::Gated => match es.gate {
+                    Some(gate) if es.popped < es.volume && t > gate.max(act) => {}
+                    _ => return false,
+                },
                 _ => unreachable!("input edges are FIFO or gated"),
             }
         }

@@ -1,5 +1,5 @@
 //! Shared experiment plumbing: argument parsing and a scoped-thread
-//! parallel map (crossbeam) for sweeping the 100-graph samples.
+//! parallel map (`std::thread::scope`) for sweeping the 100-graph samples.
 
 use std::str::FromStr;
 
@@ -39,7 +39,9 @@ impl Args {
                 "--timeout-ms" => args.timeout_ms = next_value(&mut it, "--timeout-ms"),
                 "--csv" => args.csv = true,
                 other => {
-                    eprintln!("unknown flag {other}; supported: --graphs --seed --timeout-ms --csv");
+                    eprintln!(
+                        "unknown flag {other}; supported: --graphs --seed --timeout-ms --csv"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -49,12 +51,10 @@ impl Args {
 }
 
 fn next_value<T: FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
-    it.next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("{flag} expects a numeric value");
-            std::process::exit(2);
-        })
+    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} expects a numeric value");
+        std::process::exit(2);
+    })
 }
 
 /// Applies `f` to `0..n` in parallel with scoped worker threads, returning
@@ -68,9 +68,9 @@ pub fn par_map<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
     let next = std::sync::atomic::AtomicU64::new(0);
     let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
         results.iter_mut().map(std::sync::Mutex::new).collect();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -79,8 +79,7 @@ pub fn par_map<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
                 **slots[i as usize].lock().expect("slot lock") = Some(value);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     drop(slots);
     results
         .into_iter()

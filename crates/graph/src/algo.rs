@@ -15,7 +15,11 @@ pub fn top_levels<N, E>(
     let order = topological_order(g)?;
     let mut finish = vec![0u64; g.node_count()];
     for &v in &order {
-        let best = g.predecessors(v).map(|p| finish[p.index()]).max().unwrap_or(0);
+        let best = g
+            .predecessors(v)
+            .map(|p| finish[p.index()])
+            .max()
+            .unwrap_or(0);
         finish[v.index()] = best + node_cost(v);
     }
     Ok(finish)

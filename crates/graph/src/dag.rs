@@ -205,12 +205,16 @@ impl<N, E> Dag<N, E> {
 
     /// Successor nodes of `v` (with multiplicity if parallel edges exist).
     pub fn successors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.out_edges[v.index()].iter().map(|e| self.edges[e.index()].dst)
+        self.out_edges[v.index()]
+            .iter()
+            .map(|e| self.edges[e.index()].dst)
     }
 
     /// Predecessor nodes of `v` (with multiplicity if parallel edges exist).
     pub fn predecessors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.in_edges[v.index()].iter().map(|e| self.edges[e.index()].src)
+        self.in_edges[v.index()]
+            .iter()
+            .map(|e| self.edges[e.index()].src)
     }
 
     /// Out-degree of `v`.

@@ -11,7 +11,11 @@ pub struct CycleError {
 
 impl std::fmt::Display for CycleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "graph contains a directed cycle through {:?}", self.witness)
+        write!(
+            f,
+            "graph contains a directed cycle through {:?}",
+            self.witness
+        )
     }
 }
 
@@ -23,12 +27,12 @@ impl std::error::Error for CycleError {}
 /// cycle. Ties are broken by node id, so the order is deterministic.
 pub fn topological_order<N, E>(g: &Dag<N, E>) -> Result<Vec<NodeId>, CycleError> {
     let n = g.node_count();
-    let mut indeg: Vec<u32> = (0..n).map(|i| g.in_degree(NodeId(i as u32)) as u32).collect();
-    // A plain FIFO over node ids; pushing in id order keeps determinism.
-    let mut queue: std::collections::VecDeque<NodeId> = g
-        .node_ids()
-        .filter(|v| indeg[v.index()] == 0)
+    let mut indeg: Vec<u32> = (0..n)
+        .map(|i| g.in_degree(NodeId(i as u32)) as u32)
         .collect();
+    // A plain FIFO over node ids; pushing in id order keeps determinism.
+    let mut queue: std::collections::VecDeque<NodeId> =
+        g.node_ids().filter(|v| indeg[v.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(v) = queue.pop_front() {
         order.push(v);

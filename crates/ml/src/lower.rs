@@ -15,8 +15,8 @@
 //! delivers; op functions consume taps and return taps, so model builders
 //! compose operators like a define-by-run API.
 
-use stg_model::Builder;
 use stg_graph::NodeId;
+use stg_model::Builder;
 
 /// A dataflow tap: a node producing `elems` elements per output edge.
 #[derive(Clone, Copy, Debug)]
@@ -277,7 +277,10 @@ pub fn softmax(b: &mut Builder, name: &str, x: Tap, rows: u64, cols: u64) -> Tap
     let div = b.compute(format!("{name}.div"));
     b.edge(bexp, div, n);
     b.edge(bden, div, n);
-    Tap { node: div, elems: n }
+    Tap {
+        node: div,
+        elems: n,
+    }
 }
 
 /// Layer normalization over `rows` rows of `cols` features: mean and
@@ -309,7 +312,10 @@ pub fn layer_norm(b: &mut Builder, name: &str, x: Tap, rows: u64, cols: u64) -> 
     let norm = b.compute(format!("{name}.norm"));
     b.edge(bsub, norm, n);
     b.edge(uvar, norm, n);
-    Tap { node: norm, elems: n }
+    Tap {
+        node: norm,
+        elems: n,
+    }
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@
 //! joins, and the final classifier as a matmul expansion.
 
 use crate::lower::{
-    conv2d, eltwise_binary, eltwise_unary, matmul, max_pool, movement, reduce, weight,
-    LowerConfig, Tap,
+    conv2d, eltwise_binary, eltwise_unary, matmul, max_pool, movement, reduce, weight, LowerConfig,
+    Tap,
 };
 use stg_model::{Builder, CanonicalGraph};
 

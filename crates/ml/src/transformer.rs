@@ -127,7 +127,10 @@ mod tests {
             .node_ids()
             .filter(|&v| g.kind(v) == stg_model::NodeKind::Buffer)
             .count();
-        assert!(buffers > 20, "head slicing should create buffers: {buffers}");
+        assert!(
+            buffers > 20,
+            "head slicing should create buffers: {buffers}"
+        );
     }
 
     #[test]

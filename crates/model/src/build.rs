@@ -31,7 +31,9 @@ impl Builder {
 
     /// Adds a node of arbitrary kind.
     pub fn node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
-        self.graph.dag_mut().add_node(CanonicalNode::new(kind, name))
+        self.graph
+            .dag_mut()
+            .add_node(CanonicalNode::new(kind, name))
     }
 
     /// Adds a source (global-memory read) node.

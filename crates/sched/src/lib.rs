@@ -26,11 +26,11 @@ pub mod streaming;
 
 pub use liststr::{non_streaming_schedule, ListSchedule};
 pub use metrics::{metrics as compute_metrics, Metrics};
-pub use placement::{assign_pes, Placement};
 pub use partition::{
     downsampler_partition, elementwise_partition, spatial_block_partition, upsampler_partition,
     SbVariant,
 };
+pub use placement::{assign_pes, Placement};
 pub use precedence::TaskPrecedence;
 pub use streaming::{
     schedule_partition, schedule_partition_with, streaming_schedule, StreamingResult,

@@ -11,8 +11,8 @@
 //! PEs, as in the paper).
 
 use crate::precedence::TaskPrecedence;
-use stg_model::CanonicalGraph;
 use stg_graph::{bottom_levels, NodeId};
+use stg_model::CanonicalGraph;
 
 /// A non-streaming (buffered-communication) schedule.
 #[derive(Clone, Debug)]
@@ -68,7 +68,8 @@ pub fn non_streaming_schedule(g: &CanonicalGraph, p: usize) -> ListSchedule {
     // Min-heap of (avail, pe) with lazy invalidation, for the fast path.
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = (0..p as u32).map(|i| Reverse((0, i))).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
+        (0..p as u32).map(|i| Reverse((0, i))).collect();
 
     let mut makespan = 0u64;
     let mut pes_used = 0usize;

@@ -10,10 +10,10 @@
 //!   work.
 
 use crate::precedence::TaskPrecedence;
-use stg_analysis::Partition;
-use stg_model::CanonicalGraph;
-use stg_graph::{levels, NodeId};
 use std::collections::BTreeSet;
+use stg_analysis::Partition;
+use stg_graph::{levels, NodeId};
+use stg_model::CanonicalGraph;
 
 /// Theorem A.1's level-order partitioning.
 ///
@@ -192,12 +192,7 @@ mod tests {
         b.edge(e1, d2, 16);
         let g = b.finish().unwrap();
         let part = downsampler_partition(&g, 2);
-        let order: Vec<u64> = part
-            .blocks
-            .iter()
-            .flatten()
-            .map(|&v| g.work(v))
-            .collect();
+        let order: Vec<u64> = part.blocks.iter().flatten().map(|&v| g.work(v)).collect();
         assert!(order.windows(2).all(|w| w[0] >= w[1]), "order {order:?}");
     }
 

@@ -17,10 +17,10 @@
 //! level, then node id, so partitions are deterministic.
 
 use crate::precedence::TaskPrecedence;
-use stg_analysis::Partition;
-use stg_model::CanonicalGraph;
-use stg_graph::{levels, NodeId};
 use std::collections::BTreeSet;
+use stg_analysis::Partition;
+use stg_graph::{levels, NodeId};
+use stg_model::CanonicalGraph;
 
 /// Which Algorithm 1 variant to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -59,10 +59,7 @@ pub fn spatial_block_partition(g: &CanonicalGraph, p: usize, variant: SbVariant)
     // Direct compute→compute edges carry streaming within a block; edges
     // through buffers/memory do not constrain the steady state.
     let dag = g.dag();
-    let is_compute: Vec<bool> = g
-        .node_ids()
-        .map(|v| g.node(v).is_schedulable())
-        .collect();
+    let is_compute: Vec<bool> = g.node_ids().map(|v| g.node(v).is_schedulable()).collect();
 
     // Per original-node state.
     let n = dag.node_count();
@@ -222,7 +219,10 @@ mod tests {
         for variant in [SbVariant::Lts, SbVariant::Rlx] {
             let part = spatial_block_partition(&g, 3, variant);
             assert_eq!(part.blocks.len(), 3);
-            assert_eq!(part.blocks.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3, 2]);
+            assert_eq!(
+                part.blocks.iter().map(Vec::len).collect::<Vec<_>>(),
+                vec![3, 3, 2]
+            );
         }
     }
 
@@ -308,6 +308,10 @@ mod tests {
         b.edge(t1, k, 64);
         let g = b.finish().unwrap();
         let part = spatial_block_partition(&g, 2, SbVariant::Lts);
-        assert_eq!(part.blocks.len(), 1, "buffer breaks the streaming constraint");
+        assert_eq!(
+            part.blocks.len(),
+            1,
+            "buffer breaks the streaming constraint"
+        );
     }
 }

@@ -9,8 +9,8 @@
 //! refine this — the paper explicitly leaves locality to future work.
 
 use stg_analysis::Partition;
-use stg_model::CanonicalGraph;
 use stg_graph::{levels, NodeId};
+use stg_model::CanonicalGraph;
 
 /// A task-to-PE assignment for a spatial-block partition.
 #[derive(Clone, Debug)]
@@ -84,7 +84,10 @@ mod tests {
         let part = spatial_block_partition(&g, 4, SbVariant::Rlx);
         let placement = assign_pes(&g, &part);
         // Level order along the chain = PE order.
-        let pes: Vec<u32> = g.compute_nodes().map(|v| placement.pe(v).unwrap()).collect();
+        let pes: Vec<u32> = g
+            .compute_nodes()
+            .map(|v| placement.pe(v).unwrap())
+            .collect();
         assert_eq!(pes, vec![0, 1, 2, 3]);
     }
 

@@ -5,8 +5,8 @@
 //! collapsed into edges: task `a` precedes task `b` if the canonical graph
 //! has a path `a → … → b` whose interior nodes are all non-compute.
 
-use stg_model::CanonicalGraph;
 use stg_graph::{topological_order, Dag, NodeId};
+use stg_model::CanonicalGraph;
 
 /// The compute-task precedence DAG. Node payloads are the original
 /// [`NodeId`]s in the canonical graph; an index map is provided for the

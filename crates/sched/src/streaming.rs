@@ -99,7 +99,11 @@ mod tests {
         let g = chain(8, 256);
         let r = streaming_schedule(&g, 8, SbVariant::Rlx).unwrap();
         assert_eq!(r.partition.len(), 1);
-        assert!((r.metrics.sslr - 1.0).abs() < 1e-9, "sslr={}", r.metrics.sslr);
+        assert!(
+            (r.metrics.sslr - 1.0).abs() < 1e-9,
+            "sslr={}",
+            r.metrics.sslr
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ fn chain(n: usize) -> Dag<String, ()> {
 }
 
 fn fft(points: usize) -> Dag<String, ()> {
-    assert!(points >= 2 && points.is_power_of_two(), "FFT needs a power of two ≥ 2");
+    assert!(
+        points >= 2 && points.is_power_of_two(),
+        "FFT needs a power of two ≥ 2"
+    );
     let m = points.trailing_zeros() as usize;
     let mut g = Dag::new();
     // Recursive-call tree: depth 0 (root) .. depth m (leaves), data flowing

@@ -14,8 +14,8 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use stg_model::{CanonicalGraph, CanonicalNode, NodeKind};
 use stg_graph::{topological_order, Dag, NodeId, UnionFind};
+use stg_model::{CanonicalGraph, CanonicalNode, NodeKind};
 
 /// Volume randomization parameters.
 #[derive(Clone, Copy, Debug)]
@@ -43,11 +43,7 @@ impl Default for VolumeConfig {
 /// weight). Extreme rates couple the whole-graph steady state so strongly
 /// that temporally multiplexed schedules can beat the fully co-scheduled
 /// streaming depth; the paper's distributions are mild, and so are these.
-const RATES: &[(u64, u64, u32)] = &[
-    (1, 2, 2),
-    (1, 1, 6),
-    (2, 1, 2),
-];
+const RATES: &[(u64, u64, u32)] = &[(1, 2, 2), (1, 1, 6), (2, 1, 2)];
 
 /// Converts a bare task DAG into a canonical task graph with random volumes.
 pub fn assign_volumes(
@@ -115,7 +111,8 @@ pub fn assign_volumes(
     for (_, e) in topology.edges() {
         let class = uf.find(2 * e.src.0 + 1);
         let vol = class_volume[&class];
-        out.dag_mut().add_edge(NodeId(e.src.0), NodeId(e.dst.0), vol);
+        out.dag_mut()
+            .add_edge(NodeId(e.src.0), NodeId(e.dst.0), vol);
     }
     out
 }
@@ -147,16 +144,8 @@ mod tests {
     #[test]
     fn deterministic_for_equal_seeds() {
         let t = Topology::Fft { points: 16 }.build();
-        let g1 = assign_volumes(
-            &t,
-            &mut StdRng::seed_from_u64(7),
-            &VolumeConfig::default(),
-        );
-        let g2 = assign_volumes(
-            &t,
-            &mut StdRng::seed_from_u64(7),
-            &VolumeConfig::default(),
-        );
+        let g1 = assign_volumes(&t, &mut StdRng::seed_from_u64(7), &VolumeConfig::default());
+        let g2 = assign_volumes(&t, &mut StdRng::seed_from_u64(7), &VolumeConfig::default());
         let v1: Vec<u64> = g1.dag().edges().map(|(_, e)| e.weight).collect();
         let v2: Vec<u64> = g2.dag().edges().map(|(_, e)| e.weight).collect();
         assert_eq!(v1, v2);
@@ -190,8 +179,7 @@ mod tests {
         }
         assert!(classes.contains(&NodeClass::ElementWise));
         assert!(
-            classes.contains(&NodeClass::Downsampler)
-                || classes.contains(&NodeClass::Upsampler),
+            classes.contains(&NodeClass::Downsampler) || classes.contains(&NodeClass::Upsampler),
             "rate sampling should produce non-elementwise nodes"
         );
     }

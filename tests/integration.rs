@@ -2,9 +2,9 @@
 //! partitioning → analysis → buffer sizing → simulation) on every synthetic
 //! topology and the ML models, including the paper's headline claims.
 
-use streaming_sched::prelude::*;
 use stg_csdf::{self_timed_makespan, to_csdf, AnalysisConfig};
 use stg_workloads::{generate, paper_suite, Topology};
+use streaming_sched::prelude::*;
 
 #[test]
 fn every_topology_schedules_sizes_and_simulates() {

@@ -3,13 +3,13 @@
 //! and CSDF conversion consistency.
 
 use proptest::prelude::*;
-use streaming_sched::prelude::*;
 use stg_csdf::to_csdf;
 use stg_model::expansions::{
     matmul_column_parallel, matmul_inner_product, matmul_outer_product, outer_product, softmax,
     vector_norm_buffered, vector_norm_streamed, OuterVariant,
 };
 use stg_workloads::{generate, Topology};
+use streaming_sched::prelude::*;
 
 fn workload() -> impl Strategy<Value = (Topology, u64)> {
     let topo = prop_oneof![

@@ -3,8 +3,8 @@
 //! heuristic, every schedule must satisfy the model's structural laws.
 
 use proptest::prelude::*;
-use streaming_sched::prelude::*;
 use stg_workloads::{generate, Topology};
+use streaming_sched::prelude::*;
 
 fn arbitrary_workload() -> impl Strategy<Value = (Topology, u64)> {
     let topo = prop_oneof![

@@ -1,0 +1,64 @@
+//! Workspace-wiring smoke test: drives the facade crate end-to-end so that a
+//! broken re-export, dependency edge, or manifest regression fails loudly and
+//! immediately, independent of the deeper property/integration suites.
+//!
+//! Path exercised: `stg_workloads` generation → `stg_core::StreamingScheduler`
+//! (partitioning → analysis → buffer sizing) → DES validation, plus the
+//! non-streaming baseline — all reached exclusively through
+//! `streaming_sched::...` facade paths.
+
+use streaming_sched::prelude::*;
+use streaming_sched::workloads::{generate, Topology};
+
+fn assert_metrics_finite(m: &Metrics, what: &str) {
+    assert!(m.makespan > 0, "{what}: makespan must be positive");
+    assert!(m.blocks > 0, "{what}: at least one spatial block");
+    for (name, v) in [
+        ("speedup", m.speedup),
+        ("sslr", m.sslr),
+        ("slr", m.slr),
+        ("utilization", m.utilization),
+    ] {
+        assert!(v.is_finite(), "{what}: {name} = {v} must be finite");
+        assert!(v > 0.0, "{what}: {name} = {v} must be positive");
+    }
+}
+
+#[test]
+fn facade_schedules_a_generated_workload_end_to_end() {
+    let g = generate(Topology::Fft { points: 8 }, 42);
+    assert!(g.validate().is_ok(), "generated graph must be canonical");
+
+    let plan = StreamingScheduler::new(8)
+        .variant(SbVariant::Lts)
+        .run(&g)
+        .expect("FFT-8 is schedulable on 8 PEs");
+    assert_metrics_finite(plan.metrics(), "streaming plan");
+    assert!(plan.result.partition.max_block_size() <= 8);
+
+    let sim = plan.validate(&g);
+    assert!(sim.completed(), "simulation deadlocked: {:?}", sim.failure);
+    assert!(
+        sim.makespan <= plan.metrics().makespan,
+        "analysis makespan is an upper bound for the simulated one"
+    );
+
+    let baseline = NonStreamingScheduler::new(8).run(&g);
+    assert_metrics_finite(&baseline.metrics, "non-streaming baseline");
+}
+
+#[test]
+fn facade_module_paths_reexport_the_workspace() {
+    // One representative symbol per re-exported crate, through the facade's
+    // module paths rather than the prelude.
+    let g = streaming_sched::workloads::generate(Topology::Chain { tasks: 4 }, 7);
+    let depth = streaming_sched::analysis::streaming_depth(&g).expect("chains are acyclic");
+    assert!(depth > 0);
+    let wd = streaming_sched::analysis::work_depth(&g).expect("acyclic");
+    assert!(wd.work >= wd.streaming_depth);
+    let part = streaming_sched::sched::spatial_block_partition(&g, 2, SbVariant::Rlx);
+    let sched = streaming_sched::analysis::schedule(&g, &part).expect("valid partition");
+    let buffers = streaming_sched::buffer::buffer_sizes(&g, &sched, SizingPolicy::Converging, 1);
+    let sim = streaming_sched::des::simulate(&g, &sched, &buffers, SimConfig::default());
+    assert!(sim.completed());
+}

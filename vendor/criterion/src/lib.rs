@@ -1,0 +1,267 @@
+//! Vendored, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the benchmark harness API used by `crates/bench` is re-implemented here:
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], [`Throughput`], and
+//! [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple: a short warm-up, then batched wall
+//! clock timing until a time budget is exhausted, reporting the per-iteration
+//! mean and min. There is no statistical analysis, outlier detection, HTML
+//! report, or baseline comparison — swap the real crate back in (same API
+//! subset) when network access is available for publication-grade numbers.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. simulated beats) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    measured: Option<Measurement>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records per-iteration timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run for a short period to stabilize caches/branch state.
+        let warmup_end = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < warmup_end {
+            black_box(f());
+        }
+
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        let mut min = Duration::MAX;
+        while start.elapsed() < budget && iters < 1_000_000 {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            if dt < min {
+                min = dt;
+            }
+            iters += 1;
+        }
+        self.measured = Some(Measurement {
+            mean: start.elapsed() / iters.max(1) as u32,
+            min,
+            iters,
+        });
+    }
+}
+
+/// Top-level benchmark driver; one per `criterion_group!` run.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(id, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used to annotate subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark in the group without an input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Positional CLI arguments act as substring filters on benchmark ids, as
+/// with the real criterion: `cargo bench -p stg_bench fft` runs only the
+/// benches whose full id contains "fft". Harness flags (`--bench`, …) are
+/// ignored.
+fn filters() -> &'static [String] {
+    static FILTERS: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(id: &str, throughput: Option<Throughput>, f: F) {
+    let active = filters();
+    if !active.is_empty() && !active.iter().any(|f| id.contains(f.as_str())) {
+        return;
+    }
+    let mut b = Bencher { measured: None };
+    f(&mut b);
+    match b.measured {
+        Some(m) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => format!(
+                    "  thrpt: {:.3} Melem/s",
+                    n as f64 / m.mean.as_secs_f64() / 1e6
+                ),
+                Throughput::Bytes(n) => format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 / m.mean.as_secs_f64() / (1024.0 * 1024.0)
+                ),
+            });
+            println!(
+                "{id:<48} time: [mean {:>12?}  min {:>12?}]  iters: {}{}",
+                m.mean,
+                m.min,
+                m.iters,
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("{id:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Harness flags (`--bench`, …) are ignored; positional arguments
+            // filter benchmark ids by substring (see `filters`).
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}
