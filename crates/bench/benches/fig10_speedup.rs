@@ -1,40 +1,43 @@
 //! Scheduling throughput on the Figure 10 workloads: how fast the full
 //! streaming pipeline (partition → intervals → schedule → buffers) runs on
-//! each synthetic topology, per heuristic variant, versus the NSTR-SCH
-//! baseline.
+//! each synthetic topology, per scheduler preset, versus the NSTR-SCH
+//! baseline — all through the shared `Scheduler` trait — plus the
+//! end-to-end throughput of the scenario-sweep engine itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use stg_core::{NonStreamingScheduler, StreamingScheduler};
-use stg_sched::SbVariant;
-use stg_workloads::{generate, paper_suite};
+use stg_experiments::SweepSpec;
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_scheduling");
-    for (topo, pe_counts) in paper_suite() {
-        let g = generate(topo, 7);
-        let p = *pe_counts.last().expect("pe sweep");
-        group.bench_with_input(BenchmarkId::new("STR-SCH-1", topo.name()), &g, |b, g| {
-            b.iter(|| {
-                StreamingScheduler::new(p)
-                    .variant(SbVariant::Lts)
-                    .run(g)
-                    .expect("schedulable")
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("STR-SCH-2", topo.name()), &g, |b, g| {
-            b.iter(|| {
-                StreamingScheduler::new(p)
-                    .variant(SbVariant::Rlx)
-                    .run(g)
-                    .expect("schedulable")
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("NSTR-SCH", topo.name()), &g, |b, g| {
-            b.iter(|| NonStreamingScheduler::new(p).run(g))
-        });
+    // The paper grid at one graph per topology; bench each topology at
+    // its largest PE count, per scheduler preset.
+    let spec = SweepSpec::paper(1, 7);
+    for w in &spec.workloads {
+        let topo = w.workload.topology().expect("synthetic suite");
+        let g = w.workload.instantiate(7);
+        let p = *w.pes.last().expect("pe sweep");
+        for kind in &spec.schedulers {
+            let scheduler = kind.build(p);
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), topo.name()),
+                &g,
+                |b, g| b.iter(|| scheduler.schedule(g).expect("schedulable")),
+            );
+        }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers);
+fn bench_engine_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_sweep");
+    group.sample_size(10);
+    // The whole paper grid (3 schedulers × 16 scenarios) at 2 graphs per
+    // cell: what one deterministic sweep costs end to end.
+    let mut spec = SweepSpec::paper(2, 7);
+    spec.threads = Some(2);
+    group.bench_function("paper_grid_2_graphs", |b| b.iter(|| spec.run()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_engine_sweep);
 criterion_main!(benches);

@@ -1,30 +1,43 @@
 //! The Figure 12 (left) asymmetry as a benchmark: canonical-graph
 //! scheduling time versus self-timed CSDF throughput analysis on the same
-//! graphs, with P = number of tasks (one spatial block), SB-RLX.
+//! graphs, with P = number of tasks (one spatial block), SB-RLX — the
+//! scheduler running behind the shared `Scheduler` trait, the grid
+//! enumerated by the sweep engine.
 //!
 //! The canonical analysis is linear in the graph size; the CSDF analysis is
 //! linear in the *data volume* — expect orders of magnitude between them.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use stg_core::StreamingScheduler;
+use stg_core::SchedulerKind;
 use stg_csdf::{self_timed_makespan, to_csdf, AnalysisConfig};
-use stg_sched::SbVariant;
-use stg_workloads::{generate, paper_suite};
+use stg_experiments::engine::{Workload, WorkloadSpec};
+use stg_experiments::SweepSpec;
+use stg_workloads::paper_suite;
 
 fn bench_fig12(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_analysis_time");
     group.sample_size(10);
-    for (topo, _) in paper_suite() {
-        let g = generate(topo, 3);
-        let p = topo.task_count();
-        group.bench_with_input(BenchmarkId::new("STR-SCHD", topo.name()), &g, |b, g| {
-            b.iter(|| {
-                StreamingScheduler::new(p)
-                    .variant(SbVariant::Rlx)
-                    .run(g)
-                    .expect("schedulable")
+    let spec = SweepSpec {
+        workloads: paper_suite()
+            .into_iter()
+            .map(|(topo, _)| WorkloadSpec {
+                pes: vec![topo.task_count()],
+                workload: Workload::Synthetic(topo),
             })
+            .collect(),
+        graphs: 1,
+        seed: 3,
+        schedulers: vec![SchedulerKind::StreamingRlx],
+        validate: false,
+        threads: Some(1),
+    };
+    for case in spec.cases() {
+        let topo = case.workload.topology().expect("synthetic suite");
+        let g = case.graph();
+        let scheduler = case.build_scheduler();
+        group.bench_with_input(BenchmarkId::new("STR-SCHD", topo.name()), &g, |b, g| {
+            b.iter(|| scheduler.schedule(g).expect("schedulable"))
         });
         let converted = to_csdf(&g).expect("no buffer nodes in synthetic graphs");
         group.bench_with_input(

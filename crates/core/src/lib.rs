@@ -33,5 +33,9 @@
 
 pub mod pipeline;
 pub mod prelude;
+pub mod scheduler;
 
-pub use pipeline::{NonStreamingPlan, NonStreamingScheduler, StreamingPlan, StreamingScheduler};
+pub use pipeline::{
+    NonStreamingPlan, NonStreamingScheduler, Partitioner, StreamingPlan, StreamingScheduler,
+};
+pub use scheduler::{ParseSchedulerError, Plan, PlanDetail, Scheduler, SchedulerKind};

@@ -7,15 +7,33 @@ use stg_buffer::{buffer_sizes, BufferPlan, SizingPolicy};
 use stg_des::{simulate, SimConfig, SimResult};
 use stg_model::CanonicalGraph;
 use stg_sched::{
-    compute_metrics, non_streaming_schedule, schedule_partition_with, spatial_block_partition,
-    ListSchedule, Metrics, SbVariant, StreamingResult,
+    compute_metrics, downsampler_partition, elementwise_partition, non_streaming_schedule,
+    schedule_partition_with, spatial_block_partition, upsampler_partition, ListSchedule, Metrics,
+    SbVariant, StreamingResult,
 };
+
+/// Which partitioning algorithm a [`StreamingScheduler`] runs before
+/// scheduling: Algorithm 1 (the default, in its configured
+/// [`SbVariant`]) or one of the appendix partitioners.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Partitioner {
+    /// Algorithm 1 spatial-block partitioning (SB-LTS / SB-RLX).
+    #[default]
+    SpatialBlock,
+    /// Theorem A.1's level-order partitioner for element-wise graphs.
+    Elementwise,
+    /// Algorithm 2's work-ordered partitioner for down-sampler graphs.
+    Downsampler,
+    /// The symmetric work-ordered partitioner for up-sampler graphs.
+    Upsampler,
+}
 
 /// Configurable streaming scheduler (the paper's STR-SCH).
 #[derive(Clone, Copy, Debug)]
 pub struct StreamingScheduler {
     pes: usize,
     variant: SbVariant,
+    partitioner: Partitioner,
     sizing: SizingPolicy,
     default_capacity: u64,
     rule: BlockStartRule,
@@ -29,6 +47,7 @@ impl StreamingScheduler {
         StreamingScheduler {
             pes,
             variant: SbVariant::Lts,
+            partitioner: Partitioner::SpatialBlock,
             sizing: SizingPolicy::Converging,
             default_capacity: 1,
             rule: BlockStartRule::Barrier,
@@ -38,6 +57,12 @@ impl StreamingScheduler {
     /// Selects the Algorithm 1 variant (SB-LTS or SB-RLX).
     pub fn variant(mut self, variant: SbVariant) -> Self {
         self.variant = variant;
+        self
+    }
+
+    /// Selects the partitioning algorithm run before scheduling.
+    pub fn partitioner(mut self, partitioner: Partitioner) -> Self {
+        self.partitioner = partitioner;
         self
     }
 
@@ -60,9 +85,39 @@ impl StreamingScheduler {
         self
     }
 
+    /// The machine size this scheduler targets.
+    pub fn pes(&self) -> usize {
+        self.pes
+    }
+
+    /// The display name of the configured preset ("STR-SCH-1" for SB-LTS,
+    /// "STR-SCH-2" for SB-RLX, `*` for dependency-based block starts,
+    /// `-CYC` for cycles-only buffer sizing, or the appendix-partitioner
+    /// names).
+    pub fn preset_name(&self) -> &'static str {
+        match self.partitioner {
+            Partitioner::Elementwise => "ELW-SCH",
+            Partitioner::Downsampler => "DSW-SCH",
+            Partitioner::Upsampler => "USW-SCH",
+            Partitioner::SpatialBlock => match (self.variant, self.rule, self.sizing) {
+                (SbVariant::Lts, BlockStartRule::Barrier, SizingPolicy::Converging) => "STR-SCH-1",
+                (SbVariant::Lts, BlockStartRule::Dependency, _) => "STR-SCH-1*",
+                (SbVariant::Lts, _, _) => "STR-SCH-1-CYC",
+                (SbVariant::Rlx, BlockStartRule::Barrier, SizingPolicy::Converging) => "STR-SCH-2",
+                (SbVariant::Rlx, BlockStartRule::Dependency, _) => "STR-SCH-2*",
+                (SbVariant::Rlx, _, _) => "STR-SCH-2-CYC",
+            },
+        }
+    }
+
     /// Runs partitioning, scheduling, and buffer sizing.
     pub fn run(&self, g: &CanonicalGraph) -> Result<StreamingPlan, ScheduleError> {
-        let partition = spatial_block_partition(g, self.pes, self.variant);
+        let partition = match self.partitioner {
+            Partitioner::SpatialBlock => spatial_block_partition(g, self.pes, self.variant),
+            Partitioner::Elementwise => elementwise_partition(g, self.pes),
+            Partitioner::Downsampler => downsampler_partition(g, self.pes),
+            Partitioner::Upsampler => upsampler_partition(g, self.pes),
+        };
         self.run_with_partition(g, partition)
     }
 
@@ -198,6 +253,11 @@ impl NonStreamingScheduler {
     /// A baseline scheduler for `pes` processing elements.
     pub fn new(pes: usize) -> Self {
         NonStreamingScheduler { pes }
+    }
+
+    /// The machine size this scheduler targets.
+    pub fn pes(&self) -> usize {
+        self.pes
     }
 
     /// Runs critical-path list scheduling with insertion.

@@ -2,8 +2,9 @@
 //! workspace.
 
 pub use crate::pipeline::{
-    NonStreamingPlan, NonStreamingScheduler, StreamingPlan, StreamingScheduler,
+    NonStreamingPlan, NonStreamingScheduler, Partitioner, StreamingPlan, StreamingScheduler,
 };
+pub use crate::scheduler::{Plan, PlanDetail, Scheduler, SchedulerKind};
 pub use stg_analysis::{
     generalized_levels, non_streaming_depth, schedule, schedule_with, streaming_depth,
     streaming_depth_bound, work_depth, BlockStartRule, Partition, Schedule, ScheduleError,

@@ -9,133 +9,201 @@
 //!    measured as total FIFO space and DES schedule fidelity.
 //! 3. **Partitioner choice** — Algorithm 1 (SB-LTS/SB-RLX) vs. the
 //!    appendix partitioners on their home turf.
+//!
+//! Every comparison is an engine sweep over a pair (or triple) of
+//! scheduler presets; pairing per-graph results falls out of the engine's
+//! deterministic case order. `--topology` and `--pes` prune the grids;
+//! `--scheduler` is ignored — the paired presets *are* the ablations.
 
-use stg_analysis::BlockStartRule;
-use stg_buffer::SizingPolicy;
-use stg_core::StreamingScheduler;
-use stg_experiments::{par_map, summary, Args};
+use stg_core::SchedulerKind;
+use stg_experiments::engine::{Workload, WorkloadSpec};
+use stg_experiments::{summary, Args, SweepSpec};
 use stg_ml::{encoder_layer, TransformerConfig};
-use stg_sched::{downsampler_partition, elementwise_partition, SbVariant};
-use stg_workloads::{generate, paper_suite, Topology};
+use stg_workloads::{paper_suite, Topology};
+
+/// The suite with one mid-range PE count per topology.
+fn mid_pe_suite() -> Vec<WorkloadSpec> {
+    paper_suite()
+        .into_iter()
+        .map(|(topo, pes)| WorkloadSpec {
+            workload: Workload::Synthetic(topo),
+            pes: vec![pes[pes.len() / 2]],
+        })
+        .collect()
+}
+
+fn spec(
+    workloads: Vec<WorkloadSpec>,
+    schedulers: Vec<SchedulerKind>,
+    graphs: u64,
+    args: &Args,
+) -> SweepSpec {
+    // Honour the grid filters; the scheduler pairs stay pinned (each
+    // ablation compares a fixed preset pair) and graphs/seed are set per
+    // sweep, so only the grid half of `SweepSpec::filtered` applies.
+    SweepSpec {
+        workloads,
+        graphs,
+        seed: args.seed,
+        schedulers,
+        validate: false,
+        threads: args.threads,
+    }
+    .filter_grid(args)
+}
+
+/// Runs a sweep, refusing to aggregate over a sample shrunken by
+/// scheduling errors.
+fn run_checked(spec: SweepSpec) -> stg_experiments::Sweep {
+    spec.run().exit_on_errors()
+}
 
 fn main() {
     let args = Args::parse();
+    let graphs = args.graphs.min(50);
+
     println!("== Ablation 1: block-start semantics (speedup, SB-LTS) ==\n");
-    for (topo, pe_counts) in paper_suite() {
-        let p = pe_counts[pe_counts.len() / 2];
-        let rows = par_map(args.graphs.min(50), |i| {
-            let g = generate(topo, args.seed + i);
-            let barrier = StreamingScheduler::new(p)
-                .block_rule(BlockStartRule::Barrier)
-                .run(&g)
-                .expect("schedulable");
-            let dep = StreamingScheduler::new(p)
-                .block_rule(BlockStartRule::Dependency)
-                .run(&g)
-                .expect("schedulable");
-            [barrier.metrics().speedup, dep.metrics().speedup]
-        });
-        let b = summary(&rows.iter().map(|r| r[0]).collect::<Vec<_>>());
-        let d = summary(&rows.iter().map(|r| r[1]).collect::<Vec<_>>());
+    let sweep = run_checked(spec(
+        mid_pe_suite(),
+        vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingLtsDep],
+        graphs,
+        &args,
+    ));
+    for pair in sweep.cells().chunks(2) {
+        let [barrier, dep] = pair else { unreachable!() };
+        let topo = barrier.workload.topology().expect("synthetic suite");
+        let b = summary(&barrier.values(|r| r.metrics.speedup));
+        let d = summary(&dep.values(|r| r.metrics.speedup));
         println!(
-            "  {:24} P={p:4}  barrier median {:7.2}   dependency median {:7.2}",
+            "  {:24} P={:4}  barrier median {:7.2}   dependency median {:7.2}",
             topo.name(),
+            barrier.pes,
             b.median,
             d.median
         );
     }
-    let tf = encoder_layer(&TransformerConfig::default());
-    for p in [256usize, 1024] {
-        let barrier = StreamingScheduler::new(p)
-            .block_rule(BlockStartRule::Barrier)
-            .run(&tf)
-            .expect("schedulable");
-        let dep = StreamingScheduler::new(p)
-            .block_rule(BlockStartRule::Dependency)
-            .run(&tf)
-            .expect("schedulable");
+    let tf_sweep = run_checked(spec(
+        vec![WorkloadSpec {
+            workload: Workload::fixed(
+                "Transformer encoder",
+                encoder_layer(&TransformerConfig::default()),
+            ),
+            pes: vec![256, 1024],
+        }],
+        vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingLtsDep],
+        1,
+        &args,
+    ));
+    for pair in tf_sweep.cells().chunks(2) {
+        let [barrier, dep] = pair else { unreachable!() };
         println!(
-            "  {:24} P={p:4}  barrier        {:7.2}   dependency        {:7.2}",
+            "  {:24} P={:4}  barrier        {:7.2}   dependency        {:7.2}",
             "Transformer encoder",
-            barrier.metrics().speedup,
-            dep.metrics().speedup
+            barrier.pes,
+            barrier
+                .records()
+                .next()
+                .expect("schedulable")
+                .metrics
+                .speedup,
+            dep.records().next().expect("schedulable").metrics.speedup,
         );
     }
 
     println!("\n== Ablation 2: buffer sizing policy (total FIFO elements / fidelity) ==\n");
-    for (topo, pe_counts) in paper_suite() {
-        let p = pe_counts[pe_counts.len() / 2];
-        let rows = par_map(args.graphs.min(50), |i| {
-            let g = generate(topo, args.seed + i);
-            let conv = StreamingScheduler::new(p)
-                .sizing(SizingPolicy::Converging)
-                .run(&g)
-                .expect("schedulable");
-            let cyc = StreamingScheduler::new(p)
-                .sizing(SizingPolicy::CyclesOnly)
-                .run(&g)
-                .expect("schedulable");
-            let conv_sim = conv.validate(&g);
-            let cyc_sim = cyc.validate(&g);
-            (
-                conv.buffers.total_elements as f64,
-                cyc.buffers.total_elements as f64,
-                conv_sim.completed(),
-                cyc_sim.completed(),
-                cyc_sim
-                    .completed()
-                    .then(|| cyc_sim.makespan as f64 / conv_sim.makespan.max(1) as f64),
-            )
-        });
-        let conv_mem = summary(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
-        let cyc_mem = summary(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
-        let conv_dead = rows.iter().filter(|r| !r.2).count();
-        let cyc_dead = rows.iter().filter(|r| !r.3).count();
-        let slowdowns: Vec<f64> = rows.iter().filter_map(|r| r.4).collect();
+    let mut sizing = spec(
+        mid_pe_suite(),
+        vec![
+            SchedulerKind::StreamingLts,
+            SchedulerKind::StreamingLtsCyclesOnly,
+        ],
+        graphs,
+        &args,
+    );
+    sizing.validate = true;
+    let sweep = run_checked(sizing);
+    for pair in sweep.cells().chunks(2) {
+        let [conv, cyc] = pair else { unreachable!() };
+        let topo = conv.workload.topology().expect("synthetic suite");
+        let conv_mem = summary(&conv.values(|r| r.buffer_elements as f64));
+        let cyc_mem = summary(&cyc.values(|r| r.buffer_elements as f64));
+        // Per-graph slowdown of the cycles-only sizing: runs pair up by
+        // seed in case order.
+        let slowdowns: Vec<f64> = conv
+            .runs
+            .iter()
+            .zip(cyc.runs.iter())
+            .filter_map(|(a, b)| {
+                let sa = a.record()?.sim?;
+                let sb = b.record()?.sim?;
+                (sa.completed && sb.completed)
+                    .then(|| sb.makespan as f64 / sa.makespan.max(1) as f64)
+            })
+            .collect();
         let slow = if slowdowns.is_empty() {
             f64::NAN
         } else {
             summary(&slowdowns).median
         };
         println!(
-            "  {:24} P={p:4}  converging {:9.0} el ({} deadlocks)   cycles-only {:9.0} el ({} deadlocks, sim slowdown x{:.3})",
+            "  {:24} P={:4}  converging {:9.0} el ({} deadlocks)   cycles-only {:9.0} el ({} deadlocks, sim slowdown x{:.3})",
             topo.name(),
+            conv.pes,
             conv_mem.median,
-            conv_dead,
+            conv.deadlocks(),
             cyc_mem.median,
-            cyc_dead,
+            cyc.deadlocks(),
             slow
         );
     }
 
     println!("\n== Ablation 3: partitioners on structured graphs ==\n");
-    // Element-wise chain: Theorem A.1's level-order partitioner vs Algorithm 1.
-    let chain = generate(Topology::Chain { tasks: 8 }, args.seed);
-    for p in [2usize, 4] {
-        let a1 = StreamingScheduler::new(p).run(&chain).expect("schedulable");
-        let lvl = StreamingScheduler::new(p)
-            .run_with_partition(&chain, elementwise_partition(&chain, p))
-            .expect("schedulable");
-        let work = StreamingScheduler::new(p)
-            .run_with_partition(&chain, downsampler_partition(&chain, p))
-            .expect("schedulable");
+    // Element-wise chain: Theorem A.1's level-order partitioner and the
+    // Algorithm 2 work-ordered partitioner vs Algorithm 1.
+    let sweep = run_checked(spec(
+        vec![WorkloadSpec {
+            workload: Workload::Synthetic(Topology::Chain { tasks: 8 }),
+            pes: vec![2, 4],
+        }],
+        vec![
+            SchedulerKind::StreamingLts,
+            SchedulerKind::Elementwise,
+            SchedulerKind::Downsampler,
+        ],
+        1,
+        &args,
+    ));
+    for trio in sweep.cells().chunks(3) {
+        let [a1, lvl, work] = trio else {
+            unreachable!()
+        };
+        let speed = |c: &stg_experiments::engine::Cell| {
+            c.records().next().expect("schedulable").metrics.speedup
+        };
         println!(
-            "  Chain(8)  P={p}: Algorithm1 {:.2}  level-order {:.2}  work-order {:.2}",
-            a1.metrics().speedup,
-            lvl.metrics().speedup,
-            work.metrics().speedup
+            "  Chain(8)  P={}: Algorithm1 {:.2}  level-order {:.2}  work-order {:.2}",
+            a1.pes,
+            speed(a1),
+            speed(lvl),
+            speed(work)
         );
     }
-    for variant in [SbVariant::Lts, SbVariant::Rlx] {
-        let g = generate(Topology::Cholesky { tiles: 8 }, args.seed + 1);
-        let r = StreamingScheduler::new(64)
-            .variant(variant)
-            .run(&g)
-            .expect("schedulable");
+    let mut chol = spec(
+        vec![WorkloadSpec {
+            workload: Workload::Synthetic(Topology::Cholesky { tiles: 8 }),
+            pes: vec![64],
+        }],
+        vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingRlx],
+        1,
+        &args,
+    );
+    chol.seed = args.seed + 1;
+    let sweep = run_checked(chol);
+    for cell in sweep.cells() {
+        let m = cell.records().next().expect("schedulable").metrics;
         println!(
-            "  Cholesky(8) P=64 {variant}: speedup {:.2}, {} blocks",
-            r.metrics().speedup,
-            r.metrics().blocks
+            "  Cholesky(8) P=64 {}: speedup {:.2}, {} blocks",
+            cell.scheduler, m.speedup, m.blocks
         );
     }
 }

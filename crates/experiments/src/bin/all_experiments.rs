@@ -1,5 +1,8 @@
-//! Runs every experiment binary's logic in sequence (figures 10–13 and
-//! table 2) by re-executing the sibling binaries with the same arguments.
+//! Runs every experiment binary's logic in sequence (figures 10–13,
+//! table 2, and the engine sweep) by re-executing the sibling binaries
+//! with the same arguments. Each binary expands its grid through the
+//! shared sweep engine, so the whole evaluation honours the common
+//! `--topology` / `--pes` / `--scheduler` / `--threads` filters.
 
 use std::process::Command;
 
@@ -13,6 +16,8 @@ fn main() {
         "fig12_csdf",
         "fig13_validation",
         "table2_ml",
+        "ablation_semantics",
+        "sweep",
     ] {
         let path = dir.join(bin);
         eprintln!("--- running {bin} ---");

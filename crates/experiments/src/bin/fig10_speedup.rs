@@ -2,10 +2,7 @@
 //! synthetic topologies, comparing STR-SCH-1 (SB-LTS), STR-SCH-2 (SB-RLX),
 //! and the buffered NSTR-SCH baseline, with mean PE utilization.
 
-use stg_core::{NonStreamingScheduler, StreamingScheduler};
-use stg_experiments::{par_map, summary, Args};
-use stg_sched::SbVariant;
-use stg_workloads::{generate, paper_suite};
+use stg_experiments::{summary, Args, SweepSpec};
 
 fn main() {
     let args = Args::parse();
@@ -16,54 +13,47 @@ fn main() {
         println!("(boxplot columns: min q1 median q3 max; util = mean PE utilization)\n");
     }
 
-    for (topo, pe_counts) in paper_suite() {
-        if !args.csv {
+    let sweep = SweepSpec::paper(args.graphs, args.seed)
+        .filtered(&args)
+        .run()
+        .exit_on_errors();
+    let mut current = String::new();
+    for cell in sweep.cells() {
+        let topo = cell.workload.topology().expect("synthetic suite");
+        if !args.csv && current != cell.workload.name() {
+            if !current.is_empty() {
+                println!();
+            }
+            current = cell.workload.name();
             println!("{} (#Tasks = {})", topo.name(), topo.task_count());
         }
-        for &p in &pe_counts {
-            let rows = par_map(args.graphs, |i| {
-                let g = generate(topo, args.seed + i);
-                let lts = StreamingScheduler::new(p)
-                    .variant(SbVariant::Lts)
-                    .run(&g)
-                    .expect("schedulable");
-                let rlx = StreamingScheduler::new(p)
-                    .variant(SbVariant::Rlx)
-                    .run(&g)
-                    .expect("schedulable");
-                let nstr = NonStreamingScheduler::new(p).run(&g);
-                [
-                    (lts.metrics().speedup, lts.metrics().utilization),
-                    (rlx.metrics().speedup, rlx.metrics().utilization),
-                    (nstr.metrics.speedup, nstr.metrics.utilization),
-                ]
-            });
-            for (slot, name) in ["STR-SCH-1", "STR-SCH-2", "NSTR-SCH"].iter().enumerate() {
-                let speeds: Vec<f64> = rows.iter().map(|r| r[slot].0).collect();
-                let utils: Vec<f64> = rows.iter().map(|r| r[slot].1).collect();
-                let s = summary(&speeds);
-                let u = utils.iter().sum::<f64>() / utils.len() as f64;
-                if args.csv {
-                    println!(
-                        "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
-                        topo.name().replace(' ', "_"),
-                        topo.task_count(),
-                        p,
-                        name,
-                        s.min,
-                        s.q1,
-                        s.median,
-                        s.q3,
-                        s.max,
-                        u
-                    );
-                } else {
-                    println!("  P={p:4}  {name:10} {}  util {u:5.2}", s.boxplot());
-                }
-            }
+        let s = summary(&cell.values(|r| r.metrics.speedup));
+        let utils = cell.values(|r| r.metrics.utilization);
+        let u = utils.iter().sum::<f64>() / utils.len() as f64;
+        if args.csv {
+            println!(
+                "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                topo.name().replace(' ', "_"),
+                topo.task_count(),
+                cell.pes,
+                cell.scheduler,
+                s.min,
+                s.q1,
+                s.median,
+                s.q3,
+                s.max,
+                u
+            );
+        } else {
+            println!(
+                "  P={:4}  {:10} {}  util {u:5.2}",
+                cell.pes,
+                cell.scheduler.to_string(),
+                s.boxplot()
+            );
         }
-        if !args.csv {
-            println!();
-        }
+    }
+    if !args.csv {
+        println!();
     }
 }

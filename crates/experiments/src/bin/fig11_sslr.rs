@@ -1,10 +1,8 @@
 //! Figure 11: Streaming Scheduling Length Ratio (SSLR = makespan / T_s∞)
 //! distributions for the two streaming heuristic variants.
 
-use stg_core::StreamingScheduler;
-use stg_experiments::{par_map, summary, Args};
-use stg_sched::SbVariant;
-use stg_workloads::{generate, paper_suite};
+use stg_core::SchedulerKind;
+use stg_experiments::{summary, Args, SweepSpec};
 
 fn main() {
     let args = Args::parse();
@@ -14,46 +12,43 @@ fn main() {
         println!("== Figure 11: Streaming SLR (makespan / streaming depth) ==\n");
     }
 
-    for (topo, pe_counts) in paper_suite() {
-        if !args.csv {
+    let mut spec = SweepSpec::paper(args.graphs, args.seed);
+    spec.schedulers = vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingRlx];
+    let sweep = spec.filtered(&args).run().exit_on_errors();
+    let mut current = String::new();
+    for cell in sweep.cells() {
+        let topo = cell.workload.topology().expect("synthetic suite");
+        if !args.csv && current != cell.workload.name() {
+            if !current.is_empty() {
+                println!();
+            }
+            current = cell.workload.name();
             println!("{} (#Tasks = {})", topo.name(), topo.task_count());
         }
-        for &p in &pe_counts {
-            let rows = par_map(args.graphs, |i| {
-                let g = generate(topo, args.seed + i);
-                let lts = StreamingScheduler::new(p)
-                    .variant(SbVariant::Lts)
-                    .run(&g)
-                    .expect("schedulable");
-                let rlx = StreamingScheduler::new(p)
-                    .variant(SbVariant::Rlx)
-                    .run(&g)
-                    .expect("schedulable");
-                [lts.metrics().sslr, rlx.metrics().sslr]
-            });
-            for (slot, name) in ["STR-SCH-1", "STR-SCH-2"].iter().enumerate() {
-                let vals: Vec<f64> = rows.iter().map(|r| r[slot]).collect();
-                let s = summary(&vals);
-                if args.csv {
-                    println!(
-                        "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
-                        topo.name().replace(' ', "_"),
-                        topo.task_count(),
-                        p,
-                        name,
-                        s.min,
-                        s.q1,
-                        s.median,
-                        s.q3,
-                        s.max
-                    );
-                } else {
-                    println!("  P={p:4}  {name:10} {}", s.boxplot());
-                }
-            }
+        let s = summary(&cell.values(|r| r.metrics.sslr));
+        if args.csv {
+            println!(
+                "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                topo.name().replace(' ', "_"),
+                topo.task_count(),
+                cell.pes,
+                cell.scheduler,
+                s.min,
+                s.q1,
+                s.median,
+                s.q3,
+                s.max
+            );
+        } else {
+            println!(
+                "  P={:4}  {:10} {}",
+                cell.pes,
+                cell.scheduler.to_string(),
+                s.boxplot()
+            );
         }
-        if !args.csv {
-            println!();
-        }
+    }
+    if !args.csv {
+        println!();
     }
 }

@@ -8,13 +8,25 @@
 //! single spatial block) and the SB-RLX heuristic is used. The CSDF timeout
 //! defaults to 2 s per graph (`--timeout-ms`), a scaled-down stand-in for
 //! the paper's 1-hour cap on SDF3/Kiter.
+//!
+//! Timings are wall-clock and therefore live outside the engine's
+//! deterministic record path: the grid is still expanded and parallelised
+//! by the engine (`SweepSpec::run_map`), the closure adds the clocks.
 
 use std::time::{Duration, Instant};
-use stg_core::StreamingScheduler;
+use stg_core::SchedulerKind;
 use stg_csdf::{self_timed_makespan, to_csdf, AnalysisConfig};
-use stg_experiments::{par_map, summary, Args};
-use stg_sched::SbVariant;
-use stg_workloads::{generate, paper_suite};
+use stg_experiments::engine::{Workload, WorkloadSpec};
+use stg_experiments::{summary, Args, SweepSpec};
+use stg_workloads::paper_suite;
+
+struct Row {
+    sched_us: f64,
+    csdf_us: f64,
+    makespan: u64,
+    csdf_makespan: Option<u64>,
+    timed_out: bool,
+}
 
 fn main() {
     let args = Args::parse();
@@ -27,69 +39,88 @@ fn main() {
         println!("== Figure 12: canonical scheduling vs CSDF throughput analysis ==\n");
     }
 
-    for (topo, _) in paper_suite() {
-        let p = topo.task_count(); // P = number of nodes, as in the paper.
-        let rows = par_map(args.graphs, |i| {
-            let g = generate(topo, args.seed + i);
+    // P = number of tasks (one spatial block), as in the paper.
+    let spec = SweepSpec {
+        workloads: paper_suite()
+            .into_iter()
+            .map(|(topo, _)| WorkloadSpec {
+                pes: vec![topo.task_count()],
+                workload: Workload::Synthetic(topo),
+            })
+            .collect(),
+        graphs: args.graphs,
+        seed: args.seed,
+        schedulers: vec![SchedulerKind::StreamingRlx],
+        validate: false,
+        threads: args.threads,
+    }
+    // The figure is defined over SB-RLX at P = #tasks; only the grid
+    // filters pass through (rows are keyed by topology alone, so a
+    // swapped scheduler set would emit indistinguishable rows).
+    .filter_grid(&args);
+    if !args.schedulers.is_empty() {
+        eprintln!("note: figure 12 is defined over SB-RLX; --scheduler is ignored");
+    }
 
-            let t0 = Instant::now();
-            let plan = StreamingScheduler::new(p)
-                .variant(SbVariant::Rlx)
-                .run(&g)
-                .expect("schedulable");
-            let sched_time = t0.elapsed();
+    let timeout_ms = args.timeout_ms;
+    let rows = spec.run_map(|case, g| {
+        let scheduler = case.build_scheduler();
+        let t0 = Instant::now();
+        let plan = scheduler.schedule(g).expect("schedulable");
+        let sched_time = t0.elapsed();
 
-            let t1 = Instant::now();
-            let analysis = to_csdf(&g).ok().map(|c| {
-                self_timed_makespan(
-                    &c,
-                    &AnalysisConfig {
-                        timeout: Duration::from_millis(args.timeout_ms),
-                        max_firings: u64::MAX,
-                    },
-                )
-            });
-            let csdf_time = t1.elapsed();
-
-            let (csdf_makespan, timed_out) = match &analysis {
-                Some(a) if !a.timed_out => (a.period, false),
-                Some(_) => (None, true),
-                None => (None, true),
-            };
-            (
-                sched_time.as_secs_f64() * 1e6,
-                csdf_time.as_secs_f64() * 1e6,
-                plan.metrics().makespan,
-                csdf_makespan,
-                timed_out,
+        let t1 = Instant::now();
+        let analysis = to_csdf(g).ok().map(|c| {
+            self_timed_makespan(
+                &c,
+                &AnalysisConfig {
+                    timeout: Duration::from_millis(timeout_ms),
+                    max_firings: u64::MAX,
+                },
             )
         });
+        let csdf_time = t1.elapsed();
 
-        let timeouts = rows.iter().filter(|r| r.4).count();
-        let sched_us: Vec<f64> = rows.iter().map(|r| r.0).collect();
-        let csdf_us: Vec<f64> = rows.iter().filter(|r| !r.4).map(|r| r.1).collect();
+        let (csdf_makespan, timed_out) = match &analysis {
+            Some(a) if !a.timed_out => (a.period, false),
+            _ => (None, true),
+        };
+        Row {
+            sched_us: sched_time.as_secs_f64() * 1e6,
+            csdf_us: csdf_time.as_secs_f64() * 1e6,
+            makespan: plan.makespan(),
+            csdf_makespan,
+            timed_out,
+        }
+    });
+
+    // One cell per workload: graphs are contiguous in case order.
+    for chunk in rows.chunks(spec.graphs.max(1) as usize) {
+        let topo = chunk[0].0.workload.topology().expect("synthetic suite");
+        let p = chunk[0].0.pes;
+        let rows: Vec<&Row> = chunk.iter().map(|(_, r)| r).collect();
+
+        let timeouts = rows.iter().filter(|r| r.timed_out).count();
+        let sched_us: Vec<f64> = rows.iter().map(|r| r.sched_us).collect();
+        let csdf_us: Vec<f64> = rows
+            .iter()
+            .filter(|r| !r.timed_out)
+            .map(|r| r.csdf_us)
+            .collect();
         let ratios: Vec<f64> = rows
             .iter()
-            .filter_map(|r| r.3.map(|c| r.2 as f64 / c as f64))
+            .filter_map(|r| r.csdf_makespan.map(|c| r.makespan as f64 / c as f64))
             .collect();
 
         let st = summary(&sched_us);
-        let ct = if csdf_us.is_empty() {
-            None
-        } else {
-            Some(summary(&csdf_us))
-        };
-        let rt = if ratios.is_empty() {
-            None
-        } else {
-            Some(summary(&ratios))
-        };
+        let ct = (!csdf_us.is_empty()).then(|| summary(&csdf_us));
+        let rt = (!ratios.is_empty()).then(|| summary(&ratios));
 
         if args.csv {
             println!(
                 "{},{},{},{:.1},{},{}",
                 topo.name().replace(' ', "_"),
-                args.graphs,
+                rows.len(),
                 timeouts,
                 st.median,
                 ct.map_or("NA".into(), |c| format!("{:.1}", c.median)),
@@ -102,16 +133,19 @@ fn main() {
             println!("{} (P = #tasks = {p})", topo.name());
             println!(
                 "  STR-SCHD analysis time   median {:9.1} us   ({}/{} timed out: 0)",
-                st.median, 0, args.graphs
+                st.median,
+                0,
+                rows.len()
             );
             match ct {
                 Some(c) => println!(
                     "  CSDF self-timed analysis median {:9.1} us   ({timeouts}/{} timed out)",
-                    c.median, args.graphs
+                    c.median,
+                    rows.len()
                 ),
                 None => println!(
                     "  CSDF self-timed analysis all timed out       ({timeouts}/{})",
-                    args.graphs
+                    rows.len()
                 ),
             }
             match rt {

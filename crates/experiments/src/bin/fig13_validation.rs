@@ -3,11 +3,8 @@
 //! and heuristic variant. A deadlock in any simulation would falsify the
 //! buffer-space computation; the binary reports and fails on any.
 
-use stg_core::StreamingScheduler;
-use stg_des::relative_error;
-use stg_experiments::{par_map, summary, Args};
-use stg_sched::SbVariant;
-use stg_workloads::{generate, paper_suite};
+use stg_core::SchedulerKind;
+use stg_experiments::{summary, Args, SweepSpec};
 
 fn main() {
     let args = Args::parse();
@@ -17,64 +14,75 @@ fn main() {
         println!("== Figure 13: relative error (simulated vs analytic makespan, %) ==\n");
     }
 
+    let mut spec = SweepSpec::paper(args.graphs, args.seed);
+    spec.schedulers = vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingRlx];
+    spec.validate = true;
+    let sweep = spec.filtered(&args).run().exit_on_errors();
+
     let mut total_deadlocks = 0usize;
-    for (topo, pe_counts) in paper_suite() {
-        if !args.csv {
+    let mut current = String::new();
+    for cell in sweep.cells() {
+        let topo = cell.workload.topology().expect("synthetic suite");
+        if !args.csv && current != cell.workload.name() {
+            if !current.is_empty() {
+                println!();
+            }
+            current = cell.workload.name();
             println!("{} (#Tasks = {})", topo.name(), topo.task_count());
         }
-        for &p in &pe_counts {
-            let rows = par_map(args.graphs, |i| {
-                let g = generate(topo, args.seed + i);
-                let run = |variant| {
-                    let plan = StreamingScheduler::new(p)
-                        .variant(variant)
-                        .run(&g)
-                        .expect("schedulable");
-                    let sim = plan.validate(&g);
-                    let deadlocked = !sim.completed();
-                    let err = if deadlocked {
-                        f64::NAN
-                    } else {
-                        100.0 * relative_error(plan.metrics().makespan, sim.makespan)
-                    };
-                    (err, deadlocked)
-                };
-                [run(SbVariant::Lts), run(SbVariant::Rlx)]
-            });
-            for (slot, name) in ["STR-SCH-1", "STR-SCH-2"].iter().enumerate() {
-                let deadlocks = rows.iter().filter(|r| r[slot].1).count();
-                total_deadlocks += deadlocks;
-                let errs: Vec<f64> = rows
-                    .iter()
-                    .filter(|r| !r[slot].1)
-                    .map(|r| r[slot].0)
-                    .collect();
-                let s = summary(&errs);
-                if args.csv {
-                    println!(
-                        "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{}",
-                        topo.name().replace(' ', "_"),
-                        topo.task_count(),
-                        p,
-                        name,
-                        s.min,
-                        s.q1,
-                        s.median,
-                        s.q3,
-                        s.max,
-                        deadlocks
-                    );
-                } else {
-                    println!(
-                        "  P={p:4}  {name:10} {}  deadlocks {deadlocks}",
-                        s.boxplot()
-                    );
-                }
+        let deadlocks = cell.deadlocks();
+        total_deadlocks += deadlocks;
+        let errs: Vec<f64> = cell
+            .records()
+            .filter_map(|r| r.sim.filter(|s| s.completed).map(|s| s.rel_err_pct))
+            .collect();
+        if errs.is_empty() {
+            // Every validated run of this cell deadlocked; the final
+            // deadlock report below fails the binary.
+            if args.csv {
+                println!(
+                    "{},{},{},{},NA,NA,NA,NA,NA,{}",
+                    topo.name().replace(' ', "_"),
+                    topo.task_count(),
+                    cell.pes,
+                    cell.scheduler,
+                    deadlocks
+                );
+            } else {
+                println!(
+                    "  P={:4}  {:10} all runs deadlocked ({deadlocks})",
+                    cell.pes,
+                    cell.scheduler.to_string()
+                );
             }
+            continue;
         }
-        if !args.csv {
-            println!();
+        let s = summary(&errs);
+        if args.csv {
+            println!(
+                "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{}",
+                topo.name().replace(' ', "_"),
+                topo.task_count(),
+                cell.pes,
+                cell.scheduler,
+                s.min,
+                s.q1,
+                s.median,
+                s.q3,
+                s.max,
+                deadlocks
+            );
+        } else {
+            println!(
+                "  P={:4}  {:10} {}  deadlocks {deadlocks}",
+                cell.pes,
+                cell.scheduler.to_string(),
+                s.boxplot()
+            );
         }
+    }
+    if !args.csv {
+        println!();
     }
     if total_deadlocks > 0 {
         eprintln!("ERROR: {total_deadlocks} simulations deadlocked — buffer sizing failed");

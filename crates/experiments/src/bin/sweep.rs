@@ -1,0 +1,32 @@
+//! The engine frontend: run a declarative scenario sweep over the paper
+//! suite and emit deterministic CSV (default) or JSON (`--json`).
+//!
+//! With an identical spec (same `--graphs`, `--seed`, filters) the output
+//! is byte-identical across reruns and `--threads` settings — CI diffs
+//! two runs to enforce this. Exits non-zero if any scenario fails to
+//! schedule or (under `--validate`) any simulation deadlocks.
+//!
+//! ```sh
+//! cargo run --release --bin sweep -- --graphs 3 --validate
+//! cargo run --release --bin sweep -- --topology chain,fft --pes 32 --json
+//! cargo run --release --bin sweep -- --scheduler sb-lts,elementwise,nstr
+//! ```
+
+use stg_experiments::{Args, SweepSpec};
+
+fn main() {
+    let args = Args::parse();
+    let spec = SweepSpec::paper(args.graphs, args.seed).filtered(&args);
+    let sweep = spec.run();
+    if args.json {
+        print!("{}", sweep.to_json());
+    } else {
+        print!("{}", sweep.to_csv());
+    }
+    let errors = sweep.errors();
+    let deadlocks = sweep.deadlocks();
+    if errors > 0 || deadlocks > 0 {
+        eprintln!("ERROR: {errors} scheduling errors, {deadlocks} simulation deadlocks");
+        std::process::exit(1);
+    }
+}

@@ -3,13 +3,13 @@
 //! with the gain G of streaming over buffered scheduling.
 //!
 //! The paper reports the SB-LTS variant (the two variants did not differ
-//! noticeably on these graphs); we do the same.
+//! noticeably on these graphs); we do the same. The grid runs through the
+//! sweep engine with the ML graphs as fixed workloads.
 
-use stg_analysis::BlockStartRule;
-use stg_core::{NonStreamingScheduler, StreamingScheduler};
-use stg_experiments::Args;
+use stg_core::SchedulerKind;
+use stg_experiments::engine::{Workload, WorkloadSpec};
+use stg_experiments::{Args, SweepSpec};
 use stg_ml::{encoder_layer, resnet50, LowerConfig, ResNetConfig, TransformerConfig};
-use stg_sched::SbVariant;
 
 fn main() {
     let args = Args::parse();
@@ -24,63 +24,93 @@ fn main() {
     }
 
     let lower = LowerConfig { max_parallel: 256 };
-
     let resnet = resnet50(&ResNetConfig { image: 224, lower });
-    run_model("Resnet-50", &resnet, &[512, 1024, 1536, 2048], &args);
-
     let tf = encoder_layer(&TransformerConfig {
         lower,
         ..TransformerConfig::default()
     });
-    run_model("Transformer encoder", &tf, &[256, 512, 768, 1024], &args);
-}
 
-fn run_model(name: &str, g: &stg_model::CanonicalGraph, pes: &[usize], args: &Args) {
-    let buffers = g
-        .node_ids()
-        .filter(|&v| g.kind(v) == stg_model::NodeKind::Buffer)
-        .count();
-    if !args.csv {
-        println!(
-            "{name}: {} nodes ({} buffer nodes, {} tasks)",
-            g.node_count(),
-            buffers,
-            g.compute_count()
-        );
-        println!("  #PEs   STR speedup   STR* speedup   NSTR speedup      G     G*");
+    let spec = SweepSpec {
+        workloads: vec![
+            WorkloadSpec {
+                workload: Workload::fixed("Resnet-50", resnet),
+                pes: vec![512, 1024, 1536, 2048],
+            },
+            WorkloadSpec {
+                workload: Workload::fixed("Transformer encoder", tf),
+                pes: vec![256, 512, 768, 1024],
+            },
+        ],
+        graphs: 1, // fixed graphs: one instantiation per scenario
+        seed: args.seed,
+        schedulers: vec![
+            SchedulerKind::StreamingLts,
+            SchedulerKind::StreamingLtsDep,
+            SchedulerKind::NonStreaming,
+        ],
+        validate: false,
+        threads: args.threads,
     }
-    for &p in pes {
-        let s = StreamingScheduler::new(p)
-            .variant(SbVariant::Lts)
-            .run(g)
-            .expect("schedulable");
-        let sd = StreamingScheduler::new(p)
-            .variant(SbVariant::Lts)
-            .block_rule(BlockStartRule::Dependency)
-            .run(g)
-            .expect("schedulable");
-        let n = NonStreamingScheduler::new(p).run(g);
-        let gain = n.metrics.makespan as f64 / s.metrics().makespan as f64;
-        let gain_dep = n.metrics.makespan as f64 / sd.metrics().makespan as f64;
+    // Table 2 *is* the STR/STR*/NSTR comparison: the scheduler trio is
+    // pinned, only the grid filters pass through.
+    .filter_grid(&args);
+    if !args.schedulers.is_empty() {
+        eprintln!("note: table 2 compares a fixed STR/STR*/NSTR trio; --scheduler is ignored");
+    }
+
+    let sweep = spec.run();
+    // Cells arrive workload → pes → scheduler; regroup per (workload, pes).
+    let cells = sweep.cells();
+    let mut current = String::new();
+    for trio in cells.chunks(3) {
+        let [s, sd, n] = trio else {
+            unreachable!("the scheduler trio is pinned above")
+        };
+        let name = s.workload.name();
+        let graph = match s.workload {
+            Workload::Fixed { graph, .. } => graph,
+            Workload::Synthetic(_) => unreachable!("table 2 uses fixed workloads"),
+        };
+        let buffers = graph
+            .node_ids()
+            .filter(|&v| graph.kind(v) == stg_model::NodeKind::Buffer)
+            .count();
+        if !args.csv && current != name {
+            if !current.is_empty() {
+                println!();
+            }
+            current = name.clone();
+            println!(
+                "{name}: {} nodes ({} buffer nodes, {} tasks)",
+                graph.node_count(),
+                buffers,
+                graph.compute_count()
+            );
+            println!("  #PEs   STR speedup   STR* speedup   NSTR speedup      G     G*");
+        }
+        let rec = |cell: &stg_experiments::engine::Cell| {
+            cell.records().next().expect("schedulable").metrics
+        };
+        let (sm, sdm, nm) = (rec(s), rec(sd), rec(n));
+        let gain = nm.makespan as f64 / sm.makespan as f64;
+        let gain_dep = nm.makespan as f64 / sdm.makespan as f64;
         if args.csv {
             println!(
                 "{},{},{},{},{:.1},{:.1},{:.1},{:.2},{:.2}",
                 name.replace(' ', "_"),
-                g.node_count(),
+                graph.node_count(),
                 buffers,
-                p,
-                s.metrics().speedup,
-                sd.metrics().speedup,
-                n.metrics.speedup,
+                s.pes,
+                sm.speedup,
+                sdm.speedup,
+                nm.speedup,
                 gain,
                 gain_dep
             );
         } else {
             println!(
-                "  {p:5}    {:10.1}    {:11.1}    {:11.1}   {gain:5.2}  {gain_dep:5.2}",
-                s.metrics().speedup,
-                sd.metrics().speedup,
-                n.metrics.speedup,
+                "  {:5}    {:10.1}    {:11.1}    {:11.1}   {gain:5.2}  {gain_dep:5.2}",
+                s.pes, sm.speedup, sdm.speedup, nm.speedup,
             );
         }
     }

@@ -1,0 +1,686 @@
+//! The parallel scenario-sweep engine.
+//!
+//! The paper's evaluation — and any production deployment serving many
+//! configurations — is a grid of `(workload × seed × PE count ×
+//! scheduler)` scenarios. This module turns that grid into data: a
+//! declarative [`SweepSpec`] expands into an ordered list of [`Case`]s,
+//! [`SweepSpec::run`] evaluates them on the scoped-thread pool
+//! ([`par_map_with`]), and the resulting [`Sweep`] offers deterministic,
+//! byte-stable CSV/JSON emitters plus per-cell aggregation for the
+//! figure binaries.
+//!
+//! Determinism contract: with an identical spec (including seed), the
+//! emitted CSV and JSON are byte-identical across runs and across worker
+//! thread counts. Wall-clock timings are deliberately excluded from
+//! records; binaries that measure time (Figure 12) do so through
+//! [`SweepSpec::run_map`] and keep timings out of the deterministic
+//! output path.
+
+use std::sync::Arc;
+
+use stg_core::{Scheduler, SchedulerKind};
+use stg_des::relative_error;
+use stg_model::CanonicalGraph;
+use stg_sched::Metrics;
+use stg_workloads::{generate, paper_suite, Topology};
+
+use crate::harness::{default_threads, par_map_with, Args};
+
+/// A source of task graphs for a sweep: either a synthetic topology
+/// instantiated per seed, or a fixed graph (ML workloads) shared across
+/// the grid.
+#[derive(Clone)]
+pub enum Workload {
+    /// A synthetic topology with seeded random canonical volumes.
+    Synthetic(Topology),
+    /// A fixed, named graph; seeds are ignored.
+    Fixed {
+        /// Display name ("Resnet-50", ...).
+        name: String,
+        /// The shared graph.
+        graph: Arc<CanonicalGraph>,
+    },
+}
+
+impl Workload {
+    /// Wraps a fixed graph under a display name.
+    pub fn fixed(name: impl Into<String>, graph: CanonicalGraph) -> Workload {
+        Workload::Fixed {
+            name: name.into(),
+            graph: Arc::new(graph),
+        }
+    }
+
+    /// The identifier used in reports and emitted rows (`chain:8`-style
+    /// specs for synthetic topologies, the given name otherwise).
+    pub fn name(&self) -> String {
+        match self {
+            Workload::Synthetic(t) => t.to_string(),
+            Workload::Fixed { name, .. } => name.clone(),
+        }
+    }
+
+    /// The synthetic topology, if this workload is one.
+    pub fn topology(&self) -> Option<Topology> {
+        match self {
+            Workload::Synthetic(t) => Some(*t),
+            Workload::Fixed { .. } => None,
+        }
+    }
+
+    /// The number of compute tasks per generated graph.
+    pub fn task_count(&self) -> usize {
+        match self {
+            Workload::Synthetic(t) => t.task_count(),
+            Workload::Fixed { graph, .. } => graph.compute_count(),
+        }
+    }
+
+    /// Builds the graph for one seed.
+    pub fn instantiate(&self, seed: u64) -> Arc<CanonicalGraph> {
+        match self {
+            Workload::Synthetic(t) => Arc::new(generate(*t, seed)),
+            Workload::Fixed { graph, .. } => Arc::clone(graph),
+        }
+    }
+}
+
+/// One workload and the PE counts to sweep it over.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// The graph source.
+    pub workload: Workload,
+    /// Machine sizes to evaluate.
+    pub pes: Vec<usize>,
+}
+
+/// A declarative sweep: workloads × PE counts × seeds × schedulers.
+#[derive(Clone)]
+pub struct SweepSpec {
+    /// Workloads with their PE sweeps.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Graphs per (workload, PE, scheduler) cell; synthetic workloads use
+    /// seeds `seed..seed+graphs`.
+    pub graphs: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Scheduler presets to run.
+    pub schedulers: Vec<SchedulerKind>,
+    /// Also validate every plan by discrete event simulation.
+    pub validate: bool,
+    /// Worker threads (`None`: available parallelism). Affects wall-clock
+    /// only, never results.
+    pub threads: Option<usize>,
+}
+
+impl SweepSpec {
+    /// The paper's synthetic evaluation grid (Figures 10–11): the four
+    /// topologies at their paper sizes and PE sweeps, with both streaming
+    /// heuristics and the buffered baseline.
+    pub fn paper(graphs: u64, seed: u64) -> SweepSpec {
+        SweepSpec {
+            workloads: paper_suite()
+                .into_iter()
+                .map(|(topo, pes)| WorkloadSpec {
+                    workload: Workload::Synthetic(topo),
+                    pes,
+                })
+                .collect(),
+            graphs,
+            seed,
+            schedulers: vec![
+                SchedulerKind::StreamingLts,
+                SchedulerKind::StreamingRlx,
+                SchedulerKind::NonStreaming,
+            ],
+            validate: false,
+            threads: None,
+        }
+    }
+
+    /// Applies the command-line filters and overrides of `args`:
+    /// `--topology` / `--pes` prune the grid (fixed workloads are kept
+    /// unless a topology filter is present), `--scheduler` replaces the
+    /// scheduler set, and `--graphs`, `--seed`, `--validate`, `--threads`
+    /// override their fields.
+    pub fn filtered(mut self, args: &Args) -> SweepSpec {
+        self.graphs = args.graphs;
+        self.seed = args.seed;
+        self.validate = self.validate || args.validate;
+        self.threads = args.threads.or(self.threads);
+        if !args.schedulers.is_empty() {
+            self.schedulers = args.schedulers.clone();
+        }
+        self.filter_grid(args)
+    }
+
+    /// Applies only the grid-pruning half of [`Self::filtered`]:
+    /// `--topology` and `--pes` (fixed workloads are kept unless a
+    /// topology filter is present). Scheduler set, graphs, and seed are
+    /// untouched — for binaries that pin those (the ablations, Table 2,
+    /// Figure 12).
+    pub fn filter_grid(mut self, args: &Args) -> SweepSpec {
+        self.workloads.retain(|w| match w.workload.topology() {
+            Some(t) => args.topology_selected(&t),
+            None => args.topologies.is_empty(),
+        });
+        for w in &mut self.workloads {
+            w.pes.retain(|&p| args.pes_selected(p));
+        }
+        self.workloads.retain(|w| !w.pes.is_empty());
+        self
+    }
+
+    /// Expands the grid into cases, in the deterministic order the
+    /// engine evaluates and emits them: workload → PE count → scheduler
+    /// → seed (so each consecutive run of `graphs` cases is one
+    /// aggregation cell).
+    pub fn cases(&self) -> Vec<Case> {
+        let mut cases = Vec::new();
+        for w in &self.workloads {
+            for &pes in &w.pes {
+                for &scheduler in &self.schedulers {
+                    for i in 0..self.graphs {
+                        cases.push(Case {
+                            index: cases.len(),
+                            workload: w.workload.clone(),
+                            pes,
+                            seed: self.seed + i,
+                            scheduler,
+                        });
+                    }
+                }
+            }
+        }
+        cases
+    }
+
+    /// Evaluates an arbitrary function over every case in parallel,
+    /// returning `(case, result)` pairs in case order. This is the
+    /// escape hatch for binaries that need more than a [`Record`]
+    /// (timing, CSDF analysis, ...); the iteration itself stays in the
+    /// engine.
+    pub fn run_map<T: Send>(
+        &self,
+        f: impl Fn(&Case, &CanonicalGraph) -> T + Sync,
+    ) -> Vec<(Case, T)> {
+        let cases = self.cases();
+        let threads = self
+            .threads
+            .unwrap_or_else(|| default_threads(cases.len() as u64));
+        let out = par_map_with(cases.len() as u64, threads, |i| {
+            let case = &cases[i as usize];
+            let g = case.graph();
+            f(case, &g)
+        });
+        cases.into_iter().zip(out).collect()
+    }
+
+    /// Runs the full sweep: every case through its scheduler (plus the
+    /// simulator when `validate` is set), in parallel, with
+    /// deterministic, index-ordered results.
+    pub fn run(&self) -> Sweep {
+        let validate = self.validate;
+        let runs = self
+            .run_map(|case, g| evaluate(case, g, validate))
+            .into_iter()
+            .map(|(case, outcome)| Run { case, outcome })
+            .collect();
+        Sweep {
+            spec: self.clone(),
+            runs,
+        }
+    }
+}
+
+/// One point of the sweep grid.
+#[derive(Clone)]
+pub struct Case {
+    /// Position in the expanded grid (also the result index).
+    pub index: usize,
+    /// The graph source.
+    pub workload: Workload,
+    /// Machine size.
+    pub pes: usize,
+    /// Graph seed (ignored by fixed workloads).
+    pub seed: u64,
+    /// Scheduler preset to run.
+    pub scheduler: SchedulerKind,
+}
+
+impl Case {
+    /// Builds this case's task graph.
+    pub fn graph(&self) -> Arc<CanonicalGraph> {
+        self.workload.instantiate(self.seed)
+    }
+
+    /// Instantiates this case's scheduler.
+    pub fn build_scheduler(&self) -> Box<dyn Scheduler> {
+        self.scheduler.build(self.pes)
+    }
+}
+
+/// The deterministic measurements of one evaluated case.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// The scheduler's evaluation metrics.
+    pub metrics: Metrics,
+    /// Total FIFO elements allocated by buffer sizing (0 for the
+    /// buffered baseline).
+    pub buffer_elements: u64,
+    /// Simulation outcome, when the spec requested validation.
+    pub sim: Option<SimRecord>,
+}
+
+/// Discrete-event-simulation outcome for one plan.
+#[derive(Clone, Copy, Debug)]
+pub struct SimRecord {
+    /// True if every task finished (no deadlock / time limit).
+    pub completed: bool,
+    /// Simulated makespan (meaningful when `completed`).
+    pub makespan: u64,
+    /// `100 · |analytic − simulated| / simulated` (0 when not completed).
+    pub rel_err_pct: f64,
+}
+
+/// One evaluated case: the scenario plus its record or scheduling error.
+pub struct Run {
+    /// The scenario.
+    pub case: Case,
+    /// The outcome (a scheduling error is data, not a panic).
+    pub outcome: Result<Record, stg_analysis::ScheduleError>,
+}
+
+impl Run {
+    /// The record, if the case scheduled successfully.
+    pub fn record(&self) -> Option<&Record> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+fn evaluate(
+    case: &Case,
+    g: &CanonicalGraph,
+    validate: bool,
+) -> Result<Record, stg_analysis::ScheduleError> {
+    let plan = case.build_scheduler().schedule(g)?;
+    let sim = validate.then(|| {
+        let s = plan.validate(g);
+        SimRecord {
+            completed: s.completed(),
+            makespan: s.makespan,
+            rel_err_pct: if s.completed() {
+                100.0 * relative_error(plan.makespan(), s.makespan)
+            } else {
+                0.0
+            },
+        }
+    });
+    Ok(Record {
+        metrics: *plan.metrics(),
+        buffer_elements: plan.buffers().map_or(0, |b| b.total_elements),
+        sim,
+    })
+}
+
+/// An aggregation cell: the `graphs` runs sharing one
+/// (workload, PE count, scheduler) coordinate.
+pub struct Cell<'a> {
+    /// The cell's workload.
+    pub workload: &'a Workload,
+    /// The cell's machine size.
+    pub pes: usize,
+    /// The cell's scheduler preset.
+    pub scheduler: SchedulerKind,
+    /// The runs, in seed order.
+    pub runs: &'a [Run],
+}
+
+impl<'a> Cell<'a> {
+    /// The successfully scheduled records of this cell.
+    pub fn records(&self) -> impl Iterator<Item = &'a Record> + '_ {
+        self.runs.iter().filter_map(Run::record)
+    }
+
+    /// Extracts one metric across the cell's successful records.
+    pub fn values(&self, f: impl Fn(&Record) -> f64) -> Vec<f64> {
+        self.records().map(f).collect()
+    }
+
+    /// Number of runs that failed to schedule.
+    pub fn errors(&self) -> usize {
+        self.runs.iter().filter(|r| r.outcome.is_err()).count()
+    }
+
+    /// Number of validated runs whose simulation did not complete.
+    pub fn deadlocks(&self) -> usize {
+        self.records()
+            .filter(|r| r.sim.is_some_and(|s| !s.completed))
+            .count()
+    }
+}
+
+/// The evaluated grid: every run, in deterministic case order.
+pub struct Sweep {
+    /// The spec that produced this sweep.
+    pub spec: SweepSpec,
+    /// All runs, index-ordered (`runs[i].case.index == i`).
+    pub runs: Vec<Run>,
+}
+
+impl Sweep {
+    /// Total runs that failed to schedule.
+    pub fn errors(&self) -> usize {
+        self.runs.iter().filter(|r| r.outcome.is_err()).count()
+    }
+
+    /// Total validated runs whose simulation did not complete.
+    pub fn deadlocks(&self) -> usize {
+        self.runs
+            .iter()
+            .filter_map(Run::record)
+            .filter(|r| r.sim.is_some_and(|s| !s.completed))
+            .count()
+    }
+
+    /// Exits the process when any scenario failed to schedule. The engine
+    /// records scheduling errors as data; binaries that aggregate
+    /// statistics must not silently compute them over a shrunken sample.
+    pub fn exit_on_errors(self) -> Sweep {
+        if self.errors() > 0 {
+            eprintln!("ERROR: {} scenarios failed to schedule", self.errors());
+            std::process::exit(1);
+        }
+        self
+    }
+
+    /// Splits the runs into aggregation cells, in emission order
+    /// (workload → PE count → scheduler).
+    pub fn cells(&self) -> Vec<Cell<'_>> {
+        let n = self.spec.graphs.max(1) as usize;
+        self.runs
+            .chunks(n)
+            .map(|runs| Cell {
+                workload: &runs[0].case.workload,
+                pes: runs[0].case.pes,
+                scheduler: runs[0].case.scheduler,
+                runs,
+            })
+            .collect()
+    }
+
+    /// Renders the sweep as CSV, one row per run. Byte-identical across
+    /// reruns and thread counts for an identical spec.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "workload,tasks,pes,seed,scheduler,status,makespan,speedup,sslr,slr,\
+             utilization,blocks,buffer_elements,sim_completed,sim_makespan,rel_err_pct\n",
+        );
+        for run in &self.runs {
+            let c = &run.case;
+            let prefix = format!(
+                "{},{},{},{},{}",
+                csv_field(&c.workload.name()),
+                c.workload.task_count(),
+                c.pes,
+                c.seed,
+                c.scheduler
+            );
+            match &run.outcome {
+                Ok(r) => {
+                    let m = &r.metrics;
+                    let sim = match r.sim {
+                        Some(s) => {
+                            format!("{},{},{:.6}", s.completed as u8, s.makespan, s.rel_err_pct)
+                        }
+                        None => "NA,NA,NA".into(),
+                    };
+                    out.push_str(&format!(
+                        "{prefix},ok,{},{:.6},{:.6},{:.6},{:.6},{},{},{sim}\n",
+                        m.makespan,
+                        m.speedup,
+                        m.sslr,
+                        m.slr,
+                        m.utilization,
+                        m.blocks,
+                        r.buffer_elements
+                    ));
+                }
+                Err(e) => {
+                    out.push_str(&format!(
+                        "{prefix},error:{},NA,NA,NA,NA,NA,NA,NA,NA,NA,NA\n",
+                        error_code(e)
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the sweep as JSON (spec header + one object per run).
+    /// Byte-identical across reruns and thread counts for an identical
+    /// spec.
+    pub fn to_json(&self) -> String {
+        let schedulers: Vec<String> = self
+            .spec
+            .schedulers
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect();
+        let mut out = format!(
+            "{{\n  \"spec\": {{\"graphs\": {}, \"seed\": {}, \"validate\": {}, \
+             \"schedulers\": [{}]}},\n  \"runs\": [\n",
+            self.spec.graphs,
+            self.spec.seed,
+            self.spec.validate,
+            schedulers.join(", ")
+        );
+        for (i, run) in self.runs.iter().enumerate() {
+            let c = &run.case;
+            let head = format!(
+                "    {{\"workload\": {}, \"tasks\": {}, \"pes\": {}, \"seed\": {}, \
+                 \"scheduler\": \"{}\"",
+                json_string(&c.workload.name()),
+                c.workload.task_count(),
+                c.pes,
+                c.seed,
+                c.scheduler
+            );
+            let body = match &run.outcome {
+                Ok(r) => {
+                    let m = &r.metrics;
+                    let sim = match r.sim {
+                        Some(s) => format!(
+                            ", \"sim\": {{\"completed\": {}, \"makespan\": {}, \
+                             \"rel_err_pct\": {:.6}}}",
+                            s.completed, s.makespan, s.rel_err_pct
+                        ),
+                        None => String::new(),
+                    };
+                    format!(
+                        ", \"status\": \"ok\", \"makespan\": {}, \"speedup\": {:.6}, \
+                         \"sslr\": {:.6}, \"slr\": {:.6}, \"utilization\": {:.6}, \
+                         \"blocks\": {}, \"buffer_elements\": {}{sim}}}",
+                        m.makespan,
+                        m.speedup,
+                        m.sslr,
+                        m.slr,
+                        m.utilization,
+                        m.blocks,
+                        r.buffer_elements
+                    )
+                }
+                Err(e) => format!(", \"status\": {}}}", json_string(&error_code(e))),
+            };
+            let comma = if i + 1 < self.runs.len() { "," } else { "" };
+            out.push_str(&format!("{head}{body}{comma}\n"));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// A short, comma-free code for a scheduling error (CSV-safe).
+fn error_code(e: &stg_analysis::ScheduleError) -> String {
+    use stg_analysis::ScheduleError as E;
+    match e {
+        E::Cyclic => "cyclic".into(),
+        E::Uncovered(v) => format!("uncovered({})", v.index()),
+        E::Duplicated(v) => format!("duplicated({})", v.index()),
+        E::NotSchedulable(v) => format!("not-schedulable({})", v.index()),
+        E::EmptyBlock(b) => format!("empty-block({b})"),
+        E::BlockOrderViolation { producer, consumer } => format!(
+            "block-order-violation({}->{})",
+            producer.index(),
+            consumer.index()
+        ),
+    }
+}
+
+/// Keeps a free-form field (fixed-workload names) from corrupting CSV
+/// rows: separators and newlines are replaced, matching the comma-free
+/// guarantee [`error_code`] provides for the status column.
+fn csv_field(s: &str) -> String {
+    s.replace([',', '\n', '\r'], ";")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_spec() -> SweepSpec {
+        let mut spec = SweepSpec::paper(2, 42);
+        // Keep the test fast: chains only, both PE extremes.
+        spec.workloads.truncate(1);
+        spec.validate = true;
+        spec
+    }
+
+    #[test]
+    fn case_order_is_workload_pes_scheduler_seed() {
+        let spec = SweepSpec::paper(2, 7);
+        let cases = spec.cases();
+        assert_eq!(
+            cases.len(),
+            spec.workloads.iter().map(|w| w.pes.len()).sum::<usize>()
+                * spec.schedulers.len()
+                * spec.graphs as usize
+        );
+        for (i, c) in cases.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Seeds iterate innermost.
+        assert_eq!(cases[0].seed, 7);
+        assert_eq!(cases[1].seed, 8);
+        assert_eq!(cases[0].scheduler, cases[1].scheduler);
+        assert_ne!(cases[1].scheduler, cases[2].scheduler);
+    }
+
+    #[test]
+    fn sweep_output_is_thread_count_invariant() {
+        let mut one = smoke_spec();
+        one.threads = Some(1);
+        let mut many = smoke_spec();
+        many.threads = Some(8);
+        let a = one.run();
+        let b = many.run();
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.errors(), 0);
+        assert_eq!(a.deadlocks(), 0);
+    }
+
+    #[test]
+    fn rerun_is_byte_identical() {
+        let spec = smoke_spec();
+        assert_eq!(spec.run().to_csv(), spec.run().to_csv());
+        assert_eq!(spec.run().to_json(), spec.run().to_json());
+    }
+
+    #[test]
+    fn cells_group_runs_by_scenario() {
+        let spec = smoke_spec();
+        let sweep = spec.run();
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), sweep.runs.len() / spec.graphs as usize);
+        for cell in &cells {
+            assert_eq!(cell.runs.len(), spec.graphs as usize);
+            for run in cell.runs {
+                assert_eq!(run.case.pes, cell.pes);
+                assert_eq!(run.case.scheduler, cell.scheduler);
+            }
+            // Streaming schedulers beat or match the baseline's makespan
+            // bound on every validated run.
+            for rec in cell.records() {
+                assert!(rec.metrics.makespan > 0);
+                if let Some(sim) = rec.sim {
+                    assert!(sim.completed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filters_prune_the_grid() {
+        let args = Args {
+            graphs: 1,
+            seed: 1,
+            topologies: vec!["chain".parse().unwrap()],
+            pes: vec![2, 4],
+            schedulers: vec![SchedulerKind::NonStreaming],
+            ..Args::default()
+        };
+        let spec = SweepSpec::paper(3, 9).filtered(&args);
+        assert_eq!(spec.graphs, 1);
+        assert_eq!(spec.seed, 1);
+        assert_eq!(spec.workloads.len(), 1);
+        assert_eq!(spec.workloads[0].pes, vec![2, 4]);
+        assert_eq!(spec.schedulers, vec![SchedulerKind::NonStreaming]);
+    }
+
+    #[test]
+    fn fixed_workloads_ignore_seeds() {
+        use stg_model::Builder;
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..4).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 64);
+        let g = b.finish().unwrap();
+        let w = Workload::fixed("tiny", g);
+        assert_eq!(w.task_count(), 4);
+        let spec = SweepSpec {
+            workloads: vec![WorkloadSpec {
+                workload: w,
+                pes: vec![2],
+            }],
+            graphs: 3,
+            seed: 0,
+            schedulers: vec![SchedulerKind::StreamingLts],
+            validate: false,
+            threads: Some(2),
+        };
+        let sweep = spec.run();
+        assert_eq!(sweep.runs.len(), 3);
+        let makespans: Vec<u64> = sweep
+            .runs
+            .iter()
+            .map(|r| r.record().unwrap().metrics.makespan)
+            .collect();
+        assert!(makespans.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -3,6 +3,9 @@
 
 use std::str::FromStr;
 
+use stg_core::SchedulerKind;
+use stg_workloads::Topology;
+
 /// Common experiment options, parsed from the command line.
 #[derive(Clone, Debug)]
 pub struct Args {
@@ -14,6 +17,19 @@ pub struct Args {
     pub timeout_ms: u64,
     /// Emit machine-readable CSV instead of aligned tables.
     pub csv: bool,
+    /// Emit machine-readable JSON (sweep engine output).
+    pub json: bool,
+    /// Validate plans by discrete event simulation where supported.
+    pub validate: bool,
+    /// Worker thread count override (default: available parallelism).
+    pub threads: Option<usize>,
+    /// Keep only matching topologies (empty: keep all). Entries parse via
+    /// [`Topology::from_str`], so both `chain` and `fft:32` work.
+    pub topologies: Vec<Topology>,
+    /// Keep only these PE counts (empty: keep all).
+    pub pes: Vec<usize>,
+    /// Run only these schedulers (empty: the binary's default set).
+    pub schedulers: Vec<SchedulerKind>,
 }
 
 impl Default for Args {
@@ -23,12 +39,20 @@ impl Default for Args {
             seed: 0xC0FFEE,
             timeout_ms: 2_000,
             csv: false,
+            json: false,
+            validate: false,
+            threads: None,
+            topologies: Vec::new(),
+            pes: Vec::new(),
+            schedulers: Vec::new(),
         }
     }
 }
 
 impl Args {
-    /// Parses `--graphs N --seed S --timeout-ms T --csv` from `std::env`.
+    /// Parses `--graphs N --seed S --timeout-ms T --csv --json --validate
+    /// --threads N --topology LIST --pes LIST --scheduler LIST` from
+    /// `std::env`. List flags take comma-separated values and may repeat.
     pub fn parse() -> Args {
         let mut args = Args::default();
         let mut it = std::env::args().skip(1);
@@ -38,15 +62,39 @@ impl Args {
                 "--seed" => args.seed = next_value(&mut it, "--seed"),
                 "--timeout-ms" => args.timeout_ms = next_value(&mut it, "--timeout-ms"),
                 "--csv" => args.csv = true,
+                "--json" => args.json = true,
+                "--validate" => args.validate = true,
+                "--threads" => args.threads = Some(next_value(&mut it, "--threads")),
+                "--topology" => append_list(&mut args.topologies, &mut it, "--topology"),
+                "--pes" => append_list(&mut args.pes, &mut it, "--pes"),
+                "--scheduler" => append_list(&mut args.schedulers, &mut it, "--scheduler"),
                 other => {
                     eprintln!(
-                        "unknown flag {other}; supported: --graphs --seed --timeout-ms --csv"
+                        "unknown flag {other}; supported: --graphs --seed --timeout-ms --csv \
+                         --json --validate --threads --topology --pes --scheduler"
                     );
                     std::process::exit(2);
                 }
             }
         }
         args
+    }
+
+    /// True if `topology` passes the `--topology` filter. Filtering is by
+    /// family (`--topology chain` and `--topology chain:8` both select
+    /// every chain in the suite); sizes in filter entries choose paper
+    /// defaults when constructing workloads, not when filtering.
+    pub fn topology_selected(&self, topology: &Topology) -> bool {
+        self.topologies.is_empty()
+            || self
+                .topologies
+                .iter()
+                .any(|t| t.family() == topology.family())
+    }
+
+    /// True if `p` passes the `--pes` filter.
+    pub fn pes_selected(&self, p: usize) -> bool {
+        self.pes.is_empty() || self.pes.contains(&p)
     }
 }
 
@@ -57,30 +105,75 @@ fn next_value<T: FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> 
     })
 }
 
+fn append_list<T: FromStr>(out: &mut Vec<T>, it: &mut impl Iterator<Item = String>, flag: &str)
+where
+    T::Err: std::fmt::Display,
+{
+    let Some(raw) = it.next() else {
+        eprintln!("{flag} expects a comma-separated list");
+        std::process::exit(2);
+    };
+    for part in raw.split(',').filter(|p| !p.is_empty()) {
+        match part.parse() {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                eprintln!("{flag}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The worker count [`par_map`] uses for `n` jobs: available parallelism
+/// capped at the job count.
+pub fn default_threads(n: u64) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1) as usize)
+}
+
 /// Applies `f` to `0..n` in parallel with scoped worker threads, returning
 /// results in index order. The closure receives the job index.
 pub fn par_map<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1) as usize);
+    par_map_with(n, default_threads(n), f)
+}
+
+/// [`par_map`] with an explicit worker count. The output is a pure
+/// function of `n` and `f` — the thread count only affects wall-clock
+/// time, never results or their order.
+pub fn par_map_with<T: Send>(n: u64, threads: usize, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let threads = threads.max(1).min(n.max(1) as usize);
     let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicU64::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
+    // Split the output into contiguous chunks handed to workers whole
+    // (disjoint `&mut` slices — no per-slot locking). Several chunks per
+    // worker keep dynamic load balancing for skewed job costs.
+    let chunk_size = (n as usize).div_ceil(threads * 4).max(1);
+    let mut chunks: Vec<(u64, &mut [Option<T>])> = Vec::new();
+    let mut rest: &mut [Option<T>] = &mut results;
+    let mut base = 0u64;
+    while !rest.is_empty() {
+        let take = chunk_size.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push((base, head));
+        base += take as u64;
+        rest = tail;
+    }
+    chunks.reverse(); // pop() hands out low indices first
+    let queue = std::sync::Mutex::new(chunks);
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
+                let Some((start, slice)) = queue.lock().expect("chunk queue").pop() else {
                     break;
+                };
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(start + j as u64));
                 }
-                let value = f(i);
-                **slots[i as usize].lock().expect("slot lock") = Some(value);
             });
         }
     });
-    drop(slots);
+    drop(queue);
     results
         .into_iter()
         .map(|r| r.expect("all jobs completed"))
@@ -107,9 +200,37 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_output() {
+        let expect: Vec<u64> = (0..101).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            let out = par_map_with(101, threads, |i| i * 3 + 1);
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn default_args() {
         let a = Args::default();
         assert_eq!(a.graphs, 100);
         assert!(!a.csv);
+        assert!(a.topologies.is_empty() && a.pes.is_empty() && a.schedulers.is_empty());
+    }
+
+    #[test]
+    fn filters_select_families_and_pes() {
+        let args = Args {
+            topologies: vec!["chain".parse().unwrap(), "fft:32".parse().unwrap()],
+            pes: vec![2, 64],
+            ..Args::default()
+        };
+        use stg_workloads::Topology;
+        assert!(args.topology_selected(&Topology::Chain { tasks: 8 }));
+        assert!(args.topology_selected(&Topology::Fft { points: 32 }));
+        assert!(!args.topology_selected(&Topology::Cholesky { tiles: 8 }));
+        assert!(args.pes_selected(2) && args.pes_selected(64));
+        assert!(!args.pes_selected(4));
+        let all = Args::default();
+        assert!(all.topology_selected(&Topology::Cholesky { tiles: 8 }));
+        assert!(all.pes_selected(4));
     }
 }

@@ -11,14 +11,21 @@
 //! | `fig13_validation`| Figure 13 — DES relative-error distributions |
 //! | `table2_ml`       | Table 2 — ResNet-50 / transformer speedups |
 //! | `ablation_semantics` | design-choice ablations (block starts, sizing, partitioners) |
+//! | `sweep`           | the full grid as deterministic CSV/JSON (engine frontend) |
 //! | `all_experiments` | everything above, sequentially |
 //!
-//! All binaries accept `--graphs N --seed S --timeout-ms T --csv`.
+//! Every binary runs its grid through the [`engine`]: a declarative
+//! [`engine::SweepSpec`] expanded over the scoped-thread pool, with all
+//! schedulers behind the `stg_core::Scheduler` trait. All binaries accept
+//! `--graphs N --seed S --timeout-ms T --csv --json --validate
+//! --threads N --topology LIST --pes LIST --scheduler LIST`.
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod harness;
 pub mod stats;
 
-pub use harness::{par_map, Args};
+pub use engine::{Case, Cell, Record, Run, SimRecord, Sweep, SweepSpec, Workload, WorkloadSpec};
+pub use harness::{default_threads, par_map, par_map_with, Args};
 pub use stats::{summary, Summary};

@@ -9,7 +9,7 @@
 pub mod topology;
 pub mod volumes;
 
-pub use topology::Topology;
+pub use topology::{ParseTopologyError, Topology};
 pub use volumes::{assign_volumes, VolumeConfig};
 
 use rand::rngs::StdRng;

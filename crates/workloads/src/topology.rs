@@ -68,6 +68,27 @@ impl Topology {
         }
     }
 
+    /// The lowercase family keyword used in `Display`/`FromStr` specs
+    /// and `--topology` filters ("chain", "fft", "gauss", "chol").
+    pub fn family(&self) -> &'static str {
+        match self {
+            Topology::Chain { .. } => "chain",
+            Topology::Fft { .. } => "fft",
+            Topology::GaussianElimination { .. } => "gauss",
+            Topology::Cholesky { .. } => "chol",
+        }
+    }
+
+    /// The size parameter (tasks, points, matrix dimension, or tiles).
+    pub fn size(&self) -> usize {
+        match *self {
+            Topology::Chain { tasks } => tasks,
+            Topology::Fft { points } => points,
+            Topology::GaussianElimination { m } => m,
+            Topology::Cholesky { tiles } => tiles,
+        }
+    }
+
     /// Builds the bare task DAG (node payload: task label).
     pub fn build(&self) -> Dag<String, ()> {
         match *self {
@@ -75,6 +96,75 @@ impl Topology {
             Topology::Fft { points } => fft(points),
             Topology::GaussianElimination { m } => gaussian(m),
             Topology::Cholesky { tiles } => cholesky(tiles),
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    /// Renders the canonical spec string, `family:size` (e.g. `chain:8`,
+    /// `fft:32`, `gauss:16`, `chol:8`). Round-trips through `FromStr`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.family(), self.size())
+    }
+}
+
+/// Error parsing a [`Topology`] spec string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTopologyError(String);
+
+impl std::fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid topology spec {:?}; expected family[:size] with family one of \
+             chain, fft, gauss(ian), chol(esky) — e.g. \"chain:8\", \"fft:32\", \"gauss\"",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseTopologyError {}
+
+impl std::str::FromStr for Topology {
+    type Err = ParseTopologyError;
+
+    /// Parses a `family[:size]` spec, case-insensitive. A bare family
+    /// keyword selects the paper's evaluation size (`chain` → 8 tasks,
+    /// `fft` → 32 points, `gauss` → m = 16, `chol` → 8 tiles). Family
+    /// aliases: `gaussian`/`ge` for `gauss`, `cholesky` for `chol`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseTopologyError(s.to_string());
+        let lower = s.trim().to_ascii_lowercase();
+        let (family, size) = match lower.split_once(':') {
+            Some((f, sz)) => (f, Some(sz.parse::<usize>().map_err(|_| err())?)),
+            None => (lower.as_str(), None),
+        };
+        let topo = match family {
+            "chain" => Topology::Chain {
+                tasks: size.unwrap_or(8),
+            },
+            "fft" => Topology::Fft {
+                points: size.unwrap_or(32),
+            },
+            "gauss" | "gaussian" | "ge" => Topology::GaussianElimination {
+                m: size.unwrap_or(16),
+            },
+            "chol" | "cholesky" => Topology::Cholesky {
+                tiles: size.unwrap_or(8),
+            },
+            _ => return Err(err()),
+        };
+        // Reject sizes the generators would panic on.
+        let valid = match topo {
+            Topology::Chain { tasks } => tasks >= 1,
+            Topology::Fft { points } => points >= 2 && points.is_power_of_two(),
+            Topology::GaussianElimination { m } => m >= 2,
+            Topology::Cholesky { tiles } => tiles >= 1,
+        };
+        if valid {
+            Ok(topo)
+        } else {
+            Err(err())
         }
     }
 }
@@ -220,6 +310,46 @@ mod tests {
             let g = topo.build();
             assert_eq!(g.node_count(), topo.task_count(), "{topo:?}");
             assert!(is_acyclic(&g), "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for topo in [
+            Topology::Chain { tasks: 12 },
+            Topology::Fft { points: 64 },
+            Topology::GaussianElimination { m: 5 },
+            Topology::Cholesky { tiles: 3 },
+        ] {
+            let spec = topo.to_string();
+            assert_eq!(spec.parse::<Topology>().unwrap(), topo, "{spec}");
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_aliases_and_defaults() {
+        assert_eq!(
+            "chain".parse::<Topology>().unwrap(),
+            Topology::Chain { tasks: 8 }
+        );
+        assert_eq!(
+            "FFT".parse::<Topology>().unwrap(),
+            Topology::Fft { points: 32 }
+        );
+        assert_eq!(
+            "gaussian:4".parse::<Topology>().unwrap(),
+            Topology::GaussianElimination { m: 4 }
+        );
+        assert_eq!(
+            "cholesky:8".parse::<Topology>().unwrap(),
+            Topology::Cholesky { tiles: 8 }
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_bad_specs() {
+        for bad in ["", "mesh", "fft:31", "fft:x", "chain:0", "gauss:1"] {
+            assert!(bad.parse::<Topology>().is_err(), "{bad}");
         }
     }
 

@@ -14,14 +14,17 @@ use stg_model::expansions::{
 use streaming_sched::prelude::*;
 
 fn report(name: &str, g: &CanonicalGraph, pes: usize) {
-    let plan = StreamingScheduler::new(pes).run(g).expect("schedulable");
+    let plan = SchedulerKind::StreamingLts
+        .build(pes)
+        .schedule(g)
+        .expect("schedulable");
     let t1 = g.sequential_time();
     println!(
         "  {name:34} {:5} tasks  T1 {:8}  T_s∞ {:8}  makespan {:8}  speedup {:5.2}",
         g.compute_count(),
         t1,
         streaming_depth(g).expect("acyclic"),
-        plan.metrics().makespan,
+        plan.makespan(),
         plan.metrics().speedup,
     );
 }

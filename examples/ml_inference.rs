@@ -48,16 +48,23 @@ fn describe(g: &CanonicalGraph) {
 }
 
 fn run(g: &CanonicalGraph, pes: usize) {
-    let plan = StreamingScheduler::new(pes).run(g).expect("schedulable");
-    let baseline = NonStreamingScheduler::new(pes).run(g);
+    // Both schedulers behind the unified `Scheduler` trait.
+    let plan = SchedulerKind::StreamingLts
+        .build(pes)
+        .schedule(g)
+        .expect("schedulable");
+    let baseline = SchedulerKind::NonStreaming
+        .build(pes)
+        .schedule(g)
+        .expect("baseline always schedules");
     println!(
         "  P={pes:5}: streaming {:8} cycles ({:3} blocks, speedup {:6.1}) | buffered {:8} \
          (speedup {:6.1}) | gain {:4.2}x",
-        plan.metrics().makespan,
+        plan.makespan(),
         plan.metrics().blocks,
         plan.metrics().speedup,
-        baseline.metrics.makespan,
-        baseline.metrics.speedup,
-        baseline.metrics.makespan as f64 / plan.metrics().makespan as f64,
+        baseline.makespan(),
+        baseline.metrics().speedup,
+        baseline.makespan() as f64 / plan.makespan() as f64,
     );
 }

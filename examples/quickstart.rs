@@ -36,33 +36,38 @@ fn main() {
     );
 
     for pes in [2usize, 4, 8] {
-        // The streaming scheduler: spatial blocks + pipelined execution.
-        let plan = StreamingScheduler::new(pes)
-            .variant(SbVariant::Lts)
-            .run(&graph)
+        // Every scheduler preset lives behind the same `Scheduler` trait:
+        // the streaming pipeline (spatial blocks + pipelined execution)
+        // and the classical buffered baseline.
+        let plan = SchedulerKind::StreamingLts
+            .build(pes)
+            .schedule(&graph)
             .expect("schedulable");
-        // The classical buffered baseline.
-        let baseline = NonStreamingScheduler::new(pes).run(&graph);
+        let baseline = SchedulerKind::NonStreaming
+            .build(pes)
+            .schedule(&graph)
+            .expect("baseline always schedules");
 
         println!(
             "\nP={pes}: streaming makespan {} ({} blocks, speedup {:.2}, SSLR {:.2})",
-            plan.metrics().makespan,
+            plan.makespan(),
             plan.metrics().blocks,
             plan.metrics().speedup,
             plan.metrics().sslr,
         );
         println!(
             "      buffered  makespan {} (speedup {:.2})  →  gain {:.2}x",
-            baseline.metrics.makespan,
-            baseline.metrics.speedup,
-            baseline.metrics.makespan as f64 / plan.metrics().makespan as f64,
+            baseline.makespan(),
+            baseline.metrics().speedup,
+            baseline.makespan() as f64 / plan.makespan() as f64,
         );
 
         // FIFO sizing (Section 6) and element-level validation (Appendix B).
+        let buffers = plan.buffers().expect("streaming plans size FIFOs");
         println!(
             "      FIFO plan: {} total elements across {} sized channels",
-            plan.buffers.total_elements,
-            plan.buffers.sized.len(),
+            buffers.total_elements,
+            buffers.sized.len(),
         );
         let sim = plan.validate(&graph);
         assert!(sim.completed(), "sized plan must not deadlock");
@@ -70,7 +75,7 @@ fn main() {
             "      simulation: makespan {} ({} element beats) — matches analysis: {}",
             sim.makespan,
             sim.beats,
-            sim.makespan == plan.metrics().makespan,
+            sim.makespan == plan.makespan(),
         );
     }
 

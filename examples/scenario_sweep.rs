@@ -1,0 +1,45 @@
+//! The scenario-sweep engine in five lines: declare a grid of
+//! (topology × seed × PE count × scheduler) scenarios, evaluate it in
+//! parallel, and aggregate or export the deterministic results.
+//!
+//! ```sh
+//! cargo run --release --example scenario_sweep
+//! ```
+
+use stg_core::SchedulerKind;
+use stg_experiments::{summary, SweepSpec};
+
+fn main() {
+    // The paper's full synthetic grid at 10 graphs per cell, with one
+    // extra scheduler preset mixed in.
+    let mut spec = SweepSpec::paper(10, 2024);
+    spec.schedulers.push(SchedulerKind::Elementwise);
+    spec.validate = true;
+
+    let sweep = spec.run();
+    println!(
+        "evaluated {} scenarios ({} errors, {} deadlocks)\n",
+        sweep.runs.len(),
+        sweep.errors(),
+        sweep.deadlocks()
+    );
+
+    println!("workload      #PEs  scheduler      median speedup   median SSLR");
+    for cell in sweep.cells() {
+        let speed = summary(&cell.values(|r| r.metrics.speedup));
+        let sslr = summary(&cell.values(|r| r.metrics.sslr));
+        println!(
+            "{:12} {:5}  {:13}  {:14.2}   {:11.2}",
+            cell.workload.name(),
+            cell.pes,
+            cell.scheduler.to_string(),
+            speed.median,
+            sslr.median,
+        );
+    }
+
+    // The same sweep exports as byte-stable CSV/JSON for downstream
+    // tooling; rerunning with any thread count yields identical bytes.
+    let csv = sweep.to_csv();
+    println!("\nCSV export: {} rows", csv.lines().count() - 1);
+}

@@ -19,18 +19,23 @@ fn main() {
         streaming_depth(&g).expect("acyclic"),
         non_streaming_depth(&g).expect("acyclic"),
     );
-    println!(" #PEs  variant  blocks  makespan  speedup   SSLR   util | NSTR speedup");
+    println!(" #PEs  scheduler  blocks  makespan  speedup   SSLR   util | NSTR speedup");
     for pes in [8usize, 16, 32, 64, 96, 120] {
-        let nstr = NonStreamingScheduler::new(pes).run(&g);
-        for variant in [SbVariant::Lts, SbVariant::Rlx] {
-            let plan = StreamingScheduler::new(pes)
-                .variant(variant)
-                .run(&g)
-                .expect("schedulable");
+        let nstr = SchedulerKind::NonStreaming
+            .build(pes)
+            .schedule(&g)
+            .expect("baseline always schedules");
+        for kind in [SchedulerKind::StreamingLts, SchedulerKind::StreamingRlx] {
+            let plan = kind.build(pes).schedule(&g).expect("schedulable");
             let m = plan.metrics();
             println!(
-                "{pes:5}  {variant}   {:5}  {:8}  {:7.2}  {:5.2}  {:5.2} | {:7.2}",
-                m.blocks, m.makespan, m.speedup, m.sslr, m.utilization, nstr.metrics.speedup,
+                "{pes:5}  {kind}   {:5}  {:8}  {:7.2}  {:5.2}  {:5.2} | {:7.2}",
+                m.blocks,
+                m.makespan,
+                m.speedup,
+                m.sslr,
+                m.utilization,
+                nstr.metrics().speedup,
             );
         }
     }

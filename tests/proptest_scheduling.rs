@@ -104,6 +104,40 @@ proptest! {
     }
 
     #[test]
+    fn every_registered_scheduler_respects_bounds(
+        (topo, seed) in arbitrary_workload(),
+        p in 1usize..24,
+    ) {
+        let g = generate(topo, seed);
+        let tinf = streaming_depth(&g).expect("acyclic");
+        // Every preset in the registry must produce a plan whose makespan
+        // is at least the streaming depth lower bound (T_s∞ is the
+        // infinite-resource pipelined optimum, which buffered schedules
+        // cannot beat either) and whose PE usage fits the machine.
+        for kind in SchedulerKind::ALL {
+            let plan = kind.build(p).schedule(&g);
+            let plan = match plan {
+                Ok(plan) => plan,
+                Err(e) => return Err(TestCaseError::fail(format!("{kind}: {e}"))),
+            };
+            prop_assert!(
+                plan.makespan() >= tinf,
+                "{kind}: makespan {} below streaming depth {tinf}",
+                plan.makespan()
+            );
+            let placement = plan.placement(&g);
+            prop_assert!(
+                placement.pes_used.iter().all(|&used| used <= p),
+                "{kind}: block uses more than {p} PEs ({:?})",
+                placement.pes_used
+            );
+            if let Some(partition) = plan.partition() {
+                prop_assert!(partition.max_block_size() <= p, "{kind}");
+            }
+        }
+    }
+
+    #[test]
     fn baseline_respects_precedence_and_capacity(
         (topo, seed) in arbitrary_workload(),
         p in 1usize..12,
