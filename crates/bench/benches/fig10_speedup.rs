@@ -5,7 +5,7 @@
 //! end-to-end throughput of the scenario-sweep engine itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use stg_experiments::SweepSpec;
+use stg_experiments::{SweepSpec, WorkloadFamily};
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_scheduling");
@@ -32,10 +32,20 @@ fn bench_engine_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_sweep");
     group.sample_size(10);
     // The whole paper grid (3 schedulers × 16 scenarios) at 2 graphs per
-    // cell: what one deterministic sweep costs end to end.
+    // cell: what one deterministic sweep costs end to end. The graph
+    // cache is cleared per iteration so the measurement stays a *cold*
+    // sweep (generation included), comparable across engine versions;
+    // the warm variant shows what repeat sweeps cost with the memoized
+    // graphs.
     let mut spec = SweepSpec::paper(2, 7);
     spec.threads = Some(2);
-    group.bench_function("paper_grid_2_graphs", |b| b.iter(|| spec.run()));
+    group.bench_function("paper_grid_2_graphs_cold", |b| {
+        b.iter(|| {
+            stg_workloads::cache::clear();
+            spec.run()
+        })
+    });
+    group.bench_function("paper_grid_2_graphs_warm", |b| b.iter(|| spec.run()));
     group.finish();
 }
 

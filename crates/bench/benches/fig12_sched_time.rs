@@ -11,8 +11,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use stg_core::SchedulerKind;
 use stg_csdf::{self_timed_makespan, to_csdf, AnalysisConfig};
-use stg_experiments::engine::{Workload, WorkloadSpec};
-use stg_experiments::SweepSpec;
+use stg_experiments::engine::WorkloadSpec;
+use stg_experiments::{SweepSpec, WorkloadKind};
 use stg_workloads::paper_suite;
 
 fn bench_fig12(c: &mut Criterion) {
@@ -23,7 +23,7 @@ fn bench_fig12(c: &mut Criterion) {
             .into_iter()
             .map(|(topo, _)| WorkloadSpec {
                 pes: vec![topo.task_count()],
-                workload: Workload::Synthetic(topo),
+                workload: WorkloadKind::Synthetic(topo),
             })
             .collect(),
         graphs: 1,

@@ -287,6 +287,22 @@ impl SchedulerKind {
     pub fn is_streaming(&self) -> bool {
         !matches!(self, SchedulerKind::NonStreaming)
     }
+
+    /// The canonical short command-line alias (`--scheduler sb-lts`).
+    /// Parses back through `FromStr`, like the display name.
+    pub fn alias(&self) -> &'static str {
+        match self {
+            SchedulerKind::StreamingLts => "sb-lts",
+            SchedulerKind::StreamingRlx => "sb-rlx",
+            SchedulerKind::StreamingLtsDep => "sb-lts-dep",
+            SchedulerKind::StreamingRlxDep => "sb-rlx-dep",
+            SchedulerKind::StreamingLtsCyclesOnly => "sb-lts-cyc",
+            SchedulerKind::Elementwise => "elementwise",
+            SchedulerKind::Downsampler => "downsampler",
+            SchedulerKind::Upsampler => "upsampler",
+            SchedulerKind::NonStreaming => "nonstreaming",
+        }
+    }
 }
 
 impl std::fmt::Display for SchedulerKind {
@@ -366,6 +382,7 @@ mod tests {
         for kind in SchedulerKind::ALL {
             let display = kind.to_string();
             assert_eq!(display.parse::<SchedulerKind>().unwrap(), kind, "{display}");
+            assert_eq!(kind.alias().parse::<SchedulerKind>().unwrap(), kind);
         }
         assert!("nope".parse::<SchedulerKind>().is_err());
     }

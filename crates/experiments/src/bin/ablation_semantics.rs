@@ -12,21 +12,20 @@
 //!
 //! Every comparison is an engine sweep over a pair (or triple) of
 //! scheduler presets; pairing per-graph results falls out of the engine's
-//! deterministic case order. `--topology` and `--pes` prune the grids;
+//! deterministic case order. `--workload` and `--pes` prune the grids;
 //! `--scheduler` is ignored — the paired presets *are* the ablations.
 
 use stg_core::SchedulerKind;
-use stg_experiments::engine::{Workload, WorkloadSpec};
-use stg_experiments::{summary, Args, SweepSpec};
-use stg_ml::{encoder_layer, TransformerConfig};
-use stg_workloads::{paper_suite, Topology};
+use stg_experiments::engine::WorkloadSpec;
+use stg_experiments::{summary, Args, SweepSpec, WorkloadKind};
+use stg_workloads::{paper_suite, MlWorkload, Topology};
 
 /// The suite with one mid-range PE count per topology.
 fn mid_pe_suite() -> Vec<WorkloadSpec> {
     paper_suite()
         .into_iter()
         .map(|(topo, pes)| WorkloadSpec {
-            workload: Workload::Synthetic(topo),
+            workload: WorkloadKind::Synthetic(topo),
             pes: vec![pes[pes.len() / 2]],
         })
         .collect()
@@ -84,10 +83,9 @@ fn main() {
     }
     let tf_sweep = run_checked(spec(
         vec![WorkloadSpec {
-            workload: Workload::fixed(
-                "Transformer encoder",
-                encoder_layer(&TransformerConfig::default()),
-            ),
+            // The registry's lazy transformer recipe: shared (and lowered
+            // at most once per process) with Table 2's grid.
+            workload: WorkloadKind::Ml(MlWorkload::TransformerEncoder),
             pes: vec![256, 1024],
         }],
         vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingLtsDep],
@@ -162,7 +160,7 @@ fn main() {
     // Algorithm 2 work-ordered partitioner vs Algorithm 1.
     let sweep = run_checked(spec(
         vec![WorkloadSpec {
-            workload: Workload::Synthetic(Topology::Chain { tasks: 8 }),
+            workload: WorkloadKind::Synthetic(Topology::Chain { tasks: 8 }),
             pes: vec![2, 4],
         }],
         vec![
@@ -190,7 +188,7 @@ fn main() {
     }
     let mut chol = spec(
         vec![WorkloadSpec {
-            workload: Workload::Synthetic(Topology::Cholesky { tiles: 8 }),
+            workload: WorkloadKind::Synthetic(Topology::Cholesky { tiles: 8 }),
             pes: vec![64],
         }],
         vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingRlx],

@@ -2,7 +2,7 @@
 //! table 2, and the engine sweep) by re-executing the sibling binaries
 //! with the same arguments. Each binary expands its grid through the
 //! shared sweep engine, so the whole evaluation honours the common
-//! `--topology` / `--pes` / `--scheduler` / `--threads` filters.
+//! `--workload` / `--pes` / `--scheduler` / `--threads` filters.
 
 use std::process::Command;
 

@@ -2,7 +2,7 @@
 //! synthetic topologies, comparing STR-SCH-1 (SB-LTS), STR-SCH-2 (SB-RLX),
 //! and the buffered NSTR-SCH baseline, with mean PE utilization.
 
-use stg_experiments::{summary, Args, SweepSpec};
+use stg_experiments::{summary, Args, SweepSpec, WorkloadFamily};
 
 fn main() {
     let args = Args::parse();
@@ -20,11 +20,11 @@ fn main() {
     let mut current = String::new();
     for cell in sweep.cells() {
         let topo = cell.workload.topology().expect("synthetic suite");
-        if !args.csv && current != cell.workload.name() {
+        if !args.csv && current != cell.workload.label() {
             if !current.is_empty() {
                 println!();
             }
-            current = cell.workload.name();
+            current = cell.workload.label();
             println!("{} (#Tasks = {})", topo.name(), topo.task_count());
         }
         let s = summary(&cell.values(|r| r.metrics.speedup));

@@ -2,7 +2,7 @@
 //! distributions for the two streaming heuristic variants.
 
 use stg_core::SchedulerKind;
-use stg_experiments::{summary, Args, SweepSpec};
+use stg_experiments::{summary, Args, SweepSpec, WorkloadFamily};
 
 fn main() {
     let args = Args::parse();
@@ -18,11 +18,11 @@ fn main() {
     let mut current = String::new();
     for cell in sweep.cells() {
         let topo = cell.workload.topology().expect("synthetic suite");
-        if !args.csv && current != cell.workload.name() {
+        if !args.csv && current != cell.workload.label() {
             if !current.is_empty() {
                 println!();
             }
-            current = cell.workload.name();
+            current = cell.workload.label();
             println!("{} (#Tasks = {})", topo.name(), topo.task_count());
         }
         let s = summary(&cell.values(|r| r.metrics.sslr));

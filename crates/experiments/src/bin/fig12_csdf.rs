@@ -16,8 +16,8 @@
 use std::time::{Duration, Instant};
 use stg_core::SchedulerKind;
 use stg_csdf::{self_timed_makespan, to_csdf, AnalysisConfig};
-use stg_experiments::engine::{Workload, WorkloadSpec};
-use stg_experiments::{summary, Args, SweepSpec};
+use stg_experiments::engine::WorkloadSpec;
+use stg_experiments::{summary, Args, SweepSpec, WorkloadKind};
 use stg_workloads::paper_suite;
 
 struct Row {
@@ -45,7 +45,7 @@ fn main() {
             .into_iter()
             .map(|(topo, _)| WorkloadSpec {
                 pes: vec![topo.task_count()],
-                workload: Workload::Synthetic(topo),
+                workload: WorkloadKind::Synthetic(topo),
             })
             .collect(),
         graphs: args.graphs,

@@ -1,28 +1,43 @@
 //! The engine frontend: run a declarative scenario sweep over the paper
 //! suite and emit deterministic CSV (default) or JSON (`--json`).
 //!
-//! With an identical spec (same `--graphs`, `--seed`, filters) the output
-//! is byte-identical across reruns and `--threads` settings — CI diffs
-//! two runs to enforce this. Exits non-zero if any scenario fails to
-//! schedule or (under `--validate`) any simulation deadlocks.
+//! The grid defaults to the paper's synthetic suite; naming any other
+//! registered family with `--workload` (e.g. `stencil2d:32x32`, `spmv`,
+//! `resnet50`) adds it at its registry-default PE sweep. With an
+//! identical spec (same `--graphs`, `--seed`, filters) the output is
+//! byte-identical across reruns and `--threads` settings — CI diffs two
+//! runs to enforce this, for both the paper topologies and the
+//! generator-plus-cache path of the new families. Exits non-zero if any
+//! scenario fails to schedule or (under `--validate`) any simulation
+//! deadlocks. Graph-cache statistics go to stderr, keeping stdout
+//! byte-stable.
 //!
 //! ```sh
 //! cargo run --release --bin sweep -- --graphs 3 --validate
-//! cargo run --release --bin sweep -- --topology chain,fft --pes 32 --json
-//! cargo run --release --bin sweep -- --scheduler sb-lts,elementwise,nstr
+//! cargo run --release --bin sweep -- --workload chain,fft --pes 32 --json
+//! cargo run --release --bin sweep -- --workload stencil2d,spmv:1024:0.01
+//! cargo run --release --bin sweep -- --list-workloads --list-schedulers
 //! ```
 
 use stg_experiments::{Args, SweepSpec};
 
 fn main() {
-    let args = Args::parse();
-    let spec = SweepSpec::paper(args.graphs, args.seed).filtered(&args);
+    let args = Args::parse(); // registry listing flags print and exit here
+    let spec = SweepSpec::paper(args.graphs, args.seed)
+        .extend_from_filter(&args)
+        .filtered(&args);
     let sweep = spec.run();
     if args.json {
         print!("{}", sweep.to_json());
     } else {
         print!("{}", sweep.to_csv());
     }
+    eprintln!(
+        "graph cache: {} hits, {} misses ({} scenarios)",
+        sweep.cache.hits,
+        sweep.cache.misses,
+        sweep.runs.len()
+    );
     let errors = sweep.errors();
     let deadlocks = sweep.deadlocks();
     if errors > 0 || deadlocks > 0 {

@@ -7,9 +7,9 @@
 //! sweep engine with the ML graphs as fixed workloads.
 
 use stg_core::SchedulerKind;
-use stg_experiments::engine::{Workload, WorkloadSpec};
-use stg_experiments::{Args, SweepSpec};
-use stg_ml::{encoder_layer, resnet50, LowerConfig, ResNetConfig, TransformerConfig};
+use stg_experiments::engine::WorkloadSpec;
+use stg_experiments::{Args, SweepSpec, WorkloadFamily, WorkloadKind};
+use stg_workloads::MlWorkload;
 
 fn main() {
     let args = Args::parse();
@@ -23,21 +23,16 @@ fn main() {
         println!(" STR  = gang-scheduled barriers, what the simulator validates)\n");
     }
 
-    let lower = LowerConfig { max_parallel: 256 };
-    let resnet = resnet50(&ResNetConfig { image: 224, lower });
-    let tf = encoder_layer(&TransformerConfig {
-        lower,
-        ..TransformerConfig::default()
-    });
-
+    // The ML workloads come from the registry as lazy recipes: a grid
+    // filtered down to one model (or none) never lowers the other.
     let spec = SweepSpec {
         workloads: vec![
             WorkloadSpec {
-                workload: Workload::fixed("Resnet-50", resnet),
+                workload: WorkloadKind::Ml(MlWorkload::Resnet50),
                 pes: vec![512, 1024, 1536, 2048],
             },
             WorkloadSpec {
-                workload: Workload::fixed("Transformer encoder", tf),
+                workload: WorkloadKind::Ml(MlWorkload::TransformerEncoder),
                 pes: vec![256, 512, 768, 1024],
             },
         ],
@@ -66,11 +61,8 @@ fn main() {
         let [s, sd, n] = trio else {
             unreachable!("the scheduler trio is pinned above")
         };
-        let name = s.workload.name();
-        let graph = match s.workload {
-            Workload::Fixed { graph, .. } => graph,
-            Workload::Synthetic(_) => unreachable!("table 2 uses fixed workloads"),
-        };
+        let name = s.workload.label();
+        let graph = s.workload.instantiate(0);
         let buffers = graph
             .node_ids()
             .filter(|&v| graph.kind(v) == stg_model::NodeKind::Buffer)

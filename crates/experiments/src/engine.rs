@@ -22,74 +22,16 @@ use stg_core::{Scheduler, SchedulerKind};
 use stg_des::relative_error;
 use stg_model::CanonicalGraph;
 use stg_sched::Metrics;
-use stg_workloads::{generate, paper_suite, Topology};
+use stg_workloads::{paper_suite, CacheStats, WorkloadFamily, WorkloadKind};
 
 use crate::harness::{default_threads, par_map_with, Args};
-
-/// A source of task graphs for a sweep: either a synthetic topology
-/// instantiated per seed, or a fixed graph (ML workloads) shared across
-/// the grid.
-#[derive(Clone)]
-pub enum Workload {
-    /// A synthetic topology with seeded random canonical volumes.
-    Synthetic(Topology),
-    /// A fixed, named graph; seeds are ignored.
-    Fixed {
-        /// Display name ("Resnet-50", ...).
-        name: String,
-        /// The shared graph.
-        graph: Arc<CanonicalGraph>,
-    },
-}
-
-impl Workload {
-    /// Wraps a fixed graph under a display name.
-    pub fn fixed(name: impl Into<String>, graph: CanonicalGraph) -> Workload {
-        Workload::Fixed {
-            name: name.into(),
-            graph: Arc::new(graph),
-        }
-    }
-
-    /// The identifier used in reports and emitted rows (`chain:8`-style
-    /// specs for synthetic topologies, the given name otherwise).
-    pub fn name(&self) -> String {
-        match self {
-            Workload::Synthetic(t) => t.to_string(),
-            Workload::Fixed { name, .. } => name.clone(),
-        }
-    }
-
-    /// The synthetic topology, if this workload is one.
-    pub fn topology(&self) -> Option<Topology> {
-        match self {
-            Workload::Synthetic(t) => Some(*t),
-            Workload::Fixed { .. } => None,
-        }
-    }
-
-    /// The number of compute tasks per generated graph.
-    pub fn task_count(&self) -> usize {
-        match self {
-            Workload::Synthetic(t) => t.task_count(),
-            Workload::Fixed { graph, .. } => graph.compute_count(),
-        }
-    }
-
-    /// Builds the graph for one seed.
-    pub fn instantiate(&self, seed: u64) -> Arc<CanonicalGraph> {
-        match self {
-            Workload::Synthetic(t) => Arc::new(generate(*t, seed)),
-            Workload::Fixed { graph, .. } => Arc::clone(graph),
-        }
-    }
-}
 
 /// One workload and the PE counts to sweep it over.
 #[derive(Clone)]
 pub struct WorkloadSpec {
-    /// The graph source.
-    pub workload: Workload,
+    /// The graph source (any registered [`WorkloadKind`], or a fixed
+    /// graph via [`WorkloadKind::fixed`]).
+    pub workload: WorkloadKind,
     /// Machine sizes to evaluate.
     pub pes: Vec<usize>,
 }
@@ -122,7 +64,7 @@ impl SweepSpec {
             workloads: paper_suite()
                 .into_iter()
                 .map(|(topo, pes)| WorkloadSpec {
-                    workload: Workload::Synthetic(topo),
+                    workload: WorkloadKind::Synthetic(topo),
                     pes,
                 })
                 .collect(),
@@ -139,10 +81,10 @@ impl SweepSpec {
     }
 
     /// Applies the command-line filters and overrides of `args`:
-    /// `--topology` / `--pes` prune the grid (fixed workloads are kept
-    /// unless a topology filter is present), `--scheduler` replaces the
-    /// scheduler set, and `--graphs`, `--seed`, `--validate`, `--threads`
-    /// override their fields.
+    /// `--workload` / `--pes` prune the grid (matching by family
+    /// keyword), `--scheduler` replaces the scheduler set, and
+    /// `--graphs`, `--seed`, `--validate`, `--threads` override their
+    /// fields.
     pub fn filtered(mut self, args: &Args) -> SweepSpec {
         self.graphs = args.graphs;
         self.seed = args.seed;
@@ -155,15 +97,12 @@ impl SweepSpec {
     }
 
     /// Applies only the grid-pruning half of [`Self::filtered`]:
-    /// `--topology` and `--pes` (fixed workloads are kept unless a
-    /// topology filter is present). Scheduler set, graphs, and seed are
+    /// `--workload` and `--pes`. Scheduler set, graphs, and seed are
     /// untouched — for binaries that pin those (the ablations, Table 2,
     /// Figure 12).
     pub fn filter_grid(mut self, args: &Args) -> SweepSpec {
-        self.workloads.retain(|w| match w.workload.topology() {
-            Some(t) => args.topology_selected(&t),
-            None => args.topologies.is_empty(),
-        });
+        self.workloads
+            .retain(|w| args.workload_selected(&w.workload));
         for w in &mut self.workloads {
             w.pes.retain(|&p| args.pes_selected(p));
         }
@@ -171,16 +110,47 @@ impl SweepSpec {
         self
     }
 
+    /// Appends a [`WorkloadSpec`] (at its registry-default PE sweep) for
+    /// every `--workload` filter entry whose family is not already in
+    /// the grid — so frontends seeded with the paper suite can sweep any
+    /// registered family (`sweep --workload stencil2d:32x32`) without
+    /// changing their default grid.
+    pub fn extend_from_filter(mut self, args: &Args) -> SweepSpec {
+        for kind in &args.workloads {
+            let family = kind.family();
+            if !self.workloads.iter().any(|w| w.workload.family() == family) {
+                self.workloads.push(WorkloadSpec {
+                    pes: kind.default_pes(),
+                    workload: kind.clone(),
+                });
+            }
+        }
+        self
+    }
+
+    /// Seeds evaluated per (workload, PE, scheduler) cell: `graphs` for
+    /// seeded workloads, at most one for fixed graphs — scheduling is a
+    /// pure function of the graph, so extra seeds would only duplicate
+    /// rows (and schedule the same multi-thousand-task ML graph
+    /// `graphs` times over).
+    pub fn runs_per_cell(&self, workload: &WorkloadKind) -> u64 {
+        if workload.seeded() {
+            self.graphs
+        } else {
+            self.graphs.min(1)
+        }
+    }
+
     /// Expands the grid into cases, in the deterministic order the
     /// engine evaluates and emits them: workload → PE count → scheduler
-    /// → seed (so each consecutive run of `graphs` cases is one
-    /// aggregation cell).
+    /// → seed (so each consecutive run of [`Self::runs_per_cell`] cases
+    /// is one aggregation cell).
     pub fn cases(&self) -> Vec<Case> {
         let mut cases = Vec::new();
         for w in &self.workloads {
             for &pes in &w.pes {
                 for &scheduler in &self.schedulers {
-                    for i in 0..self.graphs {
+                    for i in 0..self.runs_per_cell(&w.workload) {
                         cases.push(Case {
                             index: cases.len(),
                             workload: w.workload.clone(),
@@ -199,21 +169,40 @@ impl SweepSpec {
     /// returning `(case, result)` pairs in case order. This is the
     /// escape hatch for binaries that need more than a [`Record`]
     /// (timing, CSDF analysis, ...); the iteration itself stays in the
-    /// engine.
+    /// engine. Graphs come from the process-wide memoization cache, so
+    /// each `(spec, seed)` builds at most once across the grid.
     pub fn run_map<T: Send>(
         &self,
         f: impl Fn(&Case, &CanonicalGraph) -> T + Sync,
     ) -> Vec<(Case, T)> {
+        self.run_map_traced(f).0
+    }
+
+    /// [`Self::run_map`] plus the graph-cache hit/miss statistics this
+    /// grid incurred.
+    pub fn run_map_traced<T: Send>(
+        &self,
+        f: impl Fn(&Case, &CanonicalGraph) -> T + Sync,
+    ) -> (Vec<(Case, T)>, CacheStats) {
         let cases = self.cases();
         let threads = self
             .threads
             .unwrap_or_else(|| default_threads(cases.len() as u64));
         let out = par_map_with(cases.len() as u64, threads, |i| {
             let case = &cases[i as usize];
-            let g = case.graph();
-            f(case, &g)
+            let (g, hit) = case.workload.instantiate_traced(case.seed);
+            (f(case, &g), hit)
         });
-        cases.into_iter().zip(out).collect()
+        let mut cache = CacheStats::default();
+        let out = cases
+            .into_iter()
+            .zip(out)
+            .map(|(case, (result, hit))| {
+                cache.record(hit);
+                (case, result)
+            })
+            .collect();
+        (out, cache)
     }
 
     /// Runs the full sweep: every case through its scheduler (plus the
@@ -221,14 +210,15 @@ impl SweepSpec {
     /// deterministic, index-ordered results.
     pub fn run(&self) -> Sweep {
         let validate = self.validate;
-        let runs = self
-            .run_map(|case, g| evaluate(case, g, validate))
+        let (results, cache) = self.run_map_traced(|case, g| evaluate(case, g, validate));
+        let runs = results
             .into_iter()
             .map(|(case, outcome)| Run { case, outcome })
             .collect();
         Sweep {
             spec: self.clone(),
             runs,
+            cache,
         }
     }
 }
@@ -239,7 +229,7 @@ pub struct Case {
     /// Position in the expanded grid (also the result index).
     pub index: usize,
     /// The graph source.
-    pub workload: Workload,
+    pub workload: WorkloadKind,
     /// Machine size.
     pub pes: usize,
     /// Graph seed (ignored by fixed workloads).
@@ -249,7 +239,7 @@ pub struct Case {
 }
 
 impl Case {
-    /// Builds this case's task graph.
+    /// This case's task graph, shared through the memoization cache.
     pub fn graph(&self) -> Arc<CanonicalGraph> {
         self.workload.instantiate(self.seed)
     }
@@ -327,7 +317,7 @@ fn evaluate(
 /// (workload, PE count, scheduler) coordinate.
 pub struct Cell<'a> {
     /// The cell's workload.
-    pub workload: &'a Workload,
+    pub workload: &'a WorkloadKind,
     /// The cell's machine size.
     pub pes: usize,
     /// The cell's scheduler preset.
@@ -366,6 +356,10 @@ pub struct Sweep {
     pub spec: SweepSpec,
     /// All runs, index-ordered (`runs[i].case.index == i`).
     pub runs: Vec<Run>,
+    /// Graph-cache hit/miss counts for this sweep: with a cold cache,
+    /// `misses` equals the number of distinct `(spec, seed)` graphs and
+    /// every further scheduler/PE cell over the same graph is a hit.
+    pub cache: CacheStats,
 }
 
 impl Sweep {
@@ -395,18 +389,29 @@ impl Sweep {
     }
 
     /// Splits the runs into aggregation cells, in emission order
-    /// (workload → PE count → scheduler).
+    /// (workload → PE count → scheduler). Cell sizes follow
+    /// [`SweepSpec::runs_per_cell`]: `graphs` runs for seeded workloads,
+    /// one for fixed graphs.
     pub fn cells(&self) -> Vec<Cell<'_>> {
-        let n = self.spec.graphs.max(1) as usize;
-        self.runs
-            .chunks(n)
-            .map(|runs| Cell {
-                workload: &runs[0].case.workload,
-                pes: runs[0].case.pes,
-                scheduler: runs[0].case.scheduler,
-                runs,
-            })
-            .collect()
+        let mut cells = Vec::new();
+        let mut rest = &self.runs[..];
+        for w in &self.spec.workloads {
+            let n = self.spec.runs_per_cell(&w.workload) as usize;
+            if n == 0 {
+                continue;
+            }
+            for _ in 0..w.pes.len() * self.spec.schedulers.len() {
+                let (runs, tail) = rest.split_at(n);
+                cells.push(Cell {
+                    workload: &runs[0].case.workload,
+                    pes: runs[0].case.pes,
+                    scheduler: runs[0].case.scheduler,
+                    runs,
+                });
+                rest = tail;
+            }
+        }
+        cells
     }
 
     /// Renders the sweep as CSV, one row per run. Byte-identical across
@@ -420,7 +425,7 @@ impl Sweep {
             let c = &run.case;
             let prefix = format!(
                 "{},{},{},{},{}",
-                csv_field(&c.workload.name()),
+                csv_field(&c.workload.label()),
                 c.workload.task_count(),
                 c.pes,
                 c.seed,
@@ -480,7 +485,7 @@ impl Sweep {
             let head = format!(
                 "    {{\"workload\": {}, \"tasks\": {}, \"pes\": {}, \"seed\": {}, \
                  \"scheduler\": \"{}\"",
-                json_string(&c.workload.name()),
+                json_string(&c.workload.label()),
                 c.workload.task_count(),
                 c.pes,
                 c.seed,
@@ -641,7 +646,7 @@ mod tests {
         let args = Args {
             graphs: 1,
             seed: 1,
-            topologies: vec!["chain".parse().unwrap()],
+            workloads: vec!["chain".parse().unwrap()],
             pes: vec![2, 4],
             schedulers: vec![SchedulerKind::NonStreaming],
             ..Args::default()
@@ -655,18 +660,64 @@ mod tests {
     }
 
     #[test]
-    fn fixed_workloads_ignore_seeds() {
+    fn multi_scheduler_sweep_builds_each_graph_once() {
+        // Seed chosen to be unique to this test so concurrently running
+        // tests cannot pre-populate the cache keys it observes.
+        let mut spec = SweepSpec::paper(2, 0xBADC_0DE5);
+        spec.workloads.truncate(2);
+        spec.threads = Some(4);
+        let cases = spec.cases().len();
+        let sweep = spec.run();
+        // Distinct graphs = workloads × seeds; every extra scheduler and
+        // PE cell over the same graph must be a cache hit.
+        let distinct = spec.workloads.len() * spec.graphs as usize;
+        assert_eq!(sweep.cache.misses as usize, distinct);
+        assert_eq!(sweep.cache.hits as usize, cases - distinct);
+        assert!(
+            sweep.cache.hits > 0,
+            "multi-scheduler sweeps must share graphs"
+        );
+        // Rerunning the same spec hits for every case.
+        let again = spec.run();
+        assert_eq!(again.cache.misses, 0);
+        assert_eq!(again.cache.hits as usize, cases);
+    }
+
+    #[test]
+    fn extend_from_filter_adds_new_families_once() {
+        let args = Args {
+            workloads: vec![
+                "stencil2d:4x4".parse().unwrap(),
+                "chain:16".parse().unwrap(),
+                "stencil2d:8x8".parse().unwrap(),
+            ],
+            ..Args::default()
+        };
+        let spec = SweepSpec::paper(1, 0).extend_from_filter(&args);
+        // chain is already in the paper grid; stencil2d joins once (first
+        // spelling wins) at its registry-default PE sweep.
+        assert_eq!(spec.workloads.len(), 5);
+        let added = &spec.workloads[4];
+        assert_eq!(added.workload.spec(), "stencil2d:4x4");
+        assert_eq!(added.pes, added.workload.default_pes());
+        // The usual filter then prunes to the requested families only.
+        let filtered = spec.filtered(&args);
+        assert_eq!(filtered.workloads.len(), 2);
+    }
+
+    #[test]
+    fn fixed_workloads_collapse_the_seed_sweep() {
         use stg_model::Builder;
         let mut b = Builder::new();
         let t: Vec<_> = (0..4).map(|i| b.compute(format!("t{i}"))).collect();
         b.chain(&t, 64);
         let g = b.finish().unwrap();
-        let w = Workload::fixed("tiny", g);
+        let w = WorkloadKind::fixed("tiny", g);
         assert_eq!(w.task_count(), 4);
         let spec = SweepSpec {
             workloads: vec![WorkloadSpec {
                 workload: w,
-                pes: vec![2],
+                pes: vec![2, 4],
             }],
             graphs: 3,
             seed: 0,
@@ -674,13 +725,47 @@ mod tests {
             validate: false,
             threads: Some(2),
         };
+        // Seeds are meaningless for a fixed graph: each (PE, scheduler)
+        // cell evaluates it once instead of `graphs` times.
+        assert_eq!(spec.runs_per_cell(&spec.workloads[0].workload), 1);
         let sweep = spec.run();
-        assert_eq!(sweep.runs.len(), 3);
-        let makespans: Vec<u64> = sweep
-            .runs
-            .iter()
-            .map(|r| r.record().unwrap().metrics.makespan)
-            .collect();
-        assert!(makespans.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(sweep.runs.len(), 2);
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| c.runs.len() == 1));
+        assert!(sweep.runs.iter().all(|r| r.record().is_some()));
+    }
+
+    #[test]
+    fn cells_handle_mixed_seeded_and_fixed_grids() {
+        use stg_model::Builder;
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..3).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 32);
+        let spec = SweepSpec {
+            workloads: vec![
+                WorkloadSpec {
+                    workload: "chain:4".parse().unwrap(),
+                    pes: vec![2],
+                },
+                WorkloadSpec {
+                    workload: WorkloadKind::fixed("tiny", b.finish().unwrap()),
+                    pes: vec![2],
+                },
+            ],
+            graphs: 3,
+            seed: 7,
+            schedulers: vec![SchedulerKind::StreamingLts],
+            validate: false,
+            threads: Some(2),
+        };
+        let sweep = spec.run();
+        // 3 seeded runs + 1 fixed run, grouped as one cell each.
+        assert_eq!(sweep.runs.len(), 4);
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].runs.len(), 3);
+        assert_eq!(cells[1].runs.len(), 1);
+        assert_eq!(cells[1].workload.label(), "tiny");
     }
 }

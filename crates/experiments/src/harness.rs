@@ -4,12 +4,12 @@
 use std::str::FromStr;
 
 use stg_core::SchedulerKind;
-use stg_workloads::Topology;
+use stg_workloads::{WorkloadFamily, WorkloadKind};
 
 /// Common experiment options, parsed from the command line.
 #[derive(Clone, Debug)]
 pub struct Args {
-    /// Graphs per (topology, configuration) sample (paper: 100).
+    /// Graphs per (workload, configuration) sample (paper: 100).
     pub graphs: u64,
     /// Base RNG seed.
     pub seed: u64,
@@ -23,13 +23,18 @@ pub struct Args {
     pub validate: bool,
     /// Worker thread count override (default: available parallelism).
     pub threads: Option<usize>,
-    /// Keep only matching topologies (empty: keep all). Entries parse via
-    /// [`Topology::from_str`], so both `chain` and `fft:32` work.
-    pub topologies: Vec<Topology>,
+    /// Keep only matching workloads (empty: keep all). Entries parse via
+    /// [`WorkloadKind::from_str`], so `chain`, `fft:32`, `stencil2d:16x16`,
+    /// and `resnet50` all work. `--topology` is kept as an alias.
+    pub workloads: Vec<WorkloadKind>,
     /// Keep only these PE counts (empty: keep all).
     pub pes: Vec<usize>,
     /// Run only these schedulers (empty: the binary's default set).
     pub schedulers: Vec<SchedulerKind>,
+    /// Print the workload registry (spec, task count, default PEs) and exit.
+    pub list_workloads: bool,
+    /// Print the scheduler registry (name, alias) and exit.
+    pub list_schedulers: bool,
 }
 
 impl Default for Args {
@@ -42,17 +47,21 @@ impl Default for Args {
             json: false,
             validate: false,
             threads: None,
-            topologies: Vec::new(),
+            workloads: Vec::new(),
             pes: Vec::new(),
             schedulers: Vec::new(),
+            list_workloads: false,
+            list_schedulers: false,
         }
     }
 }
 
 impl Args {
     /// Parses `--graphs N --seed S --timeout-ms T --csv --json --validate
-    /// --threads N --topology LIST --pes LIST --scheduler LIST` from
-    /// `std::env`. List flags take comma-separated values and may repeat.
+    /// --threads N --workload LIST --pes LIST --scheduler LIST
+    /// --list-workloads --list-schedulers` from `std::env`. List flags
+    /// take comma-separated values and may repeat; `--topology` is an
+    /// alias of `--workload`.
     pub fn parse() -> Args {
         let mut args = Args::default();
         let mut it = std::env::args().skip(1);
@@ -65,36 +74,76 @@ impl Args {
                 "--json" => args.json = true,
                 "--validate" => args.validate = true,
                 "--threads" => args.threads = Some(next_value(&mut it, "--threads")),
-                "--topology" => append_list(&mut args.topologies, &mut it, "--topology"),
+                "--workload" | "--topology" => {
+                    append_list(&mut args.workloads, &mut it, flag.as_str())
+                }
                 "--pes" => append_list(&mut args.pes, &mut it, "--pes"),
                 "--scheduler" => append_list(&mut args.schedulers, &mut it, "--scheduler"),
+                "--list-workloads" => args.list_workloads = true,
+                "--list-schedulers" => args.list_schedulers = true,
                 other => {
                     eprintln!(
                         "unknown flag {other}; supported: --graphs --seed --timeout-ms --csv \
-                         --json --validate --threads --topology --pes --scheduler"
+                         --json --validate --threads --workload --pes --scheduler \
+                         --list-workloads --list-schedulers"
                     );
                     std::process::exit(2);
                 }
             }
         }
+        // The listing flags short-circuit every binary (running a full
+        // experiment after a listing request would be a surprise).
+        if args.list_workloads || args.list_schedulers {
+            if args.list_workloads {
+                print_workload_registry();
+            }
+            if args.list_schedulers {
+                print_scheduler_registry();
+            }
+            std::process::exit(0);
+        }
         args
     }
 
-    /// True if `topology` passes the `--topology` filter. Filtering is by
-    /// family (`--topology chain` and `--topology chain:8` both select
-    /// every chain in the suite); sizes in filter entries choose paper
-    /// defaults when constructing workloads, not when filtering.
-    pub fn topology_selected(&self, topology: &Topology) -> bool {
-        self.topologies.is_empty()
+    /// True if `workload` passes the `--workload` filter. Filtering is by
+    /// family keyword (`--workload chain` and `--workload chain:8` both
+    /// select every chain in the suite; `--workload resnet50` selects the
+    /// ML graph); sizes in filter entries choose workload sizes when
+    /// *adding* grid entries, not when filtering.
+    pub fn workload_selected(&self, workload: &WorkloadKind) -> bool {
+        self.workloads.is_empty()
             || self
-                .topologies
+                .workloads
                 .iter()
-                .any(|t| t.family() == topology.family())
+                .any(|w| w.family() == workload.family())
     }
 
     /// True if `p` passes the `--pes` filter.
     pub fn pes_selected(&self, p: usize) -> bool {
         self.pes.is_empty() || self.pes.contains(&p)
+    }
+}
+
+/// Prints every registered workload spec with its task count and default
+/// PE sweep (computing ML task counts forces their one-time lowering).
+pub fn print_workload_registry() {
+    println!("registered workloads (spec: tasks @ default PEs):");
+    for kind in WorkloadKind::registered() {
+        let pes: Vec<String> = kind.default_pes().iter().map(usize::to_string).collect();
+        println!(
+            "  {:20} {:>6} tasks @ PEs {}",
+            kind.spec(),
+            kind.task_count(),
+            pes.join(",")
+        );
+    }
+}
+
+/// Prints every registered scheduler preset with its CLI alias.
+pub fn print_scheduler_registry() {
+    println!("registered schedulers (name / --scheduler alias):");
+    for kind in SchedulerKind::ALL {
+        println!("  {:14} {}", kind.to_string(), kind.alias());
     }
 }
 
@@ -213,24 +262,35 @@ mod tests {
         let a = Args::default();
         assert_eq!(a.graphs, 100);
         assert!(!a.csv);
-        assert!(a.topologies.is_empty() && a.pes.is_empty() && a.schedulers.is_empty());
+        assert!(a.workloads.is_empty() && a.pes.is_empty() && a.schedulers.is_empty());
+        assert!(!a.list_workloads && !a.list_schedulers);
     }
 
     #[test]
     fn filters_select_families_and_pes() {
         let args = Args {
-            topologies: vec!["chain".parse().unwrap(), "fft:32".parse().unwrap()],
+            workloads: vec![
+                "chain".parse().unwrap(),
+                "fft:32".parse().unwrap(),
+                "stencil2d:8x8".parse().unwrap(),
+            ],
             pes: vec![2, 64],
             ..Args::default()
         };
         use stg_workloads::Topology;
-        assert!(args.topology_selected(&Topology::Chain { tasks: 8 }));
-        assert!(args.topology_selected(&Topology::Fft { points: 32 }));
-        assert!(!args.topology_selected(&Topology::Cholesky { tiles: 8 }));
+        let chain = WorkloadKind::Synthetic(Topology::Chain { tasks: 8 });
+        let fft = WorkloadKind::Synthetic(Topology::Fft { points: 32 });
+        let chol = WorkloadKind::Synthetic(Topology::Cholesky { tiles: 8 });
+        let stencil: WorkloadKind = "stencil2d:16x16".parse().unwrap();
+        assert!(args.workload_selected(&chain));
+        assert!(args.workload_selected(&fft));
+        assert!(!args.workload_selected(&chol));
+        // Family matching ignores sizes: any stencil passes the filter.
+        assert!(args.workload_selected(&stencil));
         assert!(args.pes_selected(2) && args.pes_selected(64));
         assert!(!args.pes_selected(4));
         let all = Args::default();
-        assert!(all.topology_selected(&Topology::Cholesky { tiles: 8 }));
+        assert!(all.workload_selected(&chol));
         assert!(all.pes_selected(4));
     }
 }

@@ -16,9 +16,12 @@
 //!
 //! Every binary runs its grid through the [`engine`]: a declarative
 //! [`engine::SweepSpec`] expanded over the scoped-thread pool, with all
-//! schedulers behind the `stg_core::Scheduler` trait. All binaries accept
+//! schedulers behind the `stg_core::Scheduler` trait and all workloads
+//! behind `stg_workloads::WorkloadKind`. All binaries accept
 //! `--graphs N --seed S --timeout-ms T --csv --json --validate
-//! --threads N --topology LIST --pes LIST --scheduler LIST`.
+//! --threads N --workload LIST --pes LIST --scheduler LIST`
+//! (`--topology` is an alias of `--workload`), plus `--list-workloads` /
+//! `--list-schedulers` to print the registries and exit.
 
 #![warn(missing_docs)]
 
@@ -26,6 +29,9 @@ pub mod engine;
 pub mod harness;
 pub mod stats;
 
-pub use engine::{Case, Cell, Record, Run, SimRecord, Sweep, SweepSpec, Workload, WorkloadSpec};
-pub use harness::{default_threads, par_map, par_map_with, Args};
+pub use engine::{Case, Cell, Record, Run, SimRecord, Sweep, SweepSpec, WorkloadSpec};
+pub use harness::{
+    default_threads, par_map, par_map_with, print_scheduler_registry, print_workload_registry, Args,
+};
 pub use stats::{summary, Summary};
+pub use stg_workloads::{WorkloadFamily, WorkloadKind};

@@ -1,0 +1,118 @@
+//! Long-sequence blocked self-attention task graphs.
+//!
+//! A flash-attention-style blocked schedule over a sequence of length
+//! `seq`, tiled into blocks of [`Attention::BLOCK`] tokens: one
+//! projection entry task fans out to per-(query, key) block score tasks
+//! `qk`, each query block reduces its scores through a softmax task,
+//! fans back out over the value blocks (`av`), accumulates into an
+//! output task, and a final merge task joins all query blocks. The
+//! quadratic `qk`/`av` layers model why long sequences are the paper's
+//! motivating "new workload family": task counts grow as
+//! `O((seq / BLOCK)²)` while the depth stays constant.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stg_graph::Dag;
+use stg_model::CanonicalGraph;
+
+use crate::{assign_volumes, VolumeConfig, WorkloadFamily};
+
+/// Blocked self-attention over a `seq`-token sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Attention {
+    /// Sequence length in tokens (≥ 1; tiled into `BLOCK`-token blocks).
+    pub seq: usize,
+}
+
+impl Attention {
+    /// Tokens per tile; `seq 4096` ⇒ a 32 × 32 block grid.
+    pub const BLOCK: usize = 128;
+
+    /// The long-sequence default preset, `attention:seq4096`.
+    pub const DEFAULT: Attention = Attention { seq: 4096 };
+
+    /// Number of sequence blocks.
+    pub fn blocks(&self) -> usize {
+        self.seq.div_ceil(Self::BLOCK).max(1)
+    }
+
+    /// Builds the bare task DAG.
+    pub fn build_dag(&self) -> Dag<String, ()> {
+        let b = self.blocks();
+        let mut g = Dag::new();
+        let proj = g.add_node("proj".to_string());
+        let merge = g.add_node("merge".to_string());
+        for i in 0..b {
+            let smx = g.add_node(format!("smx{i}"));
+            for j in 0..b {
+                let qk = g.add_node(format!("qk{i}_{j}"));
+                g.add_edge(proj, qk, ());
+                g.add_edge(qk, smx, ());
+            }
+            let out = g.add_node(format!("out{i}"));
+            for j in 0..b {
+                let av = g.add_node(format!("av{i}_{j}"));
+                g.add_edge(smx, av, ());
+                g.add_edge(av, out, ());
+            }
+            g.add_edge(out, merge, ());
+        }
+        g
+    }
+}
+
+impl WorkloadFamily for Attention {
+    fn family(&self) -> &'static str {
+        "attention"
+    }
+
+    fn spec(&self) -> String {
+        format!("attention:seq{}", self.seq)
+    }
+
+    fn task_count(&self) -> usize {
+        let b = self.blocks();
+        // proj + merge + per query block: b qk, softmax, b av, out.
+        2 + b * (2 * b + 2)
+    }
+
+    fn build(&self, seed: u64) -> CanonicalGraph {
+        let dag = self.build_dag();
+        let mut rng = StdRng::seed_from_u64(seed);
+        assign_volumes(&dag, &mut rng, &VolumeConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_graph::is_acyclic;
+
+    #[test]
+    fn block_grid_structure() {
+        let a = Attention { seq: 512 }; // 4 blocks
+        let dag = a.build_dag();
+        assert_eq!(a.blocks(), 4);
+        assert_eq!(dag.node_count(), a.task_count());
+        assert_eq!(dag.node_count(), 2 + 4 * 10);
+        assert!(is_acyclic(&dag));
+        assert_eq!(dag.sources().count(), 1);
+        assert_eq!(dag.sinks().count(), 1);
+    }
+
+    #[test]
+    fn short_sequences_round_up_to_one_block() {
+        let a = Attention { seq: 1 };
+        assert_eq!(a.blocks(), 1);
+        let g = a.build(0);
+        g.validate().unwrap();
+        assert_eq!(g.compute_count(), a.task_count());
+    }
+
+    #[test]
+    fn default_matches_quadratic_count() {
+        let a = Attention::DEFAULT;
+        assert_eq!(a.blocks(), 32);
+        assert_eq!(a.task_count(), 2 + 32 * 66);
+    }
+}

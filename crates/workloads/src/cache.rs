@@ -1,0 +1,157 @@
+//! Process-wide memoization of instantiated workload graphs.
+//!
+//! Sweep grids evaluate the same `(workload spec, seed)` graph once per
+//! scheduler × PE cell; regenerating it each time was the engine's
+//! standing hotspot. This cache keys graphs by `(spec, seed)` and hands
+//! out shared `Arc`s, guaranteeing **exactly one** construction per key
+//! even under concurrent instantiation: the map lock only guards slot
+//! lookup, while a per-slot [`OnceLock`] serializes (and deduplicates)
+//! the build itself.
+//!
+//! The cache never evicts on its own — resident memory is
+//! O(distinct `(spec, seed)` keys) until the process exits. Experiment
+//! binaries are short-lived grids where that is the working set anyway;
+//! long-lived processes (services, benchmark harnesses) should call
+//! [`clear`] between work items they don't want to share graphs across.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use stg_model::CanonicalGraph;
+
+type Slot = Arc<OnceLock<Arc<CanonicalGraph>>>;
+
+static CACHE: OnceLock<Mutex<HashMap<(String, u64), Slot>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Hit/miss counters of the workload graph cache. Per-sweep deltas are
+/// reported in `stg_experiments::engine::Sweep::cache`; the process-wide
+/// totals are available through [`stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Instantiations served from the cache.
+    pub hits: u64,
+    /// Instantiations that had to build the graph.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Records one instantiation outcome.
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Total instantiations observed.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+fn map() -> &'static Mutex<HashMap<(String, u64), Slot>> {
+    CACHE.get_or_init(Default::default)
+}
+
+/// Returns the cached graph for `(spec, seed)`, building it with `build`
+/// on the first request. The second component is `true` when the cache
+/// already held the graph. Concurrent first requests for one key block on
+/// the builder instead of duplicating work.
+pub fn get_or_build(
+    spec: &str,
+    seed: u64,
+    build: impl FnOnce() -> CanonicalGraph,
+) -> (Arc<CanonicalGraph>, bool) {
+    let slot = {
+        let mut m = map().lock().expect("workload cache lock");
+        m.entry((spec.to_string(), seed)).or_default().clone()
+    };
+    let mut built = false;
+    let graph = slot
+        .get_or_init(|| {
+            built = true;
+            Arc::new(build())
+        })
+        .clone();
+    if built {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    (graph, !built)
+}
+
+/// Process-wide cache counters since start (or the last [`clear`]).
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Number of cached graphs.
+pub fn len() -> usize {
+    map().lock().expect("workload cache lock").len()
+}
+
+/// Drops every cached graph and resets the process-wide counters. Shared
+/// `Arc`s held by callers stay alive; only the cache's references go.
+pub fn clear() {
+    map().lock().expect("workload cache lock").clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_model::Builder;
+
+    fn tiny(n: u64) -> CanonicalGraph {
+        let mut b = Builder::new();
+        let a = b.compute("a");
+        let c = b.compute("b");
+        b.edge(a, c, n);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn second_request_is_a_hit_and_shares_the_graph() {
+        let (a, hit_a) = get_or_build("test-cache-tiny:1", 7, || tiny(8));
+        let (b, hit_b) = get_or_build("test-cache-tiny:1", 7, || unreachable!("cached"));
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn distinct_seeds_and_specs_build_separately() {
+        let (a, _) = get_or_build("test-cache-tiny:2", 0, || tiny(16));
+        let (b, hit) = get_or_build("test-cache-tiny:2", 1, || tiny(16));
+        assert!(!hit);
+        assert!(!Arc::ptr_eq(&a, &b));
+        let (_, hit) = get_or_build("test-cache-tiny:3", 0, || tiny(16));
+        assert!(!hit);
+    }
+
+    #[test]
+    fn exactly_once_under_concurrency() {
+        use std::sync::atomic::AtomicUsize;
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    get_or_build("test-cache-tiny:4", 5, || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        tiny(4)
+                    })
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Fixed-graph workloads: the evaluated ML models and user-supplied
+//! graphs.
+//!
+//! ML graphs are expensive to lower, so [`MlWorkload`] is only a *recipe*
+//! — the graph is built lazily on first instantiation and cached once per
+//! process (seeds are ignored), instead of eagerly per `SweepSpec` as the
+//! old engine-local `Workload::Fixed` required.
+
+use std::sync::Arc;
+
+use stg_ml::{encoder_layer, resnet50, ResNetConfig, TransformerConfig};
+use stg_model::CanonicalGraph;
+
+use crate::WorkloadFamily;
+
+/// The paper's Table 2 machine-learning inference workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MlWorkload {
+    /// ResNet-50 inference at batch size 1 (224×224 input).
+    Resnet50,
+    /// One base transformer encoder layer (128-token sequence).
+    TransformerEncoder,
+}
+
+impl WorkloadFamily for MlWorkload {
+    fn family(&self) -> &'static str {
+        match self {
+            MlWorkload::Resnet50 => "resnet50",
+            MlWorkload::TransformerEncoder => "transformer",
+        }
+    }
+
+    fn spec(&self) -> String {
+        self.family().to_string()
+    }
+
+    fn label(&self) -> String {
+        match self {
+            MlWorkload::Resnet50 => "Resnet-50".to_string(),
+            MlWorkload::TransformerEncoder => "Transformer encoder".to_string(),
+        }
+    }
+
+    /// Forces the (cached, once-per-process) lowering of the model.
+    fn task_count(&self) -> usize {
+        self.instantiate(0).compute_count()
+    }
+
+    fn build(&self, _seed: u64) -> CanonicalGraph {
+        match self {
+            MlWorkload::Resnet50 => resnet50(&ResNetConfig::default()),
+            MlWorkload::TransformerEncoder => encoder_layer(&TransformerConfig::default()),
+        }
+    }
+
+    fn seeded(&self) -> bool {
+        false
+    }
+}
+
+/// An arbitrary fixed graph under a display name — the escape hatch for
+/// sweeping graphs that are not in the registry (custom lowerings, test
+/// fixtures). Not parseable from a spec string.
+#[derive(Clone, Debug)]
+pub struct FixedWorkload {
+    /// Display name used in reports and emitted rows.
+    pub name: String,
+    /// The shared graph.
+    pub graph: Arc<CanonicalGraph>,
+}
+
+impl PartialEq for FixedWorkload {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && Arc::ptr_eq(&self.graph, &other.graph)
+    }
+}
+
+impl WorkloadFamily for FixedWorkload {
+    fn family(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn spec(&self) -> String {
+        format!("fixed:{}", self.name)
+    }
+
+    fn label(&self) -> String {
+        self.name.clone()
+    }
+
+    fn task_count(&self) -> usize {
+        self.graph.compute_count()
+    }
+
+    fn build(&self, _seed: u64) -> CanonicalGraph {
+        (*self.graph).clone()
+    }
+
+    fn seeded(&self) -> bool {
+        false
+    }
+
+    fn instantiate_traced(&self, _seed: u64) -> (Arc<CanonicalGraph>, bool) {
+        // Already shared; the memo cache would only add a second owner.
+        (Arc::clone(&self.graph), true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ml_specs_and_labels() {
+        assert_eq!(MlWorkload::Resnet50.spec(), "resnet50");
+        assert_eq!(MlWorkload::Resnet50.label(), "Resnet-50");
+        assert_eq!(MlWorkload::TransformerEncoder.spec(), "transformer");
+        assert_eq!(
+            MlWorkload::TransformerEncoder.label(),
+            "Transformer encoder"
+        );
+        assert!(!MlWorkload::Resnet50.seeded());
+    }
+
+    #[test]
+    fn fixed_workload_shares_without_caching() {
+        use stg_model::Builder;
+        let mut b = Builder::new();
+        let x = b.compute("x");
+        let y = b.compute("y");
+        b.edge(x, y, 8);
+        let w = FixedWorkload {
+            name: "tiny".into(),
+            graph: Arc::new(b.finish().unwrap()),
+        };
+        let (a, hit_a) = w.instantiate_traced(0);
+        let (b2, hit_b) = w.instantiate_traced(99);
+        assert!(hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b2));
+        assert_eq!(w.task_count(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Fork–join pipeline task graphs.
+//!
+//! `stages` sequential stages, each a fork task scattering to `width`
+//! parallel workers gathered by a join task; the join chains into the
+//! next stage's fork. The alternation between 1-wide and `width`-wide
+//! layers is the classic stress test for spatial-block partitioners:
+//! blocks larger than `width + 2` span a synchronization point, smaller
+//! ones serialize the scatter.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stg_graph::{Dag, NodeId};
+use stg_model::CanonicalGraph;
+
+use crate::{assign_volumes, VolumeConfig, WorkloadFamily};
+
+/// A `width`-wide, `stages`-deep fork–join pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ForkJoin {
+    /// Parallel workers per stage (≥ 1).
+    pub width: usize,
+    /// Sequential fork–join stages (≥ 1).
+    pub stages: usize,
+}
+
+impl ForkJoin {
+    /// The default preset, `forkjoin:8x32`.
+    pub const DEFAULT: ForkJoin = ForkJoin {
+        width: 8,
+        stages: 32,
+    };
+
+    /// Builds the bare task DAG.
+    pub fn build_dag(&self) -> Dag<String, ()> {
+        assert!(self.width >= 1 && self.stages >= 1);
+        let mut g = Dag::new();
+        let mut prev_join: Option<NodeId> = None;
+        for s in 0..self.stages {
+            let fork = g.add_node(format!("fork{s}"));
+            if let Some(j) = prev_join {
+                g.add_edge(j, fork, ());
+            }
+            let join = g.add_node(format!("join{s}"));
+            for k in 0..self.width {
+                let w = g.add_node(format!("w{s}_{k}"));
+                g.add_edge(fork, w, ());
+                g.add_edge(w, join, ());
+            }
+            prev_join = Some(join);
+        }
+        g
+    }
+}
+
+impl WorkloadFamily for ForkJoin {
+    fn family(&self) -> &'static str {
+        "forkjoin"
+    }
+
+    fn spec(&self) -> String {
+        format!("forkjoin:{}x{}", self.width, self.stages)
+    }
+
+    fn task_count(&self) -> usize {
+        self.stages * (self.width + 2)
+    }
+
+    fn build(&self, seed: u64) -> CanonicalGraph {
+        let dag = self.build_dag();
+        let mut rng = StdRng::seed_from_u64(seed);
+        assign_volumes(&dag, &mut rng, &VolumeConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_graph::is_acyclic;
+
+    #[test]
+    fn stage_structure() {
+        let fj = ForkJoin {
+            width: 3,
+            stages: 4,
+        };
+        let dag = fj.build_dag();
+        assert_eq!(dag.node_count(), fj.task_count());
+        assert_eq!(dag.node_count(), 4 * 5);
+        // Per stage: 2*width scatter/gather edges; stages-1 chain edges.
+        assert_eq!(dag.edge_count(), 4 * 6 + 3);
+        assert!(is_acyclic(&dag));
+        assert_eq!(dag.sources().count(), 1);
+        assert_eq!(dag.sinks().count(), 1);
+    }
+
+    #[test]
+    fn generated_graphs_are_canonical() {
+        let g = ForkJoin::DEFAULT.build(11);
+        g.validate().unwrap();
+        assert_eq!(g.compute_count(), 32 * 10);
+    }
+}

@@ -1,0 +1,397 @@
+//! The workload registry: everything a `--workload` spec string can name.
+//!
+//! [`WorkloadKind`] is to [`WorkloadFamily`] what `SchedulerKind` is to
+//! `Scheduler`: a closed, parseable registry of presets behind the open
+//! trait. Every registered workload — the paper's four synthetic
+//! topologies, the four extension families, and the fixed ML graphs —
+//! round-trips through `Display`/`FromStr`, so sweep grids, CLI filters,
+//! and property tests all speak one spec language (`chain:8`,
+//! `stencil2d:16x16`, `spmv:1024:0.01`, `attention:seq4096`,
+//! `forkjoin:8x32`, `resnet50`, ...).
+
+use std::str::FromStr;
+use std::sync::Arc;
+
+use stg_model::CanonicalGraph;
+
+use crate::{generate, WorkloadFamily};
+use crate::{Attention, FixedWorkload, ForkJoin, MlWorkload, Spmv, Stencil2d, Topology};
+
+impl WorkloadFamily for Topology {
+    fn family(&self) -> &'static str {
+        Topology::family(self)
+    }
+
+    fn spec(&self) -> String {
+        self.to_string()
+    }
+
+    fn task_count(&self) -> usize {
+        Topology::task_count(self)
+    }
+
+    fn build(&self, seed: u64) -> CanonicalGraph {
+        generate(*self, seed)
+    }
+}
+
+/// A registered workload: any graph source the sweep engine can name,
+/// parse, and instantiate. `Fixed` is the escape hatch for unregistered
+/// graphs and is the only variant without a spec syntax.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadKind {
+    /// One of the paper's synthetic topologies (`chain`, `fft`, `gauss`,
+    /// `chol`).
+    Synthetic(Topology),
+    /// 2-D wavefront stencil (`stencil2d:16x16`).
+    Stencil2d(Stencil2d),
+    /// Sparse triangular solve (`spmv:1024:0.01`).
+    Spmv(Spmv),
+    /// Blocked long-sequence self-attention (`attention:seq4096`).
+    Attention(Attention),
+    /// Fork–join pipeline (`forkjoin:8x32`).
+    ForkJoin(ForkJoin),
+    /// A fixed machine-learning graph (`resnet50`, `transformer`), built
+    /// lazily once per process.
+    Ml(MlWorkload),
+    /// An arbitrary fixed graph under a display name (not parseable).
+    Fixed(FixedWorkload),
+}
+
+impl WorkloadKind {
+    /// Every registered preset at its default size, in display order —
+    /// what `sweep --list-workloads` prints and the round-trip property
+    /// tests cover.
+    pub fn registered() -> Vec<WorkloadKind> {
+        vec![
+            WorkloadKind::Synthetic(Topology::Chain { tasks: 8 }),
+            WorkloadKind::Synthetic(Topology::Fft { points: 32 }),
+            WorkloadKind::Synthetic(Topology::GaussianElimination { m: 16 }),
+            WorkloadKind::Synthetic(Topology::Cholesky { tiles: 8 }),
+            WorkloadKind::Stencil2d(Stencil2d::DEFAULT),
+            WorkloadKind::Spmv(Spmv::DEFAULT),
+            WorkloadKind::Attention(Attention::DEFAULT),
+            WorkloadKind::ForkJoin(ForkJoin::DEFAULT),
+            WorkloadKind::Ml(MlWorkload::Resnet50),
+            WorkloadKind::Ml(MlWorkload::TransformerEncoder),
+        ]
+    }
+
+    /// Wraps a fixed graph under a display name (the escape hatch for
+    /// graphs outside the registry).
+    pub fn fixed(name: impl Into<String>, graph: CanonicalGraph) -> WorkloadKind {
+        WorkloadKind::Fixed(FixedWorkload {
+            name: name.into(),
+            graph: Arc::new(graph),
+        })
+    }
+
+    /// The synthetic paper topology, if this workload is one (the figure
+    /// binaries group their output by it).
+    pub fn topology(&self) -> Option<Topology> {
+        match self {
+            WorkloadKind::Synthetic(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// The PE counts a grid sweeps this workload over when the caller
+    /// does not choose its own (paper sweeps for the paper workloads,
+    /// Table 2 sweeps for the ML graphs).
+    pub fn default_pes(&self) -> Vec<usize> {
+        match self {
+            WorkloadKind::Synthetic(Topology::Chain { .. }) => vec![2, 4, 6, 8],
+            WorkloadKind::Synthetic(_) => vec![32, 64, 96, 128],
+            WorkloadKind::Stencil2d(_) => vec![16, 32, 64],
+            WorkloadKind::Spmv(_) => vec![32, 64, 128],
+            WorkloadKind::Attention(_) => vec![64, 128, 256],
+            WorkloadKind::ForkJoin(_) => vec![8, 16, 32],
+            WorkloadKind::Ml(MlWorkload::Resnet50) => vec![512, 1024, 1536, 2048],
+            WorkloadKind::Ml(MlWorkload::TransformerEncoder) => vec![256, 512, 768, 1024],
+            WorkloadKind::Fixed(_) => Vec::new(),
+        }
+    }
+
+    fn inner(&self) -> &dyn WorkloadFamily {
+        match self {
+            WorkloadKind::Synthetic(t) => t,
+            WorkloadKind::Stencil2d(s) => s,
+            WorkloadKind::Spmv(s) => s,
+            WorkloadKind::Attention(a) => a,
+            WorkloadKind::ForkJoin(f) => f,
+            WorkloadKind::Ml(m) => m,
+            WorkloadKind::Fixed(f) => f,
+        }
+    }
+}
+
+impl WorkloadFamily for WorkloadKind {
+    fn family(&self) -> &'static str {
+        self.inner().family()
+    }
+
+    fn spec(&self) -> String {
+        self.inner().spec()
+    }
+
+    fn label(&self) -> String {
+        self.inner().label()
+    }
+
+    fn task_count(&self) -> usize {
+        self.inner().task_count()
+    }
+
+    fn build(&self, seed: u64) -> CanonicalGraph {
+        self.inner().build(seed)
+    }
+
+    fn seeded(&self) -> bool {
+        self.inner().seeded()
+    }
+
+    fn instantiate_traced(&self, seed: u64) -> (Arc<CanonicalGraph>, bool) {
+        self.inner().instantiate_traced(seed)
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    /// Renders the canonical spec string. Round-trips through `FromStr`
+    /// for every variant except `Fixed`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+/// Error parsing a [`WorkloadKind`] spec string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseWorkloadError(String);
+
+impl std::fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid workload spec {:?}; registered families: chain:N, fft:N, gauss:M, \
+             chol:T, stencil2d:RxC, spmv:N:DENSITY, attention:seqN, forkjoin:WxS, \
+             resnet50, transformer — e.g. \"chain:8\", \"stencil2d:16x16\", \
+             \"spmv:1024:0.01\" (sizes optional: \"stencil2d\" picks the default)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {}
+
+/// Parses `"RxC"` (or a bare `"N"` meaning `NxN`).
+fn parse_grid(s: &str) -> Option<(usize, usize)> {
+    match s.split_once('x') {
+        Some((r, c)) => Some((r.parse().ok()?, c.parse().ok()?)),
+        None => {
+            let n = s.parse().ok()?;
+            Some((n, n))
+        }
+    }
+}
+
+impl FromStr for WorkloadKind {
+    type Err = ParseWorkloadError;
+
+    /// Parses a workload spec, case-insensitive. A bare family keyword
+    /// selects the registered default size. The four paper topologies
+    /// keep their `Topology` spec syntax and aliases.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseWorkloadError(s.to_string());
+        let lower = s.trim().to_ascii_lowercase();
+        let (family, size) = match lower.split_once(':') {
+            Some((f, sz)) => (f, Some(sz)),
+            None => (lower.as_str(), None),
+        };
+        let kind = match family {
+            "chain" | "fft" | "gauss" | "gaussian" | "ge" | "chol" | "cholesky" => {
+                WorkloadKind::Synthetic(lower.parse::<Topology>().map_err(|_| err())?)
+            }
+            "stencil2d" | "stencil" => {
+                let (rows, cols) = match size {
+                    Some(sz) => parse_grid(sz).ok_or_else(err)?,
+                    None => (Stencil2d::DEFAULT.rows, Stencil2d::DEFAULT.cols),
+                };
+                if rows < 1 || cols < 1 || rows * cols < 2 {
+                    return Err(err());
+                }
+                WorkloadKind::Stencil2d(Stencil2d { rows, cols })
+            }
+            "spmv" => {
+                let (rows, density_ppm) = match size {
+                    Some(sz) => {
+                        let (rows, density) = match sz.split_once(':') {
+                            Some((r, d)) => {
+                                let d: f64 = d.parse().map_err(|_| err())?;
+                                if !d.is_finite() || !(0.0..=1.0).contains(&d) {
+                                    return Err(err());
+                                }
+                                (r, (d * 1e6).round() as u32)
+                            }
+                            None => (sz, Spmv::DEFAULT.density_ppm),
+                        };
+                        (rows.parse().map_err(|_| err())?, density)
+                    }
+                    None => (Spmv::DEFAULT.rows, Spmv::DEFAULT.density_ppm),
+                };
+                if rows < 2 {
+                    return Err(err());
+                }
+                WorkloadKind::Spmv(Spmv { rows, density_ppm })
+            }
+            "attention" | "attn" => {
+                let seq = match size {
+                    Some(sz) => sz
+                        .strip_prefix("seq")
+                        .unwrap_or(sz)
+                        .parse()
+                        .map_err(|_| err())?,
+                    None => Attention::DEFAULT.seq,
+                };
+                if seq < 1 {
+                    return Err(err());
+                }
+                WorkloadKind::Attention(Attention { seq })
+            }
+            "forkjoin" | "fj" => {
+                let (width, stages) = match size {
+                    Some(sz) => parse_grid(sz).ok_or_else(err)?,
+                    None => (ForkJoin::DEFAULT.width, ForkJoin::DEFAULT.stages),
+                };
+                if width < 1 || stages < 1 {
+                    return Err(err());
+                }
+                WorkloadKind::ForkJoin(ForkJoin { width, stages })
+            }
+            "resnet50" | "resnet" => WorkloadKind::Ml(MlWorkload::Resnet50),
+            "transformer" | "encoder" => WorkloadKind::Ml(MlWorkload::TransformerEncoder),
+            _ => return Err(err()),
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_spec_strings_parse() {
+        // The exact spec strings of the workload-API issue.
+        assert_eq!(
+            "stencil2d:16x16".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Stencil2d(Stencil2d { rows: 16, cols: 16 })
+        );
+        assert_eq!(
+            "spmv:1024:0.01".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Spmv(Spmv {
+                rows: 1024,
+                density_ppm: 10_000
+            })
+        );
+        assert_eq!(
+            "attention:seq4096".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Attention(Attention { seq: 4096 })
+        );
+        assert_eq!(
+            "forkjoin:8x32".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::ForkJoin(ForkJoin {
+                width: 8,
+                stages: 32
+            })
+        );
+        assert_eq!(
+            "chain:8".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Synthetic(Topology::Chain { tasks: 8 })
+        );
+    }
+
+    #[test]
+    fn bare_families_pick_defaults_and_aliases_work() {
+        assert_eq!(
+            "stencil".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Stencil2d(Stencil2d::DEFAULT)
+        );
+        assert_eq!(
+            "spmv".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Spmv(Spmv::DEFAULT)
+        );
+        assert_eq!(
+            "attention:512".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Attention(Attention { seq: 512 })
+        );
+        assert_eq!(
+            "fj".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::ForkJoin(ForkJoin::DEFAULT)
+        );
+        assert_eq!(
+            "Resnet".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Ml(MlWorkload::Resnet50)
+        );
+        assert_eq!(
+            "encoder".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Ml(MlWorkload::TransformerEncoder)
+        );
+        assert_eq!(
+            "gaussian:4".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Synthetic(Topology::GaussianElimination { m: 4 })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for bad in [
+            "",
+            "mesh",
+            "stencil2d:1x1",
+            "stencil2d:0x4",
+            "stencil2d:4y4",
+            "spmv:1",
+            "spmv:64:1.5",
+            "spmv:64:-0.1",
+            "spmv:64:nan",
+            "attention:seq0",
+            "forkjoin:0x4",
+            "fft:31",
+        ] {
+            assert!(bad.parse::<WorkloadKind>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn registered_specs_round_trip() {
+        for kind in WorkloadKind::registered() {
+            let spec = kind.to_string();
+            assert_eq!(spec.parse::<WorkloadKind>().unwrap(), kind, "{spec}");
+        }
+    }
+
+    #[test]
+    fn density_display_round_trips() {
+        for ppm in [1u32, 100, 10_000, 123_456, 1_000_000] {
+            let kind = WorkloadKind::Spmv(Spmv {
+                rows: 64,
+                density_ppm: ppm,
+            });
+            assert_eq!(kind.to_string().parse::<WorkloadKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn synthetic_labels_are_topology_specs() {
+        let kind = WorkloadKind::Synthetic(Topology::Chain { tasks: 8 });
+        assert_eq!(kind.label(), "chain:8");
+        assert_eq!(kind.topology(), Some(Topology::Chain { tasks: 8 }));
+        assert_eq!(kind.task_count(), 8);
+    }
+
+    #[test]
+    fn default_pes_cover_every_registered_kind() {
+        for kind in WorkloadKind::registered() {
+            assert!(!kind.default_pes().is_empty(), "{kind}");
+        }
+    }
+}

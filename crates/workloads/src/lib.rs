@@ -1,14 +1,46 @@
 //! # stg-workloads
 //!
-//! The synthetic task graphs of the paper's evaluation (Section 7.1):
-//! Chain, FFT, Gaussian elimination, and tiled Cholesky topologies with
-//! randomly sampled canonical volumes (seeded, deterministic).
+//! The workload layer of the evaluation: every task graph a sweep can
+//! schedule, behind one registry.
+//!
+//! - The paper's synthetic topologies (Section 7.1): Chain, FFT, Gaussian
+//!   elimination, and tiled Cholesky with randomly sampled canonical
+//!   volumes (seeded, deterministic) — [`Topology`].
+//! - Extension families: 2-D wavefront stencils ([`Stencil2d`]), sparse
+//!   triangular solves ([`Spmv`]), blocked long-sequence attention
+//!   ([`Attention`]), and fork–join pipelines ([`ForkJoin`]).
+//! - The fixed ML graphs of Table 2 ([`MlWorkload`]), lowered lazily once
+//!   per process.
+//!
+//! Every workload implements [`WorkloadFamily`] and is registered in
+//! [`WorkloadKind`], whose `Display`/`FromStr` spec strings (`chain:8`,
+//! `stencil2d:16x16`, `spmv:1024:0.01`, ...) drive the sweep engine, the
+//! `--workload` CLI filter, and the property tests. Instantiated graphs
+//! are memoized process-wide in [`cache`] keyed by `(spec, seed)`, so a
+//! sweep grid builds each graph exactly once across all scheduler and PE
+//! cells.
 
 #![warn(missing_docs)]
 
+pub mod attention;
+pub mod cache;
+pub mod family;
+pub mod fixed;
+pub mod forkjoin;
+pub mod kind;
+pub mod spmv;
+pub mod stencil;
 pub mod topology;
 pub mod volumes;
 
+pub use attention::Attention;
+pub use cache::CacheStats;
+pub use family::WorkloadFamily;
+pub use fixed::{FixedWorkload, MlWorkload};
+pub use forkjoin::ForkJoin;
+pub use kind::{ParseWorkloadError, WorkloadKind};
+pub use spmv::Spmv;
+pub use stencil::Stencil2d;
 pub use topology::{ParseTopologyError, Topology};
 pub use volumes::{assign_volumes, VolumeConfig};
 
@@ -16,7 +48,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stg_model::CanonicalGraph;
 
-/// Generates one random canonical task graph for a topology.
+/// Generates one random canonical task graph for a topology (uncached;
+/// use [`WorkloadFamily::instantiate`] for the memoized path).
 pub fn generate(topology: Topology, seed: u64) -> CanonicalGraph {
     generate_with(topology, seed, &VolumeConfig::default())
 }
@@ -71,5 +104,25 @@ mod tests {
         let a: Vec<u64> = graphs[1].dag().edges().map(|(_, e)| e.weight).collect();
         let b: Vec<u64> = direct.dag().edges().map(|(_, e)| e.weight).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_instantiation_matches_direct_generation() {
+        let topo = Topology::Fft { points: 16 };
+        let kind = WorkloadKind::Synthetic(topo);
+        let cached = kind.instantiate(55);
+        let direct = generate(topo, 55);
+        let a: Vec<u64> = cached.dag().edges().map(|(_, e)| e.weight).collect();
+        let b: Vec<u64> = direct.dag().edges().map(|(_, e)| e.weight).collect();
+        assert_eq!(a, b);
+        // And the second request shares the first graph.
+        assert!(std::sync::Arc::ptr_eq(&cached, &kind.instantiate(55)));
+    }
+
+    #[test]
+    fn paper_suite_default_pes_match_registry() {
+        for (topo, pes) in paper_suite() {
+            assert_eq!(WorkloadKind::Synthetic(topo).default_pes(), pes);
+        }
     }
 }

@@ -1,0 +1,149 @@
+//! Sparse triangular-solve (SpMV-style) task graphs.
+//!
+//! Models the task graph of a sparse lower-triangular solve `L·y = x`
+//! with a seeded random sparsity pattern: one task per row, a unit
+//! subdiagonal chaining row `i−1` into row `i` (so the system is never
+//! singular and the graph is connected), and extra dependencies
+//! `j → i` (`j < i−1`) drawn per seed to match the requested density.
+//! Unlike the paper's four topologies, the *structure* — not just the
+//! volumes — varies with the seed, mirroring how sparse-accelerator
+//! simulators (SpMV/SpMSpM PIM studies) sweep matrices rather than one
+//! fixed pattern. The task count stays a pure function of the spec.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stg_graph::{Dag, NodeId};
+use stg_model::CanonicalGraph;
+
+use crate::{assign_volumes, VolumeConfig, WorkloadFamily};
+
+/// Decouples the sparsity-pattern RNG stream from the volume stream.
+const PATTERN_STREAM: u64 = 0x5BA2_D15C_0F37_91E4;
+
+/// A sparse lower-triangular solve over `rows` rows at a given density.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Spmv {
+    /// Number of matrix rows (≥ 2), one task each.
+    pub rows: usize,
+    /// Off-diagonal density in parts per million (1 ⇒ 0.000001,
+    /// 1_000_000 ⇒ fully dense lower triangle).
+    pub density_ppm: u32,
+}
+
+impl Spmv {
+    /// The default preset, `spmv:1024:0.01`.
+    pub const DEFAULT: Spmv = Spmv {
+        rows: 1024,
+        density_ppm: 10_000,
+    };
+
+    /// The density as a fraction in `(0, 1]`.
+    pub fn density(&self) -> f64 {
+        self.density_ppm as f64 / 1e6
+    }
+
+    /// Builds the bare task DAG for one sparsity sample.
+    pub fn build_dag(&self, rng: &mut StdRng) -> Dag<String, ()> {
+        assert!(self.rows >= 2, "triangular solve needs at least 2 rows");
+        let mut g = Dag::new();
+        let rows: Vec<NodeId> = (0..self.rows)
+            .map(|i| g.add_node(format!("row{i}")))
+            .collect();
+        for i in 1..self.rows {
+            // Unit subdiagonal: row i always waits on row i-1.
+            g.add_edge(rows[i - 1], rows[i], ());
+            // Extra dependencies on strictly earlier rows, deterministic
+            // in count (density × candidates) and seeded in position.
+            let candidates = i - 1; // rows 0..i-1, excluding the subdiagonal
+            let extras = ((candidates as u64 * self.density_ppm as u64) / 1_000_000) as usize;
+            let mut picked = std::collections::HashSet::with_capacity(extras);
+            while picked.len() < extras {
+                let j = rng.gen_range(0..candidates);
+                if picked.insert(j) {
+                    g.add_edge(rows[j], rows[i], ());
+                }
+            }
+        }
+        g
+    }
+}
+
+impl WorkloadFamily for Spmv {
+    fn family(&self) -> &'static str {
+        "spmv"
+    }
+
+    fn spec(&self) -> String {
+        format!("spmv:{}:{}", self.rows, self.density())
+    }
+
+    fn task_count(&self) -> usize {
+        self.rows
+    }
+
+    fn build(&self, seed: u64) -> CanonicalGraph {
+        let mut pattern_rng = StdRng::seed_from_u64(seed ^ PATTERN_STREAM);
+        let dag = self.build_dag(&mut pattern_rng);
+        let mut rng = StdRng::seed_from_u64(seed);
+        assign_volumes(&dag, &mut rng, &VolumeConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_graph::is_acyclic;
+
+    #[test]
+    fn structure_is_connected_and_acyclic() {
+        let s = Spmv {
+            rows: 64,
+            density_ppm: 100_000, // 0.1
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let dag = s.build_dag(&mut rng);
+        assert_eq!(dag.node_count(), 64);
+        assert!(is_acyclic(&dag));
+        // The subdiagonal keeps a single entry and a single exit.
+        assert_eq!(dag.sources().count(), 1);
+        assert_eq!(dag.sinks().count(), 1);
+        // Density adds edges beyond the chain.
+        assert!(dag.edge_count() > 63);
+    }
+
+    #[test]
+    fn pattern_varies_with_seed_but_count_does_not() {
+        let s = Spmv {
+            rows: 128,
+            density_ppm: 50_000,
+        };
+        let a = s.build(1);
+        let b = s.build(2);
+        assert_eq!(a.compute_count(), s.task_count());
+        assert_eq!(b.compute_count(), s.task_count());
+        // Same deterministic edge count (extras per row are density-fixed).
+        assert_eq!(a.edge_count(), b.edge_count());
+        let ea: Vec<(usize, usize)> = a
+            .dag()
+            .edges()
+            .map(|(_, e)| (e.src.index(), e.dst.index()))
+            .collect();
+        let eb: Vec<(usize, usize)> = b
+            .dag()
+            .edges()
+            .map(|(_, e)| (e.src.index(), e.dst.index()))
+            .collect();
+        assert_ne!(ea, eb, "sparsity pattern should vary with the seed");
+    }
+
+    #[test]
+    fn zero_density_degenerates_to_a_chain() {
+        let s = Spmv {
+            rows: 16,
+            density_ppm: 0,
+        };
+        let g = s.build(3);
+        g.validate().unwrap();
+        assert_eq!(g.edge_count(), 15);
+    }
+}

@@ -69,7 +69,7 @@ impl Topology {
     }
 
     /// The lowercase family keyword used in `Display`/`FromStr` specs
-    /// and `--topology` filters ("chain", "fft", "gauss", "chol").
+    /// and `--workload` filters ("chain", "fft", "gauss", "chol").
     pub fn family(&self) -> &'static str {
         match self {
             Topology::Chain { .. } => "chain",

@@ -7,11 +7,14 @@
 //! cargo run --release --example temporal_multiplexing
 //! ```
 
-use stg_workloads::{generate, Topology};
+use stg_workloads::{WorkloadFamily, WorkloadKind};
 use streaming_sched::prelude::*;
 
 fn main() {
-    let g = generate(Topology::Cholesky { tiles: 8 }, 2024);
+    // Any registered spec string instantiates through the shared,
+    // memoized workload registry.
+    let workload: WorkloadKind = "chol:8".parse().expect("registered spec");
+    let g = workload.instantiate(2024);
     println!(
         "tiled Cholesky T=8: {} tasks, T1 = {}, T_s∞ = {}, buffered critical path = {}\n",
         g.compute_count(),

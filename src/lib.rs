@@ -18,8 +18,10 @@
 //!   (Section 6).
 //! - [`stg_des`] — element-level discrete event simulator used to validate
 //!   schedules (Appendix B).
-//! - [`stg_workloads`] — synthetic task-graph generators (Chain, FFT, Gaussian
-//!   elimination, tiled Cholesky) with canonical random volume assignment.
+//! - [`stg_workloads`] — the workload layer: `WorkloadFamily` trait and
+//!   `WorkloadKind` registry over the synthetic generators (Chain, FFT,
+//!   Gaussian elimination, tiled Cholesky, stencil, SpMV, attention,
+//!   fork–join), lazy ML recipes, and memoized `(spec, seed)` instantiation.
 //! - [`stg_ml`] — ONNX-like operator graphs lowered to canonical task graphs
 //!   (ResNet-50 and a transformer encoder layer, Section 7.3).
 //! - [`stg_csdf`] — cyclo-static dataflow conversion and self-timed throughput
