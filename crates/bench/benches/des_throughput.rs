@@ -1,12 +1,43 @@
 //! Discrete-event-simulator throughput: element beats per second on the
-//! validation workloads (chains and random FFT graphs with sized buffers).
+//! validation workloads (chains and random FFT graphs with sized buffers),
+//! per simulator — the per-beat reference versus the beat-batched fast
+//! path — plus the Figure 12-style head-to-head on `attention:seq1024`,
+//! the workload whose DES validation dominated sweep wall-clock before
+//! the batched path landed (the ≥5× acceptance bar of the batching work).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use stg_analysis::{schedule, Partition};
-use stg_buffer::{buffer_sizes, SizingPolicy};
-use stg_des::{simulate, SimConfig};
-use stg_model::Builder;
+use stg_analysis::{schedule, Partition, Schedule};
+use stg_buffer::{buffer_sizes, BufferPlan, SizingPolicy};
+use stg_des::{simulate_kind, SimConfig, SimKind};
+use stg_model::{Builder, CanonicalGraph};
 use stg_workloads::{generate, Topology};
+
+/// Benches one prepared scenario under both simulators, asserting their
+/// equivalence once up front.
+fn bench_both(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    param: impl std::fmt::Display,
+    g: &CanonicalGraph,
+    s: &Schedule,
+    plan: &BufferPlan,
+) {
+    let reference = simulate_kind(SimKind::Reference, g, s, plan, SimConfig::default());
+    let batched = simulate_kind(SimKind::Batched, g, s, plan, SimConfig::default());
+    assert!(
+        reference.completed(),
+        "benchmark workload must not deadlock"
+    );
+    assert_eq!(reference, batched, "simulators must agree bit for bit");
+    group.throughput(Throughput::Elements(reference.beats));
+    for kind in SimKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}-{kind}"), &param),
+            &kind,
+            |bch, &kind| bch.iter(|| simulate_kind(kind, g, s, plan, SimConfig::default())),
+        );
+    }
+}
 
 fn bench_des(c: &mut Criterion) {
     let mut group = c.benchmark_group("des");
@@ -19,11 +50,7 @@ fn bench_des(c: &mut Criterion) {
         let g = b.finish().expect("canonical");
         let s = schedule(&g, &Partition::single_block(&g)).expect("valid");
         let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
-        let sim = simulate(&g, &s, &plan, SimConfig::default());
-        group.throughput(Throughput::Elements(sim.beats));
-        group.bench_with_input(BenchmarkId::new("chain8", k), &k, |bch, _| {
-            bch.iter(|| simulate(&g, &s, &plan, SimConfig::default()))
-        });
+        bench_both(&mut group, "chain8", k, &g, &s, &plan);
     }
 
     // A random FFT graph at two machine sizes (barriers included).
@@ -32,15 +59,28 @@ fn bench_des(c: &mut Criterion) {
         let part = stg_sched::spatial_block_partition(&g, p, stg_sched::SbVariant::Rlx);
         let s = schedule(&g, &part).expect("valid");
         let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
-        let sim = simulate(&g, &s, &plan, SimConfig::default());
-        assert!(sim.completed(), "benchmark workload must not deadlock");
-        group.throughput(Throughput::Elements(sim.beats));
-        group.bench_with_input(BenchmarkId::new("fft16", p), &p, |bch, _| {
-            bch.iter(|| simulate(&g, &s, &plan, SimConfig::default()))
-        });
+        bench_both(&mut group, "fft16", p, &g, &s, &plan);
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_des);
+/// The Figure 12-style timing comparison the ROADMAP's DES perf item asked
+/// for: both simulators on the blocked self-attention workload whose
+/// validation dominated `sweep --validate` wall-clock.
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_attention_seq1024");
+    group.sample_size(10);
+    use stg_workloads::{WorkloadFamily, WorkloadKind};
+    let kind: WorkloadKind = "attention:seq1024".parse().expect("registered");
+    let g = kind.build(0xC0FFEE);
+    for p in [64usize, 128] {
+        let part = stg_sched::spatial_block_partition(&g, p, stg_sched::SbVariant::Lts);
+        let s = schedule(&g, &part).expect("valid");
+        let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
+        bench_both(&mut group, "attention1024", p, &g, &s, &plan);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_des, bench_attention);
 criterion_main!(benches);

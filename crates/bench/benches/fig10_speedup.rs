@@ -5,7 +5,7 @@
 //! end-to-end throughput of the scenario-sweep engine itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use stg_experiments::{SweepSpec, WorkloadFamily};
+use stg_experiments::{SimChoice, SweepSpec, WorkloadFamily};
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_scheduling");
@@ -46,6 +46,17 @@ fn bench_engine_sweep(c: &mut Criterion) {
         })
     });
     group.bench_function("paper_grid_2_graphs_warm", |b| b.iter(|| spec.run()));
+    // The same warm grid with DES validation on, per simulator: what
+    // `--validate` adds to a sweep — the batched fast path is what makes
+    // validated CI sweeps affordable.
+    for sim in [SimChoice::Reference, SimChoice::Batched] {
+        let mut validated = spec.clone();
+        validated.validate = true;
+        validated.sim = sim;
+        group.bench_function(format!("paper_grid_2_graphs_validated_{sim}"), |b| {
+            b.iter(|| validated.run())
+        });
+    }
     group.finish();
 }
 

@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use stg_core::SchedulerKind;
 use stg_csdf::{self_timed_makespan, to_csdf, AnalysisConfig};
-use stg_experiments::engine::WorkloadSpec;
+use stg_experiments::engine::{SimChoice, WorkloadSpec};
 use stg_experiments::{SweepSpec, WorkloadKind};
 use stg_workloads::paper_suite;
 
@@ -30,6 +30,8 @@ fn bench_fig12(c: &mut Criterion) {
         seed: 3,
         schedulers: vec![SchedulerKind::StreamingRlx],
         validate: false,
+        sim: SimChoice::default(),
+        timing: false,
         threads: Some(1),
     };
     for case in spec.cases() {

@@ -4,7 +4,7 @@ use stg_analysis::{
     non_streaming_depth, streaming_depth, BlockStartRule, Partition, Schedule, ScheduleError,
 };
 use stg_buffer::{buffer_sizes, BufferPlan, SizingPolicy};
-use stg_des::{simulate, SimConfig, SimResult};
+use stg_des::{simulate_kind, SimConfig, SimKind, SimResult};
 use stg_model::CanonicalGraph;
 use stg_sched::{
     compute_metrics, downsampler_partition, elementwise_partition, non_streaming_schedule,
@@ -162,9 +162,17 @@ impl StreamingPlan {
     }
 
     /// Validates the plan by element-level discrete event simulation with
-    /// the computed buffer sizes.
+    /// the computed buffer sizes, using the reference simulator.
     pub fn validate(&self, g: &CanonicalGraph) -> SimResult {
-        simulate(
+        self.validate_with(g, SimKind::Reference)
+    }
+
+    /// [`Self::validate`] with an explicit simulator choice. The batched
+    /// simulator produces bit-identical results at a fraction of the
+    /// wall-clock cost — cheap enough to validate every cell of a sweep.
+    pub fn validate_with(&self, g: &CanonicalGraph, sim: SimKind) -> SimResult {
+        simulate_kind(
+            sim,
             g,
             &self.result.schedule,
             &self.buffers,

@@ -11,7 +11,10 @@ pub use stg_analysis::{
     StreamingIntervals, WorkDepth,
 };
 pub use stg_buffer::{buffer_sizes, BufferPlan, ChannelKind, SizingPolicy};
-pub use stg_des::{relative_error, simulate, simulate_with, SimConfig, SimFailure, SimResult};
+pub use stg_des::{
+    relative_error, simulate, simulate_kind, simulate_with, simulate_with_kind, BatchedSim,
+    ReferenceSim, SimConfig, SimFailure, SimKind, SimResult, Simulator,
+};
 pub use stg_graph::{Dag, EdgeId, NodeId, Ratio};
 pub use stg_model::{Builder, CanonicalGraph, CanonicalNode, NodeClass, NodeKind, Violation};
 pub use stg_sched::{

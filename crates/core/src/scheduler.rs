@@ -11,7 +11,7 @@ use std::str::FromStr;
 
 use stg_analysis::{Partition, Schedule, ScheduleError};
 use stg_buffer::BufferPlan;
-use stg_des::SimResult;
+use stg_des::{SimKind, SimResult};
 use stg_model::CanonicalGraph;
 use stg_sched::{assign_pes, Metrics, Placement, SbVariant};
 
@@ -140,16 +140,25 @@ impl Plan {
         }
     }
 
-    /// Validates the plan by element-level discrete event simulation.
+    /// Validates the plan by element-level discrete event simulation with
+    /// the reference simulator (see [`Self::validate_with`]).
+    pub fn validate(&self, g: &CanonicalGraph) -> SimResult {
+        self.validate_with(g, SimKind::Reference)
+    }
+
+    /// Validates the plan by element-level discrete event simulation with
+    /// the chosen simulator ([`SimKind::Batched`] is bit-identical to the
+    /// reference and far cheaper on large graphs).
     ///
     /// Streaming plans run the Appendix B simulator with the computed
     /// FIFO capacities. Buffered baseline plans cannot deadlock by
     /// construction (every transfer goes through unbounded global
     /// memory), so their analytic schedule is its own witness: the
-    /// returned result reports completion at the analytic times.
-    pub fn validate(&self, g: &CanonicalGraph) -> SimResult {
+    /// returned result reports completion at the analytic times, busy
+    /// spans equal to the scheduled task spans, and no FIFO traffic.
+    pub fn validate_with(&self, g: &CanonicalGraph, sim: SimKind) -> SimResult {
         match &self.detail {
-            PlanDetail::Streaming(p) => p.validate(g),
+            PlanDetail::Streaming(p) => p.validate_with(g, sim),
             PlanDetail::NonStreaming(p) => {
                 let fo: Vec<Option<u64>> = g
                     .node_ids()
@@ -159,11 +168,21 @@ impl Plan {
                             .then(|| p.schedule.finish[v.index()])
                     })
                     .collect();
+                let busy: Vec<Option<u64>> = g
+                    .node_ids()
+                    .map(|v| {
+                        g.node(v)
+                            .is_schedulable()
+                            .then(|| p.schedule.finish[v.index()] - p.schedule.start[v.index()])
+                    })
+                    .collect();
                 SimResult {
                     makespan: p.schedule.makespan,
                     lo: fo.clone(),
                     fo,
+                    busy,
                     beats: 0,
+                    fifo_peak: vec![0; g.dag().edge_count()],
                     failure: None,
                 }
             }

@@ -5,7 +5,18 @@
 //! validation (Appendix B). It executes a computed streaming schedule with
 //! finite, blocking-after-service FIFO channels, memory-gated buffered
 //! communication, and gang-scheduled spatial blocks, and reports the
-//! simulated makespan, per-task first-out/completion times, and deadlocks.
+//! simulated makespan, per-task first-out/completion/busy times, peak FIFO
+//! occupancies, and deadlocks.
+//!
+//! Two interchangeable simulators implement the [`Simulator`] trait and
+//! produce bit-identical results:
+//!
+//! - [`ReferenceSim`] ([`SimKind::Reference`]) — the per-beat event-heap
+//!   ground truth: one event per element beat.
+//! - [`BatchedSim`] ([`SimKind::Batched`]) — the beat-batched fast path:
+//!   per-cycle work buckets plus steady-state epoch leaping that advances
+//!   whole `(rate, depth)`-determined runs at once, falling back to
+//!   per-beat stepping around stalls, back-pressure, and task boundaries.
 //!
 //! Used by the Figure 13 experiment to measure the relative error between
 //! the analytic makespan and the simulated one, and by the Section 6 tests
@@ -15,9 +26,14 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod sim;
 
-pub use sim::{simulate, simulate_with, SimConfig, SimFailure, SimResult};
+pub use batch::BatchedSim;
+pub use sim::{
+    simulate, simulate_kind, simulate_with, simulate_with_kind, Event, ParseSimKindError,
+    ReferenceSim, SimConfig, SimFailure, SimKind, SimResult, Simulator,
+};
 
 /// The Figure 13 error metric: `(simulated − analytic) / analytic`.
 /// Negative values mean the analysis over-estimated the makespan.
@@ -275,6 +291,172 @@ mod tests {
         let (_, sim) = run_with_plan(&g, &Partition::single_block(&g));
         // t0: 16 out; t1: 16 in + 16 out; t2: 16 in = 64 beats.
         assert_eq!(sim.beats, 64);
+    }
+
+    /// Runs both simulators on the same scenario and asserts bit-equality
+    /// before returning the (shared) result.
+    fn simulate_both(
+        g: &CanonicalGraph,
+        s: &stg_analysis::Schedule,
+        capacity_of: impl Fn(stg_graph::EdgeId) -> Option<u64> + Copy,
+        config: SimConfig,
+    ) -> SimResult {
+        let reference = simulate_with_kind(SimKind::Reference, g, s, capacity_of, config);
+        let batched = simulate_with_kind(SimKind::Batched, g, s, capacity_of, config);
+        assert_eq!(reference, batched, "simulators diverged");
+        reference
+    }
+
+    #[test]
+    fn event_ordering_is_time_then_pid() {
+        // The documented tie-break: at equal cycles, the lower process id
+        // steps first. Pinned so traces are reproducible even though the
+        // cycle fixpoint is confluent.
+        let e = |time, pid| Event { time, pid };
+        assert!(e(1, 0) < e(1, 1), "ties break on process id");
+        assert!(e(1, 7) < e(2, 0), "time dominates pid");
+        let mut heap = std::collections::BinaryHeap::new();
+        for ev in [e(2, 1), e(1, 3), e(1, 2), e(2, 0)] {
+            heap.push(std::cmp::Reverse(ev));
+        }
+        let order: Vec<Event> = std::iter::from_fn(|| heap.pop().map(|r| r.0)).collect();
+        assert_eq!(order, vec![e(1, 2), e(1, 3), e(2, 0), e(2, 1)]);
+    }
+
+    #[test]
+    fn two_pes_simultaneously_ready_agree_across_simulators() {
+        // Two independent equal-length chains in one block: both leading
+        // tasks become ready at the same cycle on different PEs. The
+        // explicit event ordering (and confluence) makes the outcome
+        // identical whichever steps first — pinned across both simulators.
+        let mut b = Builder::new();
+        let a0 = b.compute("a0");
+        let a1 = b.compute("a1");
+        let c0 = b.compute("c0");
+        let c1 = b.compute("c1");
+        b.edge(a0, a1, 32);
+        b.edge(c0, c1, 32);
+        let g = b.finish().unwrap();
+        let s = schedule(&g, &Partition::single_block(&g)).unwrap();
+        let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
+        let sim = simulate_both(&g, &s, |e| plan.capacity_of(e), SimConfig::default());
+        assert!(sim.completed());
+        // Symmetric chains finish identically: same FO/LO/busy on both PEs.
+        assert_eq!(sim.fo[a0.index()], sim.fo[c0.index()]);
+        assert_eq!(sim.lo[a1.index()], sim.lo[c1.index()]);
+        assert_eq!(sim.busy[a0.index()], sim.busy[c0.index()]);
+    }
+
+    #[test]
+    fn zero_depth_fifos_clamp_to_one_in_both_simulators() {
+        // A zero-capacity channel cannot transport elements; both
+        // simulators clamp explicit zero-depth capacities (and a
+        // zero default) to one element, identically.
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..3).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 64);
+        let g = b.finish().unwrap();
+        let s = schedule(&g, &Partition::single_block(&g)).unwrap();
+        let zero_cfg = SimConfig {
+            default_capacity: 0,
+            ..SimConfig::default()
+        };
+        let zero = simulate_both(&g, &s, |_| Some(0), zero_cfg);
+        let one = simulate_both(&g, &s, |_| Some(1), SimConfig::default());
+        assert!(zero.completed());
+        assert_eq!(zero.makespan, one.makespan);
+        assert_eq!(zero.fifo_peak, one.fifo_peak);
+        // End-of-cycle occupancy never exceeds the clamped capacity.
+        assert!(zero.peak_fifo() <= 1);
+    }
+
+    #[test]
+    fn rate_mismatched_pairs_agree_and_track_peaks() {
+        // Down- and up-samplers break the period-1 steady state: the
+        // batched path must only leap whole multi-cycle periods (or none)
+        // and still match the reference exactly. produce -> down(/4) ->
+        // up(x2) -> consume over a long stream.
+        let mut b = Builder::new();
+        let p0 = b.compute("p");
+        let dn = b.compute("dn");
+        let up = b.compute("up");
+        let c0 = b.compute("c");
+        b.edge(p0, dn, 1024);
+        b.edge(dn, up, 256);
+        b.edge(up, c0, 512);
+        let g = b.finish().unwrap();
+        let s = schedule(&g, &Partition::single_block(&g)).unwrap();
+        let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
+        let sized = simulate_both(&g, &s, |e| plan.capacity_of(e), SimConfig::default());
+        assert!(sized.completed(), "{:?}", sized.failure);
+        // Off-critical tasks may front-run the steady-state analysis, so
+        // the simulated makespan is bounded by the analytic one.
+        assert!(sized.makespan <= s.makespan && sized.makespan > 1024);
+        // And under deliberately tight capacity-1 channels (bubbles).
+        let tight = simulate_both(&g, &s, |_| None, SimConfig::default());
+        assert!(tight.completed());
+        assert!(tight.peak_fifo() <= 1, "capacity-1 bounds the occupancy");
+    }
+
+    #[test]
+    fn single_beat_tasks_are_not_coalesced() {
+        // Volume-1 edges leave no steady state to batch: every counter
+        // margin is zero, so the epoch leap must never fire and both
+        // simulators walk the graph beat by beat, with one busy cycle
+        // per beat boundary.
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..5).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 1);
+        let g = b.finish().unwrap();
+        let s = schedule(&g, &Partition::single_block(&g)).unwrap();
+        let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
+        let sim = simulate_both(&g, &s, |e| plan.capacity_of(e), SimConfig::default());
+        assert!(sim.completed());
+        assert_eq!(sim.makespan, s.makespan);
+        // 4 pops + 4 pushes + the head's emission... exactly one element
+        // over each of the 4 channels: 8 beats total.
+        assert_eq!(sim.beats, 8);
+        for v in &t {
+            // Each task touches its single element in at most 2 cycles.
+            assert!(sim.busy[v.index()].unwrap() <= 2);
+        }
+    }
+
+    #[test]
+    fn busy_times_count_beat_cycles_exactly() {
+        // An element-wise chain in steady state keeps every task busy
+        // once per element (input and output beats share cycles), plus
+        // the pipeline fill offsets — and both simulators agree.
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..3).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 16);
+        let g = b.finish().unwrap();
+        let s = schedule(&g, &Partition::single_block(&g)).unwrap();
+        let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
+        let sim = simulate_both(&g, &s, |e| plan.capacity_of(e), SimConfig::default());
+        // Head/tail: 16 busy cycles (one beat per element); the middle
+        // task overlaps its input and output beats after the fill cycle,
+        // taking one extra cycle for the trailing output.
+        assert_eq!(sim.busy[t[0].index()], Some(16));
+        assert_eq!(sim.busy[t[2].index()], Some(16));
+        assert_eq!(sim.busy[t[1].index()], Some(17));
+    }
+
+    #[test]
+    fn time_limit_agrees_across_simulators() {
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..4).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 512);
+        let g = b.finish().unwrap();
+        let s = schedule(&g, &Partition::single_block(&g)).unwrap();
+        let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
+        let config = SimConfig {
+            default_capacity: 1,
+            max_time: 37,
+        };
+        let sim = simulate_both(&g, &s, |e| plan.capacity_of(e), config);
+        assert_eq!(sim.failure, Some(SimFailure::TimeLimit));
+        assert_eq!(sim.makespan, 37, "runs up to the limit, then reports");
     }
 
     #[test]

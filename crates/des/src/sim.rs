@@ -16,8 +16,33 @@
 //! Sources multicast a single pass of their data into each consuming block;
 //! buffer nodes fill from their producers and then replay per-edge from
 //! memory; spatial blocks are gang-scheduled back-to-back.
+//!
+//! # Cycle semantics and event ordering
+//!
+//! The simulation is *synchronous*: each cycle, beats cascade — a pop frees
+//! space that the producer can refill in the same cycle, a push feeds a
+//! consumer that can pop it in the same cycle — until no further beat is
+//! possible. This per-cycle fixpoint is **confluent**: the set of beats that
+//! commit in a cycle (and therefore every result field — makespan, per-task
+//! first-out/completion/busy times, total beats, and end-of-cycle FIFO
+//! occupancies) does not depend on the order in which ready processes are
+//! attempted. Both simulators rely on this:
+//!
+//! - [`ReferenceSim`] drives the cascade through a global event heap that
+//!   fires events in ascending [`Event`] order — `(cycle, process id)`
+//!   lexicographically, so at equal cycles the *lower process id steps
+//!   first*. The tie-break is semantically inert (confluence) but pinned
+//!   explicitly so traces are reproducible.
+//! - [`crate::BatchedSim`] drives the same cascade through per-cycle work
+//!   queues and coalesces steady-state intervals into batched epochs; it
+//!   produces bit-identical results.
+//!
+//! Peak FIFO occupancy is defined at *cycle boundaries* (the occupancy after
+//! a cycle's cascade settles), which is the order-independent measure; the
+//! transient within-cycle maximum would depend on the attempt order.
 
 use std::collections::{BinaryHeap, VecDeque};
+use std::str::FromStr;
 use stg_analysis::Schedule;
 use stg_buffer::BufferPlan;
 use stg_graph::{EdgeId, NodeId};
@@ -27,6 +52,8 @@ use stg_model::{CanonicalGraph, NodeKind};
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
     /// FIFO capacity used for streaming edges not covered by the plan.
+    /// Zero-depth channels cannot transport elements, so capacities are
+    /// clamped to at least one element by both simulators.
     pub default_capacity: u64,
     /// Abort when simulated time exceeds this bound (guards against
     /// unexpected livelock; generous by default).
@@ -52,8 +79,9 @@ pub enum SimFailure {
     TimeLimit,
 }
 
-/// Result of a simulation run.
-#[derive(Clone, Debug)]
+/// Result of a simulation run. Equality is field-wise and exact — the
+/// differential harness compares whole results across simulators.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimResult {
     /// Simulated makespan (max completion over compute tasks), if the run
     /// finished.
@@ -62,8 +90,14 @@ pub struct SimResult {
     pub fo: Vec<Option<u64>>,
     /// Completion time observed per node.
     pub lo: Vec<Option<u64>>,
+    /// Busy cycles per node: cycles in which the task's PE committed at
+    /// least one beat (compute tasks only).
+    pub busy: Vec<Option<u64>>,
     /// Total beats executed (a size measure of the simulation).
     pub beats: u64,
+    /// Peak end-of-cycle occupancy per edge (streaming FIFO edges only;
+    /// zero for memory-gated and write channels).
+    pub fifo_peak: Vec<u64>,
     /// Failure, if the run did not complete.
     pub failure: Option<SimFailure>,
 }
@@ -73,36 +107,170 @@ impl SimResult {
     pub fn completed(&self) -> bool {
         self.failure.is_none()
     }
+
+    /// The largest end-of-cycle occupancy observed over all FIFO channels.
+    pub fn peak_fifo(&self) -> u64 {
+        self.fifo_peak.iter().copied().max().unwrap_or(0)
+    }
 }
 
-/// Runs the simulator with the capacities of a computed buffer plan.
+// ---------------------------------------------------------------------------
+// simulator registry
+// ---------------------------------------------------------------------------
+
+/// The registry of validation simulators: the per-beat reference and the
+/// beat-batched fast path. Both produce bit-identical [`SimResult`]s; the
+/// differential test suite (`tests/proptest_des_equivalence.rs`) enforces
+/// the equivalence on every registered workload × scheduler cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SimKind {
+    /// The per-beat event-heap simulator (one event per element beat).
+    #[default]
+    Reference,
+    /// The beat-batched simulator: per-cycle work queues plus steady-state
+    /// epoch leaping.
+    Batched,
+}
+
+impl SimKind {
+    /// Every registered simulator, in display order.
+    pub const ALL: [SimKind; 2] = [SimKind::Reference, SimKind::Batched];
+
+    /// The command-line spelling (`--sim reference`, `--sim batched`).
+    pub fn alias(&self) -> &'static str {
+        match self {
+            SimKind::Reference => "reference",
+            SimKind::Batched => "batched",
+        }
+    }
+
+    /// The simulator implementation behind this kind.
+    pub fn simulator(&self) -> &'static dyn Simulator {
+        match self {
+            SimKind::Reference => &ReferenceSim,
+            SimKind::Batched => &crate::BatchedSim,
+        }
+    }
+}
+
+impl std::fmt::Display for SimKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.alias())
+    }
+}
+
+/// Error parsing a [`SimKind`] from a string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSimKindError(String);
+
+impl std::fmt::Display for ParseSimKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown simulator {:?}; known: reference, batched",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSimKindError {}
+
+impl FromStr for SimKind {
+    type Err = ParseSimKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "reference" | "ref" | "heap" => Ok(SimKind::Reference),
+            "batched" | "batch" | "fast" => Ok(SimKind::Batched),
+            _ => Err(ParseSimKindError(s.to_string())),
+        }
+    }
+}
+
+/// A discrete-event simulator for scheduled canonical task graphs.
+/// Implementations are stateless and thread-safe; all run state lives in
+/// per-call internal structures.
+pub trait Simulator: Send + Sync {
+    /// Which registered simulator this is.
+    fn kind(&self) -> SimKind;
+
+    /// Runs the simulator with explicit per-edge capacities (`None` = use
+    /// the config default for streaming edges).
+    fn simulate_with(
+        &self,
+        g: &CanonicalGraph,
+        schedule: &Schedule,
+        capacity_of: &dyn Fn(EdgeId) -> Option<u64>,
+        config: SimConfig,
+    ) -> SimResult;
+}
+
+/// Runs the reference simulator with the capacities of a computed buffer
+/// plan.
 pub fn simulate(
     g: &CanonicalGraph,
     schedule: &Schedule,
     plan: &BufferPlan,
     config: SimConfig,
 ) -> SimResult {
-    simulate_with(g, schedule, |e| plan.capacity_of(e), config)
+    simulate_kind(SimKind::Reference, g, schedule, plan, config)
 }
 
-/// Runs the simulator with explicit per-edge capacities (`None` = use the
-/// default for streaming edges). Used to demonstrate deadlocks under
-/// insufficient buffer space.
+/// Runs the reference simulator with explicit per-edge capacities (`None`
+/// = use the default for streaming edges). Used to demonstrate deadlocks
+/// under insufficient buffer space.
 pub fn simulate_with(
     g: &CanonicalGraph,
     schedule: &Schedule,
     capacity_of: impl Fn(EdgeId) -> Option<u64>,
     config: SimConfig,
 ) -> SimResult {
-    Sim::build(g, schedule, capacity_of, config).run()
+    ReferenceSim.simulate_with(g, schedule, &capacity_of, config)
+}
+
+/// Runs the chosen simulator with the capacities of a computed buffer plan.
+pub fn simulate_kind(
+    kind: SimKind,
+    g: &CanonicalGraph,
+    schedule: &Schedule,
+    plan: &BufferPlan,
+    config: SimConfig,
+) -> SimResult {
+    kind.simulator()
+        .simulate_with(g, schedule, &|e| plan.capacity_of(e), config)
+}
+
+/// Runs the chosen simulator with explicit per-edge capacities.
+pub fn simulate_with_kind(
+    kind: SimKind,
+    g: &CanonicalGraph,
+    schedule: &Schedule,
+    capacity_of: impl Fn(EdgeId) -> Option<u64>,
+    config: SimConfig,
+) -> SimResult {
+    kind.simulator()
+        .simulate_with(g, schedule, &capacity_of, config)
 }
 
 // ---------------------------------------------------------------------------
-// internal machinery
+// shared machinery
 // ---------------------------------------------------------------------------
 
+/// A scheduled simulator event. Events fire in ascending `(time, pid)`
+/// order: earlier cycles first, and *within a cycle, the lower process id
+/// steps first*. This tie-break is the documented ordering shared by both
+/// simulators; it is semantically inert (the per-cycle cascade is
+/// confluent — see the module docs) but pinned for reproducibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    /// The cycle at which the process is woken.
+    pub time: u64,
+    /// The process to step.
+    pub pid: u32,
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Chan {
+pub(crate) enum Chan {
     /// Streaming FIFO with bounded capacity.
     Fifo { cap: u64 },
     /// Read side gated on a memory fill; replays `volume` elements.
@@ -115,68 +283,108 @@ enum Chan {
 }
 
 #[derive(Clone)]
-struct EdgeState {
-    kind: Chan,
+pub(crate) struct EdgeState {
+    pub kind: Chan,
     /// FIFO occupancy.
-    len: u64,
+    pub len: u64,
     /// Elements popped from a gated replay.
-    popped: u64,
+    pub popped: u64,
     /// Elements pushed by the producer (for buffer fills).
-    pushed: u64,
-    volume: u64,
+    pub pushed: u64,
+    pub volume: u64,
     /// Gate open time for gated reads.
-    gate: Option<u64>,
+    pub gate: Option<u64>,
     /// Producer / consumer process ids (u32::MAX = none).
-    producer: u32,
-    consumer: u32,
+    pub producer: u32,
+    pub consumer: u32,
+    /// Peak end-of-cycle occupancy (FIFO edges).
+    pub peak: u64,
+    /// Occupancy changed in the current cycle (pending peak sample).
+    pub dirty: bool,
 }
 
-struct Proc {
+pub(crate) struct Proc {
     /// Original node (compute) or source node (for source instances).
-    node: NodeId,
-    block: u32,
+    pub node: NodeId,
+    pub block: u32,
     /// Batch shape: consume `q`, produce `p` (q=0: pure producer,
     /// p=0: pure consumer).
-    q: u64,
-    p: u64,
-    in_edges: Vec<EdgeId>,
-    out_edges: Vec<EdgeId>,
-    to_consume: u64,
-    in_batch: u64,
-    pending: VecDeque<(u64, u64)>, // (ready time, remaining count)
-    to_emit: u64,
-    last_in: u64,
-    last_out: u64,
-    fo: Option<u64>,
-    done: bool,
+    pub q: u64,
+    pub p: u64,
+    pub in_edges: Vec<EdgeId>,
+    pub out_edges: Vec<EdgeId>,
+    pub to_consume: u64,
+    pub in_batch: u64,
+    pub pending: VecDeque<(u64, u64)>, // (ready time, remaining count)
+    pub to_emit: u64,
+    pub last_in: u64,
+    pub last_out: u64,
+    pub fo: Option<u64>,
+    /// Cycles with at least one committed beat.
+    pub busy: u64,
+    pub done: bool,
     /// Whether completion counts toward block barriers / makespan.
-    is_task: bool,
+    pub is_task: bool,
 }
 
-struct Sim<'a> {
-    g: &'a CanonicalGraph,
-    procs: Vec<Proc>,
-    edges: Vec<EdgeState>,
+/// Where a beat attempt schedules follow-up work. Wake-ups are near-term
+/// by construction: counterparty wakes after a push/pop land in the
+/// current cycle `t`, self wakes after progress and gate openings land at
+/// `t + 1`, and block activations triggered by a pure consumer's `t + 1`
+/// completion land at `t + 2` — never further. The reference driver feeds
+/// them into its global heap; the batched driver uses two cycle buckets
+/// plus a small spill heap for the rare `t + 2` activation wakes.
+pub(crate) trait Waker {
+    /// Wake `pid` at cycle `time` (`time ∈ {t, t+1, t+2}` for a beat
+    /// attempt at cycle `t`).
+    fn wake(&mut self, pid: u32, time: u64);
+}
+
+/// The complete mutable simulation state plus the beat/cascade rules,
+/// shared by both simulator drivers.
+pub(crate) struct SimState<'a> {
+    pub g: &'a CanonicalGraph,
+    pub procs: Vec<Proc>,
+    pub edges: Vec<EdgeState>,
     /// Per block: activation time (None = not yet) and remaining tasks.
-    act: Vec<Option<u64>>,
-    remaining: Vec<u64>,
+    pub act: Vec<Option<u64>>,
+    pub remaining: Vec<u64>,
     /// Per block: list of process ids to wake on activation.
-    block_procs: Vec<Vec<u32>>,
+    pub block_procs: Vec<Vec<u32>>,
     /// Buffers: per node, (undelivered in-edges, gate time when 0).
-    buf_missing: Vec<u64>,
-    buf_gate: Vec<Option<u64>>,
-    heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
-    config: SimConfig,
-    beats: u64,
+    pub buf_missing: Vec<u64>,
+    pub buf_gate: Vec<Option<u64>>,
+    pub config: SimConfig,
+    pub beats: u64,
+    /// Structural events so far: memory deliveries, buffer-gate openings,
+    /// process completions, and block activations. The batched driver
+    /// treats any change as a boundary that ends a steady-state epoch.
+    pub boundaries: u64,
+    /// Commutative hash of the current cycle's committed beats (order
+    /// independent; reset by [`Self::end_cycle`]).
+    pub cycle_sig: u64,
+    /// Edges whose occupancy changed this cycle (for end-of-cycle peaks).
+    touched: Vec<u32>,
 }
 
-impl<'a> Sim<'a> {
-    fn build(
+/// SplitMix64 finalizer: decorrelates beat identifiers before they are
+/// combined into the (commutative) per-cycle signature.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl<'a> SimState<'a> {
+    pub fn build<W: Waker>(
         g: &'a CanonicalGraph,
         schedule: &Schedule,
-        capacity_of: impl Fn(EdgeId) -> Option<u64>,
+        capacity_of: &dyn Fn(EdgeId) -> Option<u64>,
         config: SimConfig,
-    ) -> Sim<'a> {
+        waker: &mut W,
+    ) -> SimState<'a> {
         let dag = g.dag();
         let n = dag.node_count();
         let n_blocks = schedule.block_spans.len().max(1);
@@ -221,6 +429,7 @@ impl<'a> Sim<'a> {
                 last_in: 0,
                 last_out: 0,
                 fo: None,
+                busy: 0,
                 done: false,
                 is_task: true,
             });
@@ -258,6 +467,7 @@ impl<'a> Sim<'a> {
                     last_in: 0,
                     last_out: 0,
                     fo: None,
+                    busy: 0,
                     done: false,
                     is_task: false,
                 });
@@ -293,6 +503,8 @@ impl<'a> Sim<'a> {
                 gate: None,
                 producer: u32::MAX,
                 consumer: u32::MAX,
+                peak: 0,
+                dirty: false,
             });
         }
         // Wire producers/consumers.
@@ -322,7 +534,7 @@ impl<'a> Sim<'a> {
             }
         }
 
-        let mut sim = Sim {
+        let mut sim = SimState {
             g,
             procs,
             edges,
@@ -331,49 +543,50 @@ impl<'a> Sim<'a> {
             block_procs,
             buf_missing,
             buf_gate,
-            heap: BinaryHeap::new(),
             config,
             beats: 0,
+            boundaries: 0,
+            cycle_sig: 0,
+            touched: Vec::new(),
         };
         // Propagate gates of prefilled buffers (chains of buffers).
         for b in dag.node_ids() {
             if g.kind(b) == NodeKind::Buffer && sim.buf_gate[b.index()] == Some(0) {
-                sim.propagate_buffer_gate(b, 0);
+                sim.propagate_buffer_gate(b, 0, waker);
             }
         }
         // Open gates on already-gated edges whose producers are sources
         // (cannot occur) — nothing else to do. Activate block 0.
-        sim.activate_block(0, 0);
+        sim.activate_block(0, 0, waker);
         sim
     }
 
-    fn wake(&mut self, pid: u32, t: u64) {
-        self.heap.push(std::cmp::Reverse((t, pid)));
-    }
-
-    fn activate_block(&mut self, b: usize, t: u64) {
+    pub fn activate_block<W: Waker>(&mut self, b: usize, t: u64, waker: &mut W) {
         if b >= self.act.len() || self.act[b].is_some() {
             return;
         }
+        self.boundaries += 1;
         self.act[b] = Some(t);
         // Producer-only processes seed their pending batch at activation.
-        for pid in self.block_procs[b].clone() {
+        for i in 0..self.block_procs[b].len() {
+            let pid = self.block_procs[b][i];
             let pr = &mut self.procs[pid as usize];
             if pr.q == 0 && pr.to_emit > 0 {
                 pr.pending.push_back((t + 1, pr.to_emit));
             }
-            self.wake(pid, t + 1);
+            waker.wake(pid, t + 1);
         }
         // An empty block (no tasks — cannot happen via the engine, but be
         // safe) immediately yields to the next one.
         if self.remaining[b] == 0 {
-            self.activate_block(b + 1, t);
+            self.activate_block(b + 1, t, waker);
         }
     }
 
     /// A buffer's fill completed at `t`: open its out-edges and propagate to
     /// downstream buffers.
-    fn propagate_buffer_gate(&mut self, b: NodeId, t: u64) {
+    pub fn propagate_buffer_gate<W: Waker>(&mut self, b: NodeId, t: u64, waker: &mut W) {
+        self.boundaries += 1;
         self.buf_gate[b.index()] = Some(t);
         let outs: Vec<EdgeId> = self.g.dag().out_edge_ids(b).to_vec();
         for e in outs {
@@ -385,14 +598,14 @@ impl<'a> Sim<'a> {
                     if consumer != u32::MAX {
                         let block = self.procs[consumer as usize].block as usize;
                         if let Some(act) = self.act[block] {
-                            self.wake(consumer, t.max(act) + 1);
+                            waker.wake(consumer, t.max(act) + 1);
                         }
                     }
                 }
                 NodeKind::Buffer => {
                     self.buf_missing[dst.index()] -= 1;
                     if self.buf_missing[dst.index()] == 0 {
-                        self.propagate_buffer_gate(dst, t);
+                        self.propagate_buffer_gate(dst, t, waker);
                     }
                 }
                 _ => {}
@@ -401,23 +614,24 @@ impl<'a> Sim<'a> {
     }
 
     /// Producer finished delivering on a write edge at time `t`.
-    fn write_edge_delivered(&mut self, e: EdgeId, t: u64) {
+    pub fn write_edge_delivered<W: Waker>(&mut self, e: EdgeId, t: u64, waker: &mut W) {
         let dst = self.g.dag().edge(e).dst;
         match self.g.kind(dst) {
             NodeKind::Buffer => {
                 self.buf_missing[dst.index()] -= 1;
                 if self.buf_missing[dst.index()] == 0 {
-                    self.propagate_buffer_gate(dst, t);
+                    self.propagate_buffer_gate(dst, t, waker);
                 }
             }
             NodeKind::Compute => {
                 // Cross-block memory read: gate on full delivery.
+                self.boundaries += 1;
                 self.edges[e.index()].gate = Some(t);
                 let consumer = self.edges[e.index()].consumer;
                 if consumer != u32::MAX {
                     let block = self.procs[consumer as usize].block as usize;
                     if let Some(act) = self.act[block] {
-                        self.wake(consumer, t.max(act) + 1);
+                        waker.wake(consumer, t.max(act) + 1);
                     }
                 }
             }
@@ -426,16 +640,16 @@ impl<'a> Sim<'a> {
     }
 
     /// Attempts beats for `pid` at time `t`; returns true if progressed.
-    fn step(&mut self, pid: u32, t: u64) -> bool {
+    pub fn step<W: Waker>(&mut self, pid: u32, t: u64, waker: &mut W) -> bool {
         let mut progressed = false;
         // Output beat first: drains pending so the input beat of the same
         // cycle sees the freed batch slot.
-        progressed |= self.try_output_beat(pid, t);
-        progressed |= self.try_input_beat(pid, t);
+        progressed |= self.try_output_beat(pid, t, waker);
+        progressed |= self.try_input_beat(pid, t, waker);
         progressed
     }
 
-    fn try_output_beat(&mut self, pid: u32, t: u64) -> bool {
+    fn try_output_beat<W: Waker>(&mut self, pid: u32, t: u64, waker: &mut W) -> bool {
         let pr = &self.procs[pid as usize];
         if pr.done || pr.to_emit == 0 || pr.last_out >= t {
             return false;
@@ -453,16 +667,20 @@ impl<'a> Sim<'a> {
             }
         }
         // Commit the beat.
-        let out_edges = self.procs[pid as usize].out_edges.clone();
-        for &e in &out_edges {
+        for i in 0..self.procs[pid as usize].out_edges.len() {
+            let e = self.procs[pid as usize].out_edges[i];
             let es = &mut self.edges[e.index()];
             es.pushed += 1;
             match es.kind {
                 Chan::Fifo { .. } => {
                     es.len += 1;
+                    if !es.dirty {
+                        es.dirty = true;
+                        self.touched.push(e.index() as u32);
+                    }
                     let consumer = es.consumer;
                     if consumer != u32::MAX {
-                        self.wake(consumer, t);
+                        waker.wake(consumer, t);
                     }
                 }
                 // Write: memory fill (buffer/sink). Gated: a cross-block
@@ -470,13 +688,16 @@ impl<'a> Sim<'a> {
                 // opens for the consumer once fully delivered.
                 Chan::Write | Chan::Gated => {
                     if es.pushed == es.volume {
-                        self.write_edge_delivered(e, t);
+                        self.write_edge_delivered(e, t, waker);
                     }
                 }
                 Chan::Inert => {}
             }
         }
         let pr = &mut self.procs[pid as usize];
+        if pr.last_in != t {
+            pr.busy += 1;
+        }
         pr.last_out = t;
         pr.fo = pr.fo.or(Some(t));
         pr.to_emit -= 1;
@@ -486,15 +707,16 @@ impl<'a> Sim<'a> {
             pr.pending.pop_front();
         }
         self.beats += 1;
+        self.cycle_sig = self.cycle_sig.wrapping_add(mix(u64::from(pid) * 2 + 1));
         if pr.to_emit == 0 && pr.to_consume == 0 {
-            self.complete(pid, t);
+            self.complete(pid, t, waker);
         } else {
-            self.wake(pid, t + 1);
+            waker.wake(pid, t + 1);
         }
         true
     }
 
-    fn try_input_beat(&mut self, pid: u32, t: u64) -> bool {
+    fn try_input_beat<W: Waker>(&mut self, pid: u32, t: u64, waker: &mut W) -> bool {
         let pr = &self.procs[pid as usize];
         if pr.done || pr.to_consume == 0 || pr.last_in >= t {
             return false;
@@ -525,15 +747,19 @@ impl<'a> Sim<'a> {
             }
         }
         // Commit the beat.
-        let in_edges = self.procs[pid as usize].in_edges.clone();
-        for &e in &in_edges {
+        for i in 0..self.procs[pid as usize].in_edges.len() {
+            let e = self.procs[pid as usize].in_edges[i];
             let es = &mut self.edges[e.index()];
             match es.kind {
                 Chan::Fifo { .. } => {
                     es.len -= 1;
+                    if !es.dirty {
+                        es.dirty = true;
+                        self.touched.push(e.index() as u32);
+                    }
                     let producer = es.producer;
                     if producer != u32::MAX {
-                        self.wake(producer, t);
+                        waker.wake(producer, t);
                     }
                 }
                 Chan::Gated => es.popped += 1,
@@ -541,9 +767,13 @@ impl<'a> Sim<'a> {
             }
         }
         let pr = &mut self.procs[pid as usize];
+        if pr.last_out != t {
+            pr.busy += 1;
+        }
         pr.last_in = t;
         pr.to_consume -= 1;
         self.beats += 1;
+        self.cycle_sig = self.cycle_sig.wrapping_add(mix(u64::from(pid) * 2));
         if pr.p > 0 {
             pr.in_batch += 1;
             if pr.in_batch == pr.q {
@@ -553,14 +783,15 @@ impl<'a> Sim<'a> {
         }
         if pr.to_consume == 0 && pr.to_emit == 0 {
             // Pure consumer: one more cycle to process the last element.
-            self.complete(pid, t + 1);
+            self.complete(pid, t + 1, waker);
         } else {
-            self.wake(pid, t + 1);
+            waker.wake(pid, t + 1);
         }
         true
     }
 
-    fn complete(&mut self, pid: u32, t: u64) {
+    fn complete<W: Waker>(&mut self, pid: u32, t: u64, waker: &mut W) {
+        self.boundaries += 1;
         let pr = &mut self.procs[pid as usize];
         debug_assert!(!pr.done);
         pr.done = true;
@@ -569,23 +800,25 @@ impl<'a> Sim<'a> {
         if is_task {
             self.remaining[block] -= 1;
             if self.remaining[block] == 0 {
-                self.activate_block(block + 1, t);
+                self.activate_block(block + 1, t, waker);
             }
         }
     }
 
-    fn run(mut self) -> SimResult {
-        let mut max_t = 0u64;
-        while let Some(std::cmp::Reverse((t, pid))) = self.heap.pop() {
-            if t > self.config.max_time {
-                return self.finish(max_t, Some(SimFailure::TimeLimit));
-            }
-            max_t = max_t.max(t);
-            if self.procs[pid as usize].done {
-                continue;
-            }
-            self.step(pid, t);
+    /// Settles the current cycle: samples end-of-cycle FIFO occupancies
+    /// into the per-edge peaks and returns (and resets) the cycle's beat
+    /// signature.
+    pub fn end_cycle(&mut self) -> u64 {
+        for i in std::mem::take(&mut self.touched) {
+            let es = &mut self.edges[i as usize];
+            es.dirty = false;
+            es.peak = es.peak.max(es.len);
         }
+        std::mem::take(&mut self.cycle_sig)
+    }
+
+    /// The unfinished compute tasks (deadlock report) and final makespan.
+    pub fn final_outcome(&self) -> (u64, Option<SimFailure>) {
         let unfinished: Vec<NodeId> = self
             .procs
             .iter()
@@ -604,26 +837,31 @@ impl<'a> Sim<'a> {
             .map(completion_time)
             .max()
             .unwrap_or(0);
-        self.finish(makespan, failure)
+        (makespan, failure)
     }
 
-    fn finish(self, makespan: u64, failure: Option<SimFailure>) -> SimResult {
+    pub fn finish(self, makespan: u64, failure: Option<SimFailure>) -> SimResult {
         let n = self.g.dag().node_count();
         let mut fo = vec![None; n];
         let mut lo = vec![None; n];
+        let mut busy = vec![None; n];
         for p in &self.procs {
             if p.is_task {
                 fo[p.node.index()] = p.fo;
+                busy[p.node.index()] = Some(p.busy);
                 if p.done {
                     lo[p.node.index()] = Some(completion_time(p));
                 }
             }
         }
+        let fifo_peak = self.edges.iter().map(|e| e.peak).collect();
         SimResult {
             makespan,
             fo,
             lo,
+            busy,
             beats: self.beats,
+            fifo_peak,
             failure,
         }
     }
@@ -631,4 +869,67 @@ impl<'a> Sim<'a> {
 
 fn completion_time(p: &Proc) -> u64 {
     p.last_out.max(p.last_in + u64::from(p.p == 0))
+}
+
+// ---------------------------------------------------------------------------
+// the reference (per-beat event heap) driver
+// ---------------------------------------------------------------------------
+
+/// The per-beat reference simulator: a global event heap with one event
+/// per `(cycle, process)` wake-up, firing in the documented [`Event`]
+/// order. Slow but straightforward — the ground truth the beat-batched
+/// fast path is differentially tested against.
+pub struct ReferenceSim;
+
+struct HeapWaker<'h> {
+    heap: &'h mut BinaryHeap<std::cmp::Reverse<Event>>,
+}
+
+impl Waker for HeapWaker<'_> {
+    fn wake(&mut self, pid: u32, time: u64) {
+        self.heap.push(std::cmp::Reverse(Event { time, pid }));
+    }
+}
+
+impl Simulator for ReferenceSim {
+    fn kind(&self) -> SimKind {
+        SimKind::Reference
+    }
+
+    fn simulate_with(
+        &self,
+        g: &CanonicalGraph,
+        schedule: &Schedule,
+        capacity_of: &dyn Fn(EdgeId) -> Option<u64>,
+        config: SimConfig,
+    ) -> SimResult {
+        let mut heap: BinaryHeap<std::cmp::Reverse<Event>> = BinaryHeap::new();
+        let mut state = SimState::build(
+            g,
+            schedule,
+            capacity_of,
+            config,
+            &mut HeapWaker { heap: &mut heap },
+        );
+        let mut max_t = 0u64;
+        let mut cur_t = 0u64;
+        while let Some(std::cmp::Reverse(Event { time: t, pid })) = heap.pop() {
+            if t > cur_t {
+                state.end_cycle();
+                cur_t = t;
+            }
+            if t > state.config.max_time {
+                state.end_cycle();
+                return state.finish(max_t, Some(SimFailure::TimeLimit));
+            }
+            max_t = max_t.max(t);
+            if state.procs[pid as usize].done {
+                continue;
+            }
+            state.step(pid, t, &mut HeapWaker { heap: &mut heap });
+        }
+        state.end_cycle();
+        let (makespan, failure) = state.final_outcome();
+        state.finish(makespan, failure)
+    }
 }

@@ -1,0 +1,114 @@
+//! Quick differential smoke: both simulators bit-agree across a spread of
+//! generated workloads, partitions, and capacities. The exhaustive
+//! registry-wide grid lives in the workspace-level
+//! `tests/proptest_des_equivalence.rs`.
+
+use stg_analysis::{schedule, Partition};
+use stg_buffer::{buffer_sizes, SizingPolicy};
+use stg_des::{simulate_with_kind, SimConfig, SimKind, SimResult};
+use stg_model::CanonicalGraph;
+use stg_workloads::{generate, Topology};
+
+fn assert_equivalent(g: &CanonicalGraph, part: &Partition, label: &str) {
+    let s = schedule(g, part).expect("schedulable");
+    let plan = buffer_sizes(g, &s, SizingPolicy::Converging, 1);
+    for (caps, tag) in [(true, "sized"), (false, "cap1")] {
+        let run = |kind: SimKind| -> SimResult {
+            simulate_with_kind(
+                kind,
+                g,
+                &s,
+                |e| if caps { plan.capacity_of(e) } else { None },
+                SimConfig::default(),
+            )
+        };
+        let a = run(SimKind::Reference);
+        let b = run(SimKind::Batched);
+        assert_eq!(a.failure, b.failure, "{label}/{tag}: failure");
+        assert_eq!(a.makespan, b.makespan, "{label}/{tag}: makespan");
+        assert_eq!(a.beats, b.beats, "{label}/{tag}: beats");
+        assert_eq!(a.fo, b.fo, "{label}/{tag}: fo");
+        assert_eq!(a.lo, b.lo, "{label}/{tag}: lo");
+        assert_eq!(a.busy, b.busy, "{label}/{tag}: busy");
+        assert_eq!(a.fifo_peak, b.fifo_peak, "{label}/{tag}: fifo peaks");
+    }
+}
+
+#[test]
+fn generated_workloads_bit_agree() {
+    let topos = [
+        Topology::Chain { tasks: 8 },
+        Topology::Fft { points: 16 },
+        Topology::GaussianElimination { m: 8 },
+        Topology::Cholesky { tiles: 5 },
+    ];
+    for topo in topos {
+        for seed in 0..6 {
+            let g = generate(topo, seed);
+            for pes in [2usize, 8, 64] {
+                for variant in [stg_sched::SbVariant::Lts, stg_sched::SbVariant::Rlx] {
+                    let part = stg_sched::spatial_block_partition(&g, pes, variant);
+                    assert_equivalent(&g, &part, &format!("{topo:?}/s{seed}/p{pes}"));
+                }
+            }
+            assert_equivalent(
+                &g,
+                &Partition::single_block(&g),
+                &format!("{topo:?}/s{seed}/single"),
+            );
+        }
+    }
+}
+
+#[test]
+fn new_family_workloads_bit_agree() {
+    use stg_workloads::{WorkloadFamily, WorkloadKind};
+    for spec in [
+        "stencil2d:6x6",
+        "spmv:64:0.05",
+        "attention:seq256",
+        "forkjoin:3x6",
+    ] {
+        let kind: WorkloadKind = spec.parse().expect("spec");
+        for seed in [1u64, 9] {
+            let g = kind.build(seed);
+            for pes in [4usize, 16] {
+                let part = stg_sched::spatial_block_partition(&g, pes, stg_sched::SbVariant::Lts);
+                assert_equivalent(&g, &part, &format!("{spec}/s{seed}/p{pes}"));
+            }
+        }
+    }
+}
+
+/// Wall-clock probe (release mode): `cargo test -p stg_des --release -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn speedup_probe_attention_seq1024() {
+    use std::time::Instant;
+    let kind: stg_workloads::WorkloadKind = "attention:seq1024".parse().unwrap();
+    use stg_workloads::WorkloadFamily;
+    let g = kind.build(0xC0FFEE);
+    for pes in [64usize, 128] {
+        let part = stg_sched::spatial_block_partition(&g, pes, stg_sched::SbVariant::Lts);
+        let s = schedule(&g, &part).expect("schedulable");
+        let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
+        let time = |k: SimKind| {
+            let t0 = Instant::now();
+            let r = simulate_with_kind(k, &g, &s, |e| plan.capacity_of(e), SimConfig::default());
+            (t0.elapsed(), r)
+        };
+        let (dt_ref, a) = time(SimKind::Reference);
+        let (dt_bat, b) = time(SimKind::Batched);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.beats, b.beats);
+        assert_eq!(a.busy, b.busy);
+        assert_eq!(a.fifo_peak, b.fifo_peak);
+        println!(
+            "attention:seq1024 pes={pes}: beats={} ref={:?} batched={:?} speedup={:.1}x",
+            a.beats,
+            dt_ref,
+            dt_bat,
+            dt_ref.as_secs_f64() / dt_bat.as_secs_f64()
+        );
+    }
+}

@@ -16,7 +16,7 @@
 //! `--scheduler` is ignored — the paired presets *are* the ablations.
 
 use stg_core::SchedulerKind;
-use stg_experiments::engine::WorkloadSpec;
+use stg_experiments::engine::{SimChoice, WorkloadSpec};
 use stg_experiments::{summary, Args, SweepSpec, WorkloadKind};
 use stg_workloads::{paper_suite, MlWorkload, Topology};
 
@@ -46,6 +46,8 @@ fn spec(
         seed: args.seed,
         schedulers,
         validate: false,
+        sim: SimChoice::default(),
+        timing: false,
         threads: args.threads,
     }
     .filter_grid(args)

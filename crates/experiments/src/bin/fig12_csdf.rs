@@ -16,7 +16,7 @@
 use std::time::{Duration, Instant};
 use stg_core::SchedulerKind;
 use stg_csdf::{self_timed_makespan, to_csdf, AnalysisConfig};
-use stg_experiments::engine::WorkloadSpec;
+use stg_experiments::engine::{SimChoice, WorkloadSpec};
 use stg_experiments::{summary, Args, SweepSpec, WorkloadKind};
 use stg_workloads::paper_suite;
 
@@ -52,6 +52,8 @@ fn main() {
         seed: args.seed,
         schedulers: vec![SchedulerKind::StreamingRlx],
         validate: false,
+        sim: SimChoice::default(),
+        timing: false,
         threads: args.threads,
     }
     // The figure is defined over SB-RLX at P = #tasks; only the grid

@@ -5,17 +5,21 @@
 //! registered family with `--workload` (e.g. `stencil2d:32x32`, `spmv`,
 //! `resnet50`) adds it at its registry-default PE sweep. With an
 //! identical spec (same `--graphs`, `--seed`, filters) the output is
-//! byte-identical across reruns and `--threads` settings — CI diffs two
-//! runs to enforce this, for both the paper topologies and the
-//! generator-plus-cache path of the new families. Exits non-zero if any
-//! scenario fails to schedule or (under `--validate`) any simulation
-//! deadlocks. Graph-cache statistics go to stderr, keeping stdout
-//! byte-stable.
+//! byte-identical across reruns, `--threads` settings, *and* `--sim`
+//! choices — CI diffs runs pairwise to enforce all three, for both the
+//! paper topologies and the generator-plus-cache path of the new
+//! families. Exits non-zero if any scenario fails to schedule, (under
+//! `--validate`) any simulation deadlocks, or (under `--sim both`) the
+//! reference and batched simulators diverge on any cell. Graph-cache and
+//! validation-timing statistics go to stderr, keeping stdout byte-stable;
+//! `--sim-timing` additionally appends wall-clock columns to the CSV/JSON
+//! (those columns are excluded from the determinism contract).
 //!
 //! ```sh
 //! cargo run --release --bin sweep -- --graphs 3 --validate
+//! cargo run --release --bin sweep -- --graphs 3 --validate --sim batched
+//! cargo run --release --bin sweep -- --workload attention --validate --sim both --sim-timing
 //! cargo run --release --bin sweep -- --workload chain,fft --pes 32 --json
-//! cargo run --release --bin sweep -- --workload stencil2d,spmv:1024:0.01
 //! cargo run --release --bin sweep -- --list-workloads --list-schedulers
 //! ```
 
@@ -38,10 +42,17 @@ fn main() {
         sweep.cache.misses,
         sweep.runs.len()
     );
+    if let Some(timing) = sweep.sim_timing_summary() {
+        eprint!("{timing}");
+    }
     let errors = sweep.errors();
     let deadlocks = sweep.deadlocks();
-    if errors > 0 || deadlocks > 0 {
-        eprintln!("ERROR: {errors} scheduling errors, {deadlocks} simulation deadlocks");
+    let divergences = sweep.divergences();
+    if errors > 0 || deadlocks > 0 || divergences > 0 {
+        eprintln!(
+            "ERROR: {errors} scheduling errors, {deadlocks} simulation deadlocks, \
+             {divergences} simulator divergences"
+        );
         std::process::exit(1);
     }
 }

@@ -7,7 +7,7 @@
 //! sweep engine with the ML graphs as fixed workloads.
 
 use stg_core::SchedulerKind;
-use stg_experiments::engine::WorkloadSpec;
+use stg_experiments::engine::{SimChoice, WorkloadSpec};
 use stg_experiments::{Args, SweepSpec, WorkloadFamily, WorkloadKind};
 use stg_workloads::MlWorkload;
 
@@ -44,6 +44,8 @@ fn main() {
             SchedulerKind::NonStreaming,
         ],
         validate: false,
+        sim: SimChoice::default(),
+        timing: false,
         threads: args.threads,
     }
     // Table 2 *is* the STR/STR*/NSTR comparison: the scheduler trio is

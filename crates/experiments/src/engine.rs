@@ -16,15 +16,84 @@
 //! [`SweepSpec::run_map`] and keep timings out of the deterministic
 //! output path.
 
+use std::str::FromStr;
 use std::sync::Arc;
+use std::time::Instant;
 
 use stg_core::{Scheduler, SchedulerKind};
-use stg_des::relative_error;
+use stg_des::{relative_error, SimKind, SimResult};
 use stg_model::CanonicalGraph;
 use stg_sched::Metrics;
 use stg_workloads::{paper_suite, CacheStats, WorkloadFamily, WorkloadKind};
 
 use crate::harness::{default_threads, par_map_with, Args};
+
+/// Which validation simulator(s) a sweep runs when `validate` is set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimChoice {
+    /// The per-beat reference simulator.
+    #[default]
+    Reference,
+    /// The beat-batched fast path (bit-identical, much faster).
+    Batched,
+    /// The differential harness: every cell runs *both* simulators,
+    /// records both wall-clocks, and flags any divergence (the `sweep`
+    /// binary exits non-zero on one).
+    Both,
+}
+
+impl SimChoice {
+    /// The simulators this choice runs, in run order. The reference runs
+    /// first in `Both` mode so its result is the one recorded.
+    pub fn kinds(&self) -> &'static [SimKind] {
+        match self {
+            SimChoice::Reference => &[SimKind::Reference],
+            SimChoice::Batched => &[SimKind::Batched],
+            SimChoice::Both => &[SimKind::Reference, SimKind::Batched],
+        }
+    }
+}
+
+impl std::fmt::Display for SimChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimChoice::Reference => "reference",
+            SimChoice::Batched => "batched",
+            SimChoice::Both => "both",
+        })
+    }
+}
+
+/// Error parsing a [`SimChoice`] from a `--sim` value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSimChoiceError(String);
+
+impl std::fmt::Display for ParseSimChoiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown simulator choice {:?}; known: reference, batched, both",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSimChoiceError {}
+
+impl FromStr for SimChoice {
+    type Err = ParseSimChoiceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("both") {
+            return Ok(SimChoice::Both);
+        }
+        match s.parse::<SimKind>() {
+            Ok(SimKind::Reference) => Ok(SimChoice::Reference),
+            Ok(SimKind::Batched) => Ok(SimChoice::Batched),
+            Err(_) => Err(ParseSimChoiceError(s.to_string())),
+        }
+    }
+}
 
 /// One workload and the PE counts to sweep it over.
 #[derive(Clone)]
@@ -50,6 +119,13 @@ pub struct SweepSpec {
     pub schedulers: Vec<SchedulerKind>,
     /// Also validate every plan by discrete event simulation.
     pub validate: bool,
+    /// Which simulator(s) validation runs (`--sim`). Every choice yields
+    /// identical deterministic output columns; only wall-clock differs.
+    pub sim: SimChoice,
+    /// Emit validation wall-clock columns in CSV/JSON (`--sim-timing`).
+    /// Off by default: timings are non-deterministic and excluded from
+    /// the byte-stability contract.
+    pub timing: bool,
     /// Worker threads (`None`: available parallelism). Affects wall-clock
     /// only, never results.
     pub threads: Option<usize>,
@@ -76,6 +152,8 @@ impl SweepSpec {
                 SchedulerKind::NonStreaming,
             ],
             validate: false,
+            sim: SimChoice::default(),
+            timing: false,
             threads: None,
         }
     }
@@ -83,12 +161,14 @@ impl SweepSpec {
     /// Applies the command-line filters and overrides of `args`:
     /// `--workload` / `--pes` prune the grid (matching by family
     /// keyword), `--scheduler` replaces the scheduler set, and
-    /// `--graphs`, `--seed`, `--validate`, `--threads` override their
-    /// fields.
+    /// `--graphs`, `--seed`, `--validate`, `--sim`, `--sim-timing`,
+    /// `--threads` override their fields.
     pub fn filtered(mut self, args: &Args) -> SweepSpec {
         self.graphs = args.graphs;
         self.seed = args.seed;
         self.validate = self.validate || args.validate;
+        self.sim = args.sim;
+        self.timing = self.timing || args.sim_timing;
         self.threads = args.threads.or(self.threads);
         if !args.schedulers.is_empty() {
             self.schedulers = args.schedulers.clone();
@@ -210,7 +290,8 @@ impl SweepSpec {
     /// deterministic, index-ordered results.
     pub fn run(&self) -> Sweep {
         let validate = self.validate;
-        let (results, cache) = self.run_map_traced(|case, g| evaluate(case, g, validate));
+        let sim = self.sim;
+        let (results, cache) = self.run_map_traced(|case, g| evaluate(case, g, validate, sim));
         let runs = results
             .into_iter()
             .map(|(case, outcome)| Run { case, outcome })
@@ -271,6 +352,62 @@ pub struct SimRecord {
     pub makespan: u64,
     /// `100 · |analytic − simulated| / simulated` (0 when not completed).
     pub rel_err_pct: f64,
+    /// Element beats executed by the validation run — identical across
+    /// simulators (the batched epochs count their coalesced beats).
+    pub beats: u64,
+    /// `SimChoice::Both` only: the simulators disagreed on any result
+    /// field. Always false in a healthy build; `sweep` exits non-zero.
+    pub diverged: bool,
+    /// Validation wall-clock per simulator. Non-deterministic; only
+    /// emitted when the spec's `timing` flag is set.
+    pub micros: SimMicros,
+}
+
+/// Per-simulator validation wall-clock for one run, in microseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimMicros {
+    /// Reference-simulator wall-clock, when it ran.
+    pub reference: Option<u64>,
+    /// Batched-simulator wall-clock, when it ran.
+    pub batched: Option<u64>,
+}
+
+impl SimMicros {
+    fn set(&mut self, kind: SimKind, micros: u64) {
+        match kind {
+            SimKind::Reference => self.reference = Some(micros),
+            SimKind::Batched => self.batched = Some(micros),
+        }
+    }
+
+    /// `reference / batched` wall-clock ratio, when both simulators ran.
+    pub fn speedup(&self) -> Option<f64> {
+        match (self.reference, self.batched) {
+            (Some(r), Some(b)) if b > 0 => Some(r as f64 / b as f64),
+            _ => None,
+        }
+    }
+
+    /// Adds another measurement field-wise (`None` stays absent until a
+    /// simulator contributes a sample).
+    pub fn accumulate(&mut self, other: SimMicros) {
+        for (total, sample) in [
+            (&mut self.reference, other.reference),
+            (&mut self.batched, other.batched),
+        ] {
+            if let Some(us) = sample {
+                *total = Some(total.unwrap_or(0) + us);
+            }
+        }
+    }
+
+    /// `12.345ms`-style rendering of one field (`-` when absent).
+    fn fmt_ms(v: Option<u64>) -> String {
+        match v {
+            Some(us) => format!("{:.3}ms", us as f64 / 1e3),
+            None => "-".into(),
+        }
+    }
 }
 
 /// One evaluated case: the scenario plus its record or scheduling error.
@@ -292,10 +429,22 @@ fn evaluate(
     case: &Case,
     g: &CanonicalGraph,
     validate: bool,
+    choice: SimChoice,
 ) -> Result<Record, stg_analysis::ScheduleError> {
     let plan = case.build_scheduler().schedule(g)?;
     let sim = validate.then(|| {
-        let s = plan.validate(g);
+        let mut micros = SimMicros::default();
+        let mut results: Vec<SimResult> = Vec::with_capacity(2);
+        for &kind in choice.kinds() {
+            let t0 = Instant::now();
+            let r = plan.validate_with(g, kind);
+            micros.set(kind, t0.elapsed().as_micros() as u64);
+            results.push(r);
+        }
+        // In Both mode the reference result (run first) is recorded; the
+        // batched result must match it bit for bit.
+        let diverged = results.windows(2).any(|w| w[0] != w[1]);
+        let s = &results[0];
         SimRecord {
             completed: s.completed(),
             makespan: s.makespan,
@@ -304,6 +453,9 @@ fn evaluate(
             } else {
                 0.0
             },
+            beats: s.beats,
+            diverged,
+            micros,
         }
     });
     Ok(Record {
@@ -348,6 +500,30 @@ impl<'a> Cell<'a> {
             .filter(|r| r.sim.is_some_and(|s| !s.completed))
             .count()
     }
+
+    /// Median reference/batched validation speedup over this cell's runs
+    /// (requires `SimChoice::Both`; `None` when only one simulator ran).
+    pub fn sim_speedup(&self) -> Option<f64> {
+        let mut ratios: Vec<f64> = self
+            .records()
+            .filter_map(|r| r.sim.and_then(|s| s.micros.speedup()))
+            .collect();
+        if ratios.is_empty() {
+            return None;
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        Some(ratios[ratios.len() / 2])
+    }
+
+    /// Total validation wall-clock of this cell per simulator, in
+    /// microseconds.
+    pub fn sim_micros(&self) -> SimMicros {
+        let mut total = SimMicros::default();
+        for s in self.records().filter_map(|r| r.sim) {
+            total.accumulate(s.micros);
+        }
+        total
+    }
 }
 
 /// The evaluated grid: every run, in deterministic case order.
@@ -375,6 +551,61 @@ impl Sweep {
             .filter_map(Run::record)
             .filter(|r| r.sim.is_some_and(|s| !s.completed))
             .count()
+    }
+
+    /// Total validated runs on which the two simulators diverged
+    /// (`SimChoice::Both` only; any divergence is a simulator bug).
+    pub fn divergences(&self) -> usize {
+        self.runs
+            .iter()
+            .filter_map(Run::record)
+            .filter(|r| r.sim.is_some_and(|s| s.diverged))
+            .count()
+    }
+
+    /// A human-readable per-cell validation timing report (for stderr —
+    /// wall-clock never goes on the deterministic stdout path). `None`
+    /// when no run captured validation timing. Cells report the total
+    /// per-simulator wall-clock and, under `SimChoice::Both`, the median
+    /// reference/batched speedup.
+    pub fn sim_timing_summary(&self) -> Option<String> {
+        let mut any = false;
+        let mut out = String::from("validation timing (per cell):\n");
+        let mut total = SimMicros::default();
+        for cell in self.cells() {
+            let us = cell.sim_micros();
+            if us.reference.is_none() && us.batched.is_none() {
+                continue;
+            }
+            any = true;
+            let speedup = match cell.sim_speedup() {
+                Some(s) => format!("  speedup {s:.1}x"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  {:24} P={:<5} {:12} ref {:>10}  batched {:>10}{}\n",
+                cell.workload.label(),
+                cell.pes,
+                cell.scheduler.to_string(),
+                SimMicros::fmt_ms(us.reference),
+                SimMicros::fmt_ms(us.batched),
+                speedup
+            ));
+            total.accumulate(us);
+        }
+        if !any {
+            return None;
+        }
+        out.push_str(&format!(
+            "  total: ref {}  batched {}{}\n",
+            SimMicros::fmt_ms(total.reference),
+            SimMicros::fmt_ms(total.batched),
+            match total.speedup() {
+                Some(s) => format!("  overall speedup {s:.1}x"),
+                None => String::new(),
+            }
+        ));
+        Some(out)
     }
 
     /// Exits the process when any scenario failed to schedule. The engine
@@ -415,12 +646,21 @@ impl Sweep {
     }
 
     /// Renders the sweep as CSV, one row per run. Byte-identical across
-    /// reruns and thread counts for an identical spec.
+    /// reruns, thread counts, *and simulator choices* for an identical
+    /// spec — the golden-snapshot regression test pins this. The
+    /// non-deterministic `sim_ref_us` / `sim_batched_us` wall-clock
+    /// columns appear only when the spec's `timing` flag is set and are
+    /// excluded from the byte-stability contract.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "workload,tasks,pes,seed,scheduler,status,makespan,speedup,sslr,slr,\
-             utilization,blocks,buffer_elements,sim_completed,sim_makespan,rel_err_pct\n",
+             utilization,blocks,buffer_elements,sim_completed,sim_makespan,rel_err_pct,sim_beats",
         );
+        if self.spec.timing {
+            out.push_str(",sim_ref_us,sim_batched_us");
+        }
+        out.push('\n');
+        let na_us = |v: Option<u64>| v.map_or("NA".into(), |v| v.to_string());
         for run in &self.runs {
             let c = &run.case;
             let prefix = format!(
@@ -434,12 +674,21 @@ impl Sweep {
             match &run.outcome {
                 Ok(r) => {
                     let m = &r.metrics;
-                    let sim = match r.sim {
-                        Some(s) => {
-                            format!("{},{},{:.6}", s.completed as u8, s.makespan, s.rel_err_pct)
-                        }
-                        None => "NA,NA,NA".into(),
+                    let mut sim = match r.sim {
+                        Some(s) => format!(
+                            "{},{},{:.6},{}",
+                            s.completed as u8, s.makespan, s.rel_err_pct, s.beats
+                        ),
+                        None => "NA,NA,NA,NA".into(),
                     };
+                    if self.spec.timing {
+                        let micros = r.sim.map(|s| s.micros).unwrap_or_default();
+                        sim.push_str(&format!(
+                            ",{},{}",
+                            na_us(micros.reference),
+                            na_us(micros.batched)
+                        ));
+                    }
                     out.push_str(&format!(
                         "{prefix},ok,{},{:.6},{:.6},{:.6},{:.6},{},{},{sim}\n",
                         m.makespan,
@@ -452,8 +701,9 @@ impl Sweep {
                     ));
                 }
                 Err(e) => {
+                    let tail = if self.spec.timing { ",NA,NA" } else { "" };
                     out.push_str(&format!(
-                        "{prefix},error:{},NA,NA,NA,NA,NA,NA,NA,NA,NA,NA\n",
+                        "{prefix},error:{},NA,NA,NA,NA,NA,NA,NA,NA,NA,NA,NA{tail}\n",
                         error_code(e)
                     ));
                 }
@@ -463,8 +713,10 @@ impl Sweep {
     }
 
     /// Renders the sweep as JSON (spec header + one object per run).
-    /// Byte-identical across reruns and thread counts for an identical
-    /// spec.
+    /// Byte-identical across reruns, thread counts, and simulator choices
+    /// for an identical spec — like the CSV, the header deliberately
+    /// omits the `--sim` choice because the simulators are equivalent and
+    /// results must not depend on which one validated.
     pub fn to_json(&self) -> String {
         let schedulers: Vec<String> = self
             .spec
@@ -495,11 +747,24 @@ impl Sweep {
                 Ok(r) => {
                     let m = &r.metrics;
                     let sim = match r.sim {
-                        Some(s) => format!(
-                            ", \"sim\": {{\"completed\": {}, \"makespan\": {}, \
-                             \"rel_err_pct\": {:.6}}}",
-                            s.completed, s.makespan, s.rel_err_pct
-                        ),
+                        Some(s) => {
+                            let timing = if self.spec.timing {
+                                let us =
+                                    |v: Option<u64>| v.map_or("null".into(), |v| v.to_string());
+                                format!(
+                                    ", \"ref_us\": {}, \"batched_us\": {}",
+                                    us(s.micros.reference),
+                                    us(s.micros.batched)
+                                )
+                            } else {
+                                String::new()
+                            };
+                            format!(
+                                ", \"sim\": {{\"completed\": {}, \"makespan\": {}, \
+                                 \"rel_err_pct\": {:.6}, \"beats\": {}{timing}}}",
+                                s.completed, s.makespan, s.rel_err_pct, s.beats
+                            )
+                        }
                         None => String::new(),
                     };
                     format!(
@@ -723,6 +988,8 @@ mod tests {
             seed: 0,
             schedulers: vec![SchedulerKind::StreamingLts],
             validate: false,
+            sim: SimChoice::default(),
+            timing: false,
             threads: Some(2),
         };
         // Seeds are meaningless for a fixed graph: each (PE, scheduler)
@@ -757,6 +1024,8 @@ mod tests {
             seed: 7,
             schedulers: vec![SchedulerKind::StreamingLts],
             validate: false,
+            sim: SimChoice::default(),
+            timing: false,
             threads: Some(2),
         };
         let sweep = spec.run();

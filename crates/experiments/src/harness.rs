@@ -4,7 +4,10 @@
 use std::str::FromStr;
 
 use stg_core::SchedulerKind;
+use stg_des::SimKind;
 use stg_workloads::{WorkloadFamily, WorkloadKind};
+
+use crate::engine::SimChoice;
 
 /// Common experiment options, parsed from the command line.
 #[derive(Clone, Debug)]
@@ -21,6 +24,12 @@ pub struct Args {
     pub json: bool,
     /// Validate plans by discrete event simulation where supported.
     pub validate: bool,
+    /// Which simulator(s) validation runs (`--sim reference|batched|both`).
+    pub sim: SimChoice,
+    /// Emit validation wall-clock columns in CSV/JSON (`--sim-timing`);
+    /// the per-cell timing summary on stderr is always printed by `sweep`
+    /// when timings were captured.
+    pub sim_timing: bool,
     /// Worker thread count override (default: available parallelism).
     pub threads: Option<usize>,
     /// Keep only matching workloads (empty: keep all). Entries parse via
@@ -46,6 +55,8 @@ impl Default for Args {
             csv: false,
             json: false,
             validate: false,
+            sim: SimChoice::default(),
+            sim_timing: false,
             threads: None,
             workloads: Vec::new(),
             pes: Vec::new(),
@@ -58,10 +69,12 @@ impl Default for Args {
 
 impl Args {
     /// Parses `--graphs N --seed S --timeout-ms T --csv --json --validate
-    /// --threads N --workload LIST --pes LIST --scheduler LIST
-    /// --list-workloads --list-schedulers` from `std::env`. List flags
-    /// take comma-separated values and may repeat; `--topology` is an
-    /// alias of `--workload`.
+    /// --sim KIND --sim-timing --threads N --workload LIST --pes LIST
+    /// --scheduler LIST --list-workloads --list-schedulers` from
+    /// `std::env`. List flags take comma-separated values and may repeat;
+    /// `--topology` is an alias of `--workload`. `--sim` takes
+    /// `reference` (default), `batched` (the bit-identical fast path), or
+    /// `both` (differential validation with speedup stats).
     pub fn parse() -> Args {
         let mut args = Args::default();
         let mut it = std::env::args().skip(1);
@@ -73,6 +86,8 @@ impl Args {
                 "--csv" => args.csv = true,
                 "--json" => args.json = true,
                 "--validate" => args.validate = true,
+                "--sim" => args.sim = next_parsed(&mut it, "--sim"),
+                "--sim-timing" => args.sim_timing = true,
                 "--threads" => args.threads = Some(next_value(&mut it, "--threads")),
                 "--workload" | "--topology" => {
                     append_list(&mut args.workloads, &mut it, flag.as_str())
@@ -84,8 +99,8 @@ impl Args {
                 other => {
                     eprintln!(
                         "unknown flag {other}; supported: --graphs --seed --timeout-ms --csv \
-                         --json --validate --threads --workload --pes --scheduler \
-                         --list-workloads --list-schedulers"
+                         --json --validate --sim --sim-timing --threads --workload --pes \
+                         --scheduler --list-workloads --list-schedulers"
                     );
                     std::process::exit(2);
                 }
@@ -139,12 +154,33 @@ pub fn print_workload_registry() {
     }
 }
 
-/// Prints every registered scheduler preset with its CLI alias.
+/// Prints every registered scheduler preset with its CLI alias, plus the
+/// validation simulators `--sim` can select.
 pub fn print_scheduler_registry() {
     println!("registered schedulers (name / --scheduler alias):");
     for kind in SchedulerKind::ALL {
         println!("  {:14} {}", kind.to_string(), kind.alias());
     }
+    println!("validation simulators (--sim; plus `both` for differential runs):");
+    for kind in SimKind::ALL {
+        println!("  {}", kind.alias());
+    }
+}
+
+/// Like [`next_value`] but reports the parser's own error message
+/// (simulator and scheduler names rather than "a numeric value").
+fn next_parsed<T: FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    let Some(raw) = it.next() else {
+        eprintln!("{flag} expects a value");
+        std::process::exit(2);
+    };
+    raw.parse().unwrap_or_else(|e| {
+        eprintln!("{flag}: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn next_value<T: FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {

@@ -29,7 +29,9 @@ pub mod engine;
 pub mod harness;
 pub mod stats;
 
-pub use engine::{Case, Cell, Record, Run, SimRecord, Sweep, SweepSpec, WorkloadSpec};
+pub use engine::{
+    Case, Cell, Record, Run, SimChoice, SimMicros, SimRecord, Sweep, SweepSpec, WorkloadSpec,
+};
 pub use harness::{
     default_threads, par_map, par_map_with, print_scheduler_registry, print_workload_registry, Args,
 };

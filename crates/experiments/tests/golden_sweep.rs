@@ -1,0 +1,72 @@
+//! Golden-snapshot regression test for validated sweep output.
+//!
+//! A small `sweep --validate`-shaped grid is pinned as a checked-in CSV
+//! fixture. The test re-runs the grid with the reference simulator, the
+//! batched simulator, and the differential `both` mode, and diffs each
+//! against the fixture **byte for byte** — so a change to either
+//! simulator, the schedulers, the workload generators, or the CSV emitter
+//! cannot silently drift the figure data. Regenerate deliberately with:
+//!
+//! ```sh
+//! STG_BLESS=1 cargo test -p stg_experiments --test golden_sweep
+//! ```
+//!
+//! and review the fixture diff like any other code change.
+
+use stg_core::SchedulerKind;
+use stg_experiments::engine::{SimChoice, WorkloadSpec};
+use stg_experiments::SweepSpec;
+
+fn golden_spec(sim: SimChoice) -> SweepSpec {
+    let workload = |spec: &str, pes: Vec<usize>| WorkloadSpec {
+        workload: spec.parse().expect("registered spec"),
+        pes,
+    };
+    SweepSpec {
+        workloads: vec![
+            workload("chain:6", vec![2, 4]),
+            workload("fft:8", vec![8]),
+            workload("stencil2d:5x4", vec![4]),
+            workload("spmv:48:0.08", vec![8]),
+            workload("attention:seq256", vec![8]),
+            workload("forkjoin:3x5", vec![4]),
+        ],
+        graphs: 2,
+        seed: 7,
+        schedulers: vec![
+            SchedulerKind::StreamingLts,
+            SchedulerKind::StreamingRlx,
+            SchedulerKind::NonStreaming,
+        ],
+        validate: true,
+        sim,
+        timing: false,
+        threads: Some(2),
+    }
+}
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_sweep_validate.csv"
+);
+
+#[test]
+fn validated_sweep_csv_matches_fixture_for_both_simulators() {
+    if std::env::var_os("STG_BLESS").is_some() {
+        let csv = golden_spec(SimChoice::Reference).run().to_csv();
+        std::fs::write(FIXTURE, csv).expect("write fixture");
+    }
+    let golden = std::fs::read_to_string(FIXTURE).expect("fixture checked in");
+    for sim in [SimChoice::Reference, SimChoice::Batched, SimChoice::Both] {
+        let sweep = golden_spec(sim).run();
+        assert_eq!(sweep.errors(), 0, "{sim}: scheduling errors");
+        assert_eq!(sweep.deadlocks(), 0, "{sim}: deadlocks");
+        assert_eq!(sweep.divergences(), 0, "{sim}: simulator divergences");
+        let csv = sweep.to_csv();
+        assert!(
+            csv == golden,
+            "{sim}: sweep CSV drifted from the golden fixture \
+             (STG_BLESS=1 regenerates it deliberately)"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Differential validation of the two discrete-event simulators.
+//!
+//! For every registered workload family (at proptest-sized instances) ×
+//! every registered scheduler preset, the beat-batched fast path must
+//! agree with the per-beat reference simulator **exactly** — same
+//! makespan, same per-PE busy time, same peak FIFO occupancy, and in fact
+//! the same full [`SimResult`] bit for bit (first-out/completion times,
+//! beat counts, per-edge peaks, and failure reports included). Both the
+//! buffer-sized plans and the deliberately under-buffered capacity-1
+//! configurations (which deadlock some cells) are exercised, so the
+//! deadlock reporting paths are differentially covered too.
+//!
+//! The fixed ML graphs (`resnet50`, `transformer`) are the one registered
+//! family without a small instance — simulating them per proptest case
+//! would dominate the tier-1 suite; their validation path is covered by
+//! the engine's `--sim both` differential mode and the golden-snapshot
+//! sweep test instead.
+
+use proptest::prelude::*;
+use stg_workloads::{WorkloadFamily, WorkloadKind};
+use streaming_sched::prelude::*;
+
+/// A proptest-sized instance of every seeded registered family. The
+/// companion test below fails when a new family is registered without
+/// being added here.
+fn small_specs() -> Vec<WorkloadKind> {
+    [
+        "chain:6",
+        "fft:8",
+        "gauss:5",
+        "chol:4",
+        "stencil2d:5x4",
+        "spmv:48:0.08",
+        "attention:seq256",
+        "forkjoin:3x5",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("registered spec"))
+    .collect()
+}
+
+#[test]
+fn every_registered_family_has_a_differential_cell() {
+    let covered: Vec<&'static str> = small_specs().iter().map(|w| w.family()).collect();
+    for kind in WorkloadKind::registered() {
+        if matches!(kind, WorkloadKind::Ml(_)) {
+            continue; // fixed large graphs; see the module docs
+        }
+        assert!(
+            covered.contains(&kind.family()),
+            "family {:?} missing from the differential grid — add a small spec",
+            kind.family()
+        );
+    }
+}
+
+fn assert_sims_agree(g: &CanonicalGraph, plan: &Plan, label: &str) {
+    let reference = plan.validate_with(g, SimKind::Reference);
+    let batched = plan.validate_with(g, SimKind::Batched);
+    // The named headline metrics first, for readable failures...
+    assert_eq!(
+        reference.makespan, batched.makespan,
+        "{label}: makespan diverged"
+    );
+    assert_eq!(reference.busy, batched.busy, "{label}: busy time diverged");
+    assert_eq!(
+        reference.peak_fifo(),
+        batched.peak_fifo(),
+        "{label}: peak FIFO occupancy diverged"
+    );
+    // ...then the full results, bit for bit.
+    assert_eq!(reference, batched, "{label}: results diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every (small workload) × (scheduler preset) cell: the two
+    /// simulators produce identical results on the buffer-sized plan.
+    #[test]
+    fn batched_equals_reference_on_every_cell(
+        seed in any::<u64>(),
+        pe_choice in 0usize..4,
+    ) {
+        let pes = [2usize, 3, 7, 16][pe_choice];
+        for workload in small_specs() {
+            let g = workload.build(seed);
+            for kind in SchedulerKind::ALL {
+                let label = format!("{} × {kind} @ P={pes} seed={seed}", workload.spec());
+                match kind.build(pes).schedule(&g) {
+                    Ok(plan) => assert_sims_agree(&g, &plan, &label),
+                    // Scheduling errors are data (some appendix
+                    // partitioners reject non-conforming graphs); there
+                    // is nothing to simulate.
+                    Err(_) => continue,
+                }
+            }
+        }
+    }
+
+    /// Under-buffered capacity-1 channels: deadlocks and bubbles must be
+    /// reported identically by both simulators.
+    #[test]
+    fn deadlock_reports_agree(
+        seed in any::<u64>(),
+        pe_choice in 0usize..2,
+    ) {
+        let pes = [2usize, 8][pe_choice];
+        for workload in small_specs() {
+            let g = workload.build(seed);
+            let plan = StreamingScheduler::new(pes).run(&g).expect("schedulable");
+            let s = plan.schedule();
+            let run = |kind: SimKind| {
+                simulate_with_kind(kind, &g, s, |_| None, SimConfig::default())
+            };
+            let reference = run(SimKind::Reference);
+            let batched = run(SimKind::Batched);
+            prop_assert_eq!(
+                reference,
+                batched,
+                "{} @ P={} seed={}: capacity-1 results diverged",
+                workload.spec(),
+                pes,
+                seed
+            );
+        }
+    }
+}
