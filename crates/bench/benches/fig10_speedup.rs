@@ -46,6 +46,18 @@ fn bench_engine_sweep(c: &mut Criterion) {
         })
     });
     group.bench_function("paper_grid_2_graphs_warm", |b| b.iter(|| spec.run()));
+    // The staged pipeline with a warm cell store: every cell is a lookup
+    // hit, so this measures the pure expand → key → lookup → merge
+    // overhead — the cost floor of a fully cached rerun (`--cache-dir`).
+    let store = stg_experiments::ResultStore::in_memory();
+    spec.run_with(Some(&store)); // populate
+    group.bench_function("paper_grid_2_graphs_warm_cellstore", |b| {
+        b.iter(|| {
+            let sweep = spec.run_with(Some(&store));
+            assert_eq!(sweep.cell_cache.misses, 0, "store stays warm");
+            sweep
+        })
+    });
     // The same warm grid with DES validation on, per simulator: what
     // `--validate` adds to a sweep — the batched fast path is what makes
     // validated CI sweeps affordable.

@@ -6,6 +6,10 @@
 //!
 //! The canonical analysis is linear in the graph size; the CSDF analysis is
 //! linear in the *data volume* — expect orders of magnitude between them.
+//!
+//! This bench uses only the **expand** stage of the staged sweep pipeline
+//! ([`SweepSpec::cases`]): rows are wall-clock measurements, which stay
+//! off the engine's cached/deterministic record path by design.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;

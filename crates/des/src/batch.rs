@@ -46,14 +46,18 @@ use crate::SimKind;
 pub struct BatchedSim;
 
 /// Candidate steady-state periods, ascending. Production rates in lowest
-/// terms are small (the workload generators emit power-of-two volumes), so
-/// real steady states have periods of the form `2^k` or `3 · 2^k`; the
-/// ladder covers those up to 4096 cycles. A period outside the ladder is
-/// never leaped — the simulation stays on the (still heap-free) per-beat
-/// path, which only costs time, never exactness.
-const CANDIDATES: [u64; 24] = [
-    1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048,
-    3072, 4096,
+/// terms are small, so real steady states have periods of the form
+/// `m · 2^k` for a small odd `m`; the ladder covers `m ∈ {1, 3, 5, 7}`
+/// up to 4096 cycles — the `5 · 2^k` / `7 · 2^k` rungs pick up workloads
+/// whose volume ratios carry a factor of 5 or 7 (e.g. 5:1 downsampling
+/// stages), which previously fell back to per-beat stepping for their
+/// whole steady phase. A period outside the ladder is never leaped — the
+/// simulation stays on the (still heap-free) per-beat path, which only
+/// costs time, never exactness.
+const CANDIDATES: [u64; 44] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48, 56, 64, 80, 96, 112, 128, 160,
+    192, 224, 256, 320, 384, 448, 512, 640, 768, 896, 1024, 1280, 1536, 1792, 2048, 2560, 3072,
+    3584, 4096,
 ];
 
 /// Signature ring capacity; must strictly exceed the largest candidate
@@ -503,4 +507,32 @@ fn try_leap(state: &mut SimState<'_>, snap: &Snapshot, period: u64, buckets: &mu
     state.beats += n * period_beats;
     buckets.leap(n * period);
     true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{CANDIDATES, RING};
+
+    /// The ladder is exactly `m · 2^k` for `m ∈ {1, 3, 5, 7}` up to 4096,
+    /// strictly ascending (the trigger scan picks the *smallest* matching
+    /// period, so order is semantic), and within the signature ring.
+    #[test]
+    fn candidate_ladder_covers_small_odd_multiples_of_powers_of_two() {
+        let mut expected: Vec<u64> = Vec::new();
+        for m in [1u64, 3, 5, 7] {
+            let mut p = m;
+            while p <= 4096 {
+                expected.push(p);
+                p *= 2;
+            }
+        }
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(CANDIDATES.to_vec(), expected);
+        assert!(CANDIDATES.windows(2).all(|w| w[0] < w[1]));
+        assert!(
+            *CANDIDATES.last().unwrap() < RING as u64,
+            "ring must strictly exceed the largest candidate period"
+        );
+    }
 }

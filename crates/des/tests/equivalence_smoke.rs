@@ -80,6 +80,45 @@ fn new_family_workloads_bit_agree() {
     }
 }
 
+/// Workloads whose steady-state periods carry a factor of 5 or 7 (volume
+/// ratios like 5:1 and 7:1 between pipeline stages) exercise the
+/// `5 · 2^k` / `7 · 2^k` rungs of the batched simulator's candidate
+/// ladder: their periodic phases are not of the `2^k` / `3 · 2^k` form
+/// the original ladder covered. Whether or not a leap fires, the batched
+/// result must stay bit-identical to the reference — and the volumes are
+/// long enough (thousands of beats) that a steady phase exists for the
+/// detector to find.
+#[test]
+fn non_power_of_two_periods_bit_agree() {
+    use stg_model::Builder;
+    // (label, per-edge volumes down a chain). Ratios of 5, 7, and mixed
+    // 5·7 between stages; a 3:1 control rung rides along.
+    let shapes: &[(&str, &[u64])] = &[
+        ("down5", &[5120, 1024]),
+        ("down7", &[7168, 1024]),
+        ("up5", &[1024, 5120]),
+        ("up7", &[1024, 7168]),
+        ("down35", &[8960, 1792, 256]),
+        ("mix5x7", &[2560, 512, 3584]),
+        ("down3", &[3072, 1024]),
+    ];
+    for (label, volumes) in shapes {
+        let mut b = Builder::new();
+        let nodes: Vec<_> = (0..=volumes.len())
+            .map(|i| b.compute(format!("{label}-{i}")))
+            .collect();
+        for (i, &v) in volumes.iter().enumerate() {
+            b.edge(nodes[i], nodes[i + 1], v);
+        }
+        let g = b.finish().expect("chain is a DAG");
+        for pes in [2usize, volumes.len() + 1] {
+            let part = stg_sched::spatial_block_partition(&g, pes, stg_sched::SbVariant::Lts);
+            assert_equivalent(&g, &part, &format!("{label}/p{pes}"));
+        }
+        assert_equivalent(&g, &Partition::single_block(&g), &format!("{label}/single"));
+    }
+}
+
 /// Wall-clock probe (release mode): `cargo test -p stg_des --release -- --ignored --nocapture`.
 #[test]
 #[ignore]

@@ -53,23 +53,31 @@ fn spec(
     .filter_grid(args)
 }
 
-/// Runs a sweep, refusing to aggregate over a sample shrunken by
-/// scheduling errors.
-fn run_checked(spec: SweepSpec) -> stg_experiments::Sweep {
-    spec.run().exit_on_errors()
+/// Runs a sweep through the shared result store, refusing to aggregate
+/// over a sample shrunken by scheduling errors.
+fn run_checked(
+    spec: SweepSpec,
+    store: Option<&stg_experiments::ResultStore>,
+) -> stg_experiments::Sweep {
+    spec.run_with(store).exit_on_errors()
 }
 
 fn main() {
     let args = Args::parse();
+    args.reject_shard("ablation_semantics");
+    let store = args.open_store();
     let graphs = args.graphs.min(50);
 
     println!("== Ablation 1: block-start semantics (speedup, SB-LTS) ==\n");
-    let sweep = run_checked(spec(
-        mid_pe_suite(),
-        vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingLtsDep],
-        graphs,
-        &args,
-    ));
+    let sweep = run_checked(
+        spec(
+            mid_pe_suite(),
+            vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingLtsDep],
+            graphs,
+            &args,
+        ),
+        store.as_ref(),
+    );
     for pair in sweep.cells().chunks(2) {
         let [barrier, dep] = pair else { unreachable!() };
         let topo = barrier.workload.topology().expect("synthetic suite");
@@ -83,17 +91,20 @@ fn main() {
             d.median
         );
     }
-    let tf_sweep = run_checked(spec(
-        vec![WorkloadSpec {
-            // The registry's lazy transformer recipe: shared (and lowered
-            // at most once per process) with Table 2's grid.
-            workload: WorkloadKind::Ml(MlWorkload::TransformerEncoder),
-            pes: vec![256, 1024],
-        }],
-        vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingLtsDep],
-        1,
-        &args,
-    ));
+    let tf_sweep = run_checked(
+        spec(
+            vec![WorkloadSpec {
+                // The registry's lazy transformer recipe: shared (and lowered
+                // at most once per process) with Table 2's grid.
+                workload: WorkloadKind::Ml(MlWorkload::TransformerEncoder),
+                pes: vec![256, 1024],
+            }],
+            vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingLtsDep],
+            1,
+            &args,
+        ),
+        store.as_ref(),
+    );
     for pair in tf_sweep.cells().chunks(2) {
         let [barrier, dep] = pair else { unreachable!() };
         println!(
@@ -121,7 +132,7 @@ fn main() {
         &args,
     );
     sizing.validate = true;
-    let sweep = run_checked(sizing);
+    let sweep = run_checked(sizing, store.as_ref());
     for pair in sweep.cells().chunks(2) {
         let [conv, cyc] = pair else { unreachable!() };
         let topo = conv.workload.topology().expect("synthetic suite");
@@ -160,19 +171,22 @@ fn main() {
     println!("\n== Ablation 3: partitioners on structured graphs ==\n");
     // Element-wise chain: Theorem A.1's level-order partitioner and the
     // Algorithm 2 work-ordered partitioner vs Algorithm 1.
-    let sweep = run_checked(spec(
-        vec![WorkloadSpec {
-            workload: WorkloadKind::Synthetic(Topology::Chain { tasks: 8 }),
-            pes: vec![2, 4],
-        }],
-        vec![
-            SchedulerKind::StreamingLts,
-            SchedulerKind::Elementwise,
-            SchedulerKind::Downsampler,
-        ],
-        1,
-        &args,
-    ));
+    let sweep = run_checked(
+        spec(
+            vec![WorkloadSpec {
+                workload: WorkloadKind::Synthetic(Topology::Chain { tasks: 8 }),
+                pes: vec![2, 4],
+            }],
+            vec![
+                SchedulerKind::StreamingLts,
+                SchedulerKind::Elementwise,
+                SchedulerKind::Downsampler,
+            ],
+            1,
+            &args,
+        ),
+        store.as_ref(),
+    );
     for trio in sweep.cells().chunks(3) {
         let [a1, lvl, work] = trio else {
             unreachable!()
@@ -198,7 +212,7 @@ fn main() {
         &args,
     );
     chol.seed = args.seed + 1;
-    let sweep = run_checked(chol);
+    let sweep = run_checked(chol, store.as_ref());
     for cell in sweep.cells() {
         let m = cell.records().next().expect("schedulable").metrics;
         println!(

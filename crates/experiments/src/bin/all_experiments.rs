@@ -8,6 +8,12 @@ use std::process::Command;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--shard") {
+        // Forwarding `--shard` would make `sweep` emit an artifact while
+        // every figure binary rejects the flag; run `sweep` directly.
+        eprintln!("--shard is only supported by the sweep binary (run it directly)");
+        std::process::exit(2);
+    }
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("binary directory");
     for bin in [

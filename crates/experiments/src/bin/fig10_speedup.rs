@@ -6,6 +6,7 @@ use stg_experiments::{summary, Args, SweepSpec, WorkloadFamily};
 
 fn main() {
     let args = Args::parse();
+    args.reject_shard("fig10_speedup");
     if args.csv {
         println!("topology,tasks,pes,scheduler,min,q1,median,q3,max,mean_utilization");
     } else {
@@ -13,9 +14,12 @@ fn main() {
         println!("(boxplot columns: min q1 median q3 max; util = mean PE utilization)\n");
     }
 
+    // `--cache-dir` reuses previously evaluated cells across runs of any
+    // engine-routed binary (the figure and the `sweep` CSV share keys).
+    let store = args.open_store();
     let sweep = SweepSpec::paper(args.graphs, args.seed)
         .filtered(&args)
-        .run()
+        .run_with(store.as_ref())
         .exit_on_errors();
     let mut current = String::new();
     for cell in sweep.cells() {

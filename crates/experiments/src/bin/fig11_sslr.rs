@@ -6,6 +6,7 @@ use stg_experiments::{summary, Args, SweepSpec, WorkloadFamily};
 
 fn main() {
     let args = Args::parse();
+    args.reject_shard("fig11_sslr");
     if args.csv {
         println!("topology,tasks,pes,scheduler,min,q1,median,q3,max");
     } else {
@@ -14,7 +15,11 @@ fn main() {
 
     let mut spec = SweepSpec::paper(args.graphs, args.seed);
     spec.schedulers = vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingRlx];
-    let sweep = spec.filtered(&args).run().exit_on_errors();
+    let store = args.open_store();
+    let sweep = spec
+        .filtered(&args)
+        .run_with(store.as_ref())
+        .exit_on_errors();
     let mut current = String::new();
     for cell in sweep.cells() {
         let topo = cell.workload.topology().expect("synthetic suite");

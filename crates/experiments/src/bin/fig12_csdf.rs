@@ -30,6 +30,12 @@ struct Row {
 
 fn main() {
     let args = Args::parse();
+    args.reject_shard("fig12_csdf");
+    if args.cache_dir.is_some() {
+        // Every row is a wall-clock measurement; serving it from a cache
+        // would report stale clocks as fresh ones.
+        eprintln!("note: figure 12 measures wall-clock; --cache-dir is ignored");
+    }
     if args.csv {
         println!(
             "topology,graphs,timeouts,sched_time_median_us,csdf_time_median_us,\

@@ -8,6 +8,7 @@ use stg_experiments::{summary, Args, SweepSpec, WorkloadFamily};
 
 fn main() {
     let args = Args::parse();
+    args.reject_shard("fig13_validation");
     if args.csv {
         println!("topology,tasks,pes,scheduler,min,q1,median,q3,max,deadlocks");
     } else {
@@ -17,7 +18,11 @@ fn main() {
     let mut spec = SweepSpec::paper(args.graphs, args.seed);
     spec.schedulers = vec![SchedulerKind::StreamingLts, SchedulerKind::StreamingRlx];
     spec.validate = true;
-    let sweep = spec.filtered(&args).run().exit_on_errors();
+    let store = args.open_store();
+    let sweep = spec
+        .filtered(&args)
+        .run_with(store.as_ref())
+        .exit_on_errors();
 
     let mut total_deadlocks = 0usize;
     let mut current = String::new();

@@ -5,20 +5,35 @@
 //! registered family with `--workload` (e.g. `stencil2d:32x32`, `spmv`,
 //! `resnet50`) adds it at its registry-default PE sweep. With an
 //! identical spec (same `--graphs`, `--seed`, filters) the output is
-//! byte-identical across reruns, `--threads` settings, *and* `--sim`
-//! choices — CI diffs runs pairwise to enforce all three, for both the
-//! paper topologies and the generator-plus-cache path of the new
-//! families. Exits non-zero if any scenario fails to schedule, (under
-//! `--validate`) any simulation deadlocks, or (under `--sim both`) the
-//! reference and batched simulators diverge on any cell. Graph-cache and
-//! validation-timing statistics go to stderr, keeping stdout byte-stable;
-//! `--sim-timing` additionally appends wall-clock columns to the CSV/JSON
-//! (those columns are excluded from the determinism contract).
+//! byte-identical across reruns, `--threads` settings, `--sim` choices,
+//! cold/warm `--cache-dir` states, *and* sharded/unsharded execution —
+//! CI diffs runs pairwise to enforce all of these. Exits non-zero if any
+//! scenario fails to schedule, (under `--validate`) any simulation
+//! deadlocks, or (under `--sim both`) the simulators diverge on any cell.
+//!
+//! Caching and sharding (see the README's "Caching and sharded sweeps"):
+//!
+//! - `--cache-dir DIR` persists every evaluated cell under a
+//!   content-addressed `CellKey`; warm reruns skip re-evaluation and the
+//!   `cell cache:` stderr line (and the `"cache"` member of `--json`
+//!   output) reports the hit/miss/invalidation traffic.
+//! - `--shard i/n` evaluates only the i-th of n contiguous slices of the
+//!   case grid and prints a self-describing shard artifact instead of
+//!   CSV/JSON.
+//! - `sweep merge SHARD...` re-assembles a complete artifact set into
+//!   output byte-identical to the unsharded run.
+//!
+//! Graph-cache, cell-cache, and validation-timing statistics go to
+//! stderr, keeping stdout byte-stable; `--sim-timing` additionally
+//! appends wall-clock columns to the CSV/JSON, and the `"cache"` member
+//! of `--json` output reports live counters — both are excluded from the
+//! determinism contract.
 //!
 //! ```sh
 //! cargo run --release --bin sweep -- --graphs 3 --validate
-//! cargo run --release --bin sweep -- --graphs 3 --validate --sim batched
-//! cargo run --release --bin sweep -- --workload attention --validate --sim both --sim-timing
+//! cargo run --release --bin sweep -- --graphs 3 --validate --cache-dir .sweep-cache
+//! cargo run --release --bin sweep -- --graphs 3 --shard 0/3 > shard0
+//! cargo run --release --bin sweep -- merge shard0 shard1 shard2
 //! cargo run --release --bin sweep -- --workload chain,fft --pes 32 --json
 //! cargo run --release --bin sweep -- --list-workloads --list-schedulers
 //! ```
@@ -26,13 +41,59 @@
 use stg_experiments::{Args, SweepSpec};
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("merge") {
+        merge_main(&argv[1..]);
+        return;
+    }
     let args = Args::parse(); // registry listing flags print and exit here
+    let store = args.open_store();
     let spec = SweepSpec::paper(args.graphs, args.seed)
         .extend_from_filter(&args)
         .filtered(&args);
-    let sweep = spec.run();
+
+    if let Some(shard) = args.shard {
+        if args.sim_timing {
+            eprintln!("--sim-timing is incompatible with --shard: artifacts carry only the deterministic record fields");
+            std::process::exit(2);
+        }
+        if args.json {
+            eprintln!(
+                "--json is incompatible with --shard: shard mode emits only the artifact \
+                 format (pass --json to `sweep merge` instead)"
+            );
+            std::process::exit(2);
+        }
+        let result = spec.run_shard(shard, store.as_ref());
+        match result.artifact() {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("ERROR: cannot emit shard artifact: {e}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!(
+            "shard {shard}: cases {}..{} of {}; graph cache: {} hits, {} misses; \
+             cell cache: {} hits, {} misses, {} invalidations",
+            result.range.start,
+            result.range.end,
+            result.total,
+            result.cache.hits,
+            result.cache.misses,
+            result.cell_cache.hits,
+            result.cell_cache.misses,
+            result.cell_cache.invalidations
+        );
+        exit_on_failures(result.errors(), result.deadlocks(), result.divergences());
+        return;
+    }
+
+    if args.sim_timing && store.is_some() {
+        eprintln!("note: --sim-timing bypasses the cell cache (cached cells cannot report fresh wall-clocks)");
+    }
+    let sweep = spec.run_with(store.as_ref());
     if args.json {
-        print!("{}", sweep.to_json());
+        print!("{}", sweep.to_json_with_stats());
     } else {
         print!("{}", sweep.to_csv());
     }
@@ -42,12 +103,67 @@ fn main() {
         sweep.cache.misses,
         sweep.runs.len()
     );
+    eprintln!(
+        "cell cache: {} hits, {} misses, {} invalidations",
+        sweep.cell_cache.hits, sweep.cell_cache.misses, sweep.cell_cache.invalidations
+    );
     if let Some(timing) = sweep.sim_timing_summary() {
         eprint!("{timing}");
     }
-    let errors = sweep.errors();
-    let deadlocks = sweep.deadlocks();
-    let divergences = sweep.divergences();
+    exit_on_failures(sweep.errors(), sweep.deadlocks(), sweep.divergences());
+}
+
+/// `sweep merge SHARD... [--json]`: re-assemble shard artifacts into the
+/// byte-identical unsharded output. The spec travels inside the artifacts,
+/// so no grid flags are needed (or accepted).
+fn merge_main(rest: &[String]) {
+    let mut json = false;
+    let mut files: Vec<&String> = Vec::new();
+    for arg in rest {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                eprintln!(
+                    "sweep merge supports only --json; the sweep spec is embedded in the artifacts"
+                );
+                std::process::exit(2);
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: sweep merge SHARD-FILE... [--json]");
+        std::process::exit(2);
+    }
+    let artifacts: Vec<String> = files
+        .iter()
+        .map(|path| {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read shard artifact {path}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let sweep = SweepSpec::merge_shards(&artifacts).unwrap_or_else(|e| {
+        eprintln!("ERROR: merge failed: {e}");
+        std::process::exit(2);
+    });
+    if json {
+        print!("{}", sweep.to_json_with_stats());
+    } else {
+        print!("{}", sweep.to_csv());
+    }
+    eprintln!(
+        "merged {} shards into {} runs",
+        artifacts.len(),
+        sweep.runs.len()
+    );
+    exit_on_failures(sweep.errors(), sweep.deadlocks(), sweep.divergences());
+}
+
+/// The shared non-zero-exit policy over scheduling errors, simulation
+/// deadlocks, and simulator divergences.
+fn exit_on_failures(errors: usize, deadlocks: usize, divergences: usize) {
     if errors > 0 || deadlocks > 0 || divergences > 0 {
         eprintln!(
             "ERROR: {errors} scheduling errors, {deadlocks} simulation deadlocks, \

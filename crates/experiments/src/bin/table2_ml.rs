@@ -13,6 +13,7 @@ use stg_workloads::MlWorkload;
 
 fn main() {
     let args = Args::parse();
+    args.reject_shard("table2_ml");
     if args.csv {
         println!(
             "model,nodes,buffer_nodes,pes,str_speedup,str_dep_speedup,nstr_speedup,gain,gain_dep"
@@ -55,7 +56,10 @@ fn main() {
         eprintln!("note: table 2 compares a fixed STR/STR*/NSTR trio; --scheduler is ignored");
     }
 
-    let sweep = spec.run();
+    // ML workloads are registry specs (not `Fixed` graphs), so their
+    // cells cache like any other under `--cache-dir`.
+    let store = args.open_store();
+    let sweep = spec.run_with(store.as_ref());
     // Cells arrive workload → pes → scheduler; regroup per (workload, pes).
     let cells = sweep.cells();
     let mut current = String::new();

@@ -1,21 +1,36 @@
-//! The parallel scenario-sweep engine.
+//! The parallel scenario-sweep engine, as a staged evaluation pipeline.
 //!
 //! The paper's evaluation — and any production deployment serving many
 //! configurations — is a grid of `(workload × seed × PE count ×
-//! scheduler)` scenarios. This module turns that grid into data: a
-//! declarative [`SweepSpec`] expands into an ordered list of [`Case`]s,
-//! [`SweepSpec::run`] evaluates them on the scoped-thread pool
-//! ([`par_map_with`]), and the resulting [`Sweep`] offers deterministic,
-//! byte-stable CSV/JSON emitters plus per-cell aggregation for the
-//! figure binaries.
+//! scheduler)` scenarios. This module turns that grid into data through
+//! four explicit stages:
+//!
+//! 1. **expand** — a declarative [`SweepSpec`] expands into the
+//!    deterministic, ordered list of [`Case`]s ([`SweepSpec::cases`]);
+//! 2. **key** — every case gets a content-addressed
+//!    [`CellKey`] ([`SweepSpec::cell_key`]);
+//! 3. **lookup / evaluate / persist** — cells found in an optional
+//!    [`ResultStore`] are reused; the rest are evaluated on the
+//!    scoped-thread pool ([`par_map_with`]) and persisted back;
+//! 4. **merge** — outcomes are assembled back into index order, so the
+//!    resulting [`Sweep`] emits byte-stable CSV/JSON regardless of which
+//!    cells came from the cache, which were computed, and in what order.
+//!
+//! The same pipeline powers **sharded** execution: [`SweepSpec::run_shard`]
+//! evaluates one contiguous index-range slice of the grid and emits a
+//! self-describing shard artifact; [`SweepSpec::merge_shards`] re-assembles
+//! a full set of artifacts into a [`Sweep`] whose output is byte-identical
+//! to an unsharded run.
 //!
 //! Determinism contract: with an identical spec (including seed), the
-//! emitted CSV and JSON are byte-identical across runs and across worker
-//! thread counts. Wall-clock timings are deliberately excluded from
-//! records; binaries that measure time (Figure 12) do so through
-//! [`SweepSpec::run_map`] and keep timings out of the deterministic
-//! output path.
+//! emitted CSV and JSON are byte-identical across runs, across worker
+//! thread counts, across cold/warm result caches, and across
+//! sharded/unsharded execution. Wall-clock timings are deliberately
+//! excluded from records; binaries that measure time (Figure 12) do so
+//! through [`SweepSpec::run_map`] and keep timings out of the
+//! deterministic output path.
 
+use std::ops::Range;
 use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Instant;
@@ -27,6 +42,7 @@ use stg_sched::Metrics;
 use stg_workloads::{paper_suite, CacheStats, WorkloadFamily, WorkloadKind};
 
 use crate::harness::{default_threads, par_map_with, Args};
+use crate::store::{error_code, CellKey, Outcome, ResultStore, StoreStats, SCHEMA_VERSION};
 
 /// Which validation simulator(s) a sweep runs when `validate` is set.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -287,20 +303,564 @@ impl SweepSpec {
 
     /// Runs the full sweep: every case through its scheduler (plus the
     /// simulator when `validate` is set), in parallel, with
-    /// deterministic, index-ordered results.
+    /// deterministic, index-ordered results. Equivalent to
+    /// [`Self::run_with`] without a result store.
     pub fn run(&self) -> Sweep {
-        let validate = self.validate;
-        let sim = self.sim;
-        let (results, cache) = self.run_map_traced(|case, g| evaluate(case, g, validate, sim));
-        let runs = results
-            .into_iter()
-            .map(|(case, outcome)| Run { case, outcome })
-            .collect();
+        self.run_with(None)
+    }
+
+    /// The simulation-mode component of this spec's cell keys: `off` when
+    /// validation is disabled, else the `--sim` choice (so toggling
+    /// validation or switching the differential mode never reuses a stale
+    /// cell).
+    pub fn sim_mode(&self) -> String {
+        if self.validate {
+            self.sim.to_string()
+        } else {
+            "off".to_string()
+        }
+    }
+
+    /// Stage 2 of the pipeline: the content-addressed identity of one
+    /// cell of this grid (see [`crate::store`] for the key contents and
+    /// invalidation rules).
+    pub fn cell_key(&self, case: &Case) -> CellKey {
+        CellKey::new(
+            SCHEMA_VERSION,
+            &case.workload.spec(),
+            case.seed,
+            case.pes,
+            case.scheduler.alias(),
+            &self.sim_mode(),
+        )
+    }
+
+    /// True when `case` may be served from / persisted to a result store.
+    /// Fixed workloads are excluded (their spec string names an arbitrary
+    /// caller-supplied graph, so it is not content-addressing), and
+    /// timing captures are excluded (cached cells cannot report fresh
+    /// wall-clocks).
+    fn cacheable(&self, case: &Case) -> bool {
+        !self.timing && !matches!(case.workload, WorkloadKind::Fixed(_))
+    }
+
+    /// A stable fingerprint of the whole expanded grid: the FNV-1a hash
+    /// over every cell's canonical key, in case order. Shard artifacts
+    /// embed it so [`Self::merge_shards`] rejects artifacts produced by
+    /// different specs (or engine schema versions).
+    pub fn grid_fingerprint(&self) -> u64 {
+        let mut text = String::new();
+        for case in self.cases() {
+            text.push_str(self.cell_key(&case).canonical());
+            text.push('\n');
+        }
+        crate::store::fnv1a(text.as_bytes())
+    }
+
+    /// [`Self::run`] through an optional result store: cells present in
+    /// the store are reused without instantiating their graph or
+    /// scheduler; the rest are evaluated in parallel and persisted back.
+    /// Output is byte-identical to a storeless run; the store traffic is
+    /// reported in [`Sweep::cell_cache`].
+    pub fn run_with(&self, store: Option<&ResultStore>) -> Sweep {
+        let cases = self.cases();
+        let before = store.map(|s| s.stats()).unwrap_or_default();
+        let (runs, cache) = self.evaluate_cases(cases, store);
+        let cell_cache = store.map(|s| s.stats().since(&before)).unwrap_or_default();
         Sweep {
             spec: self.clone(),
             runs,
             cache,
+            cell_cache,
         }
+    }
+
+    /// Evaluates one shard — the `shard.index`-th of `shard.of` contiguous
+    /// index-range slices of the case grid — and returns its outcomes
+    /// for artifact emission. An optional result store accelerates the
+    /// slice exactly as in [`Self::run_with`].
+    pub fn run_shard(&self, shard: Shard, store: Option<&ResultStore>) -> ShardResult {
+        let all = self.cases();
+        let total = all.len();
+        let range = shard.slice(total);
+        let before = store.map(|s| s.stats()).unwrap_or_default();
+        let (runs, cache) = self.evaluate_cases(all[range.clone()].to_vec(), store);
+        let cell_cache = store.map(|s| s.stats().since(&before)).unwrap_or_default();
+        ShardResult {
+            spec: self.clone(),
+            shard,
+            range,
+            total,
+            runs,
+            cache,
+            cell_cache,
+        }
+    }
+
+    /// Stages 3–4 of the pipeline over an arbitrary case list (the full
+    /// grid or one shard slice): look every cacheable case up, evaluate
+    /// the misses in parallel, persist them, and merge the outcomes back
+    /// into the input order.
+    fn evaluate_cases(
+        &self,
+        cases: Vec<Case>,
+        store: Option<&ResultStore>,
+    ) -> (Vec<Run>, CacheStats) {
+        let validate = self.validate;
+        let sim = self.sim;
+        // Stage key + lookup.
+        let keys: Vec<Option<CellKey>> = match store {
+            Some(_) => cases
+                .iter()
+                .map(|c| self.cacheable(c).then(|| self.cell_key(c)))
+                .collect(),
+            None => vec![None; cases.len()],
+        };
+        let mut slots: Vec<Option<Outcome>> = vec![None; cases.len()];
+        if let Some(store) = store {
+            for (slot, key) in slots.iter_mut().zip(&keys) {
+                if let Some(key) = key {
+                    *slot = store.lookup(key);
+                }
+            }
+        }
+        // Stage evaluate: only the missing cells touch a graph or
+        // scheduler (so a fully warm rerun does no instantiation at all).
+        let todo: Vec<usize> = (0..cases.len()).filter(|&i| slots[i].is_none()).collect();
+        let threads = self
+            .threads
+            .unwrap_or_else(|| default_threads(todo.len() as u64));
+        let evaluated = par_map_with(todo.len() as u64, threads, |j| {
+            let case = &cases[todo[j as usize]];
+            let (g, hit) = case.workload.instantiate_traced(case.seed);
+            (evaluate(case, &g, validate, sim), hit)
+        });
+        // Stage persist + merge: order-insensitive assembly back into the
+        // byte-stable emission order.
+        let mut cache = CacheStats::default();
+        for (j, (outcome, hit)) in evaluated.into_iter().enumerate() {
+            let i = todo[j];
+            cache.record(hit);
+            if let (Some(store), Some(key)) = (store, &keys[i]) {
+                store.insert(key, &outcome);
+            }
+            slots[i] = Some(outcome);
+        }
+        let runs = cases
+            .into_iter()
+            .zip(slots)
+            .map(|(case, outcome)| Run {
+                case,
+                outcome: outcome.expect("every slot filled by lookup or evaluation"),
+            })
+            .collect();
+        (runs, cache)
+    }
+
+    /// Serializes the spec for embedding in shard artifacts. Fixed
+    /// workloads have no parseable spec string and cannot shard.
+    fn encode_spec(&self) -> Result<String, String> {
+        let mut out = String::new();
+        for w in &self.workloads {
+            if matches!(w.workload, WorkloadKind::Fixed(_)) {
+                return Err(format!(
+                    "workload {:?} is a fixed graph; sharding requires registry specs",
+                    w.workload.label()
+                ));
+            }
+            let pes: Vec<String> = w.pes.iter().map(usize::to_string).collect();
+            out.push_str(&format!("w {} {}\n", w.workload.spec(), pes.join(",")));
+        }
+        let schedulers: Vec<&str> = self.schedulers.iter().map(|s| s.alias()).collect();
+        out.push_str(&format!(
+            "graphs {}\nseed {}\nschedulers {}\nvalidate {}\nsim {}\n",
+            self.graphs,
+            self.seed,
+            schedulers.join(","),
+            self.validate,
+            self.sim
+        ));
+        Ok(out)
+    }
+
+    /// Parses an [`Self::encode_spec`] block back into a spec. Worker
+    /// threads default and timing is off — merged sweeps never evaluate
+    /// or time anything.
+    fn decode_spec(block: &str) -> Result<SweepSpec, String> {
+        let mut spec = SweepSpec {
+            workloads: Vec::new(),
+            graphs: 0,
+            seed: 0,
+            schedulers: Vec::new(),
+            validate: false,
+            sim: SimChoice::default(),
+            timing: false,
+            threads: None,
+        };
+        for line in block.lines() {
+            let (field, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed spec line {line:?}"))?;
+            let bad = |e: &dyn std::fmt::Display| format!("spec line {line:?}: {e}");
+            match field {
+                "w" => {
+                    let (w, pes) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| format!("malformed workload line {line:?}"))?;
+                    let workload: WorkloadKind = w.parse().map_err(|e| bad(&e))?;
+                    let pes = pes
+                        .split(',')
+                        .map(|p| p.parse::<usize>().map_err(|e| bad(&e)))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    spec.workloads.push(WorkloadSpec { workload, pes });
+                }
+                "graphs" => spec.graphs = rest.parse().map_err(|e| bad(&e))?,
+                "seed" => spec.seed = rest.parse().map_err(|e| bad(&e))?,
+                "schedulers" => {
+                    spec.schedulers = rest
+                        .split(',')
+                        .map(|s| s.parse::<SchedulerKind>().map_err(|e| bad(&e)))
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "validate" => spec.validate = rest.parse().map_err(|e| bad(&e))?,
+                "sim" => spec.sim = rest.parse().map_err(|e| bad(&e))?,
+                other => return Err(format!("unknown spec field {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Re-assembles a complete set of shard artifacts (one per shard of a
+    /// common spec, in any order) into a [`Sweep`] whose CSV/JSON output
+    /// is byte-identical to an unsharded run of that spec. Rejects
+    /// artifacts from different specs or schema versions, incomplete or
+    /// overlapping sets, and malformed payloads.
+    pub fn merge_shards(artifacts: &[String]) -> Result<Sweep, String> {
+        if artifacts.is_empty() {
+            return Err("no shard artifacts to merge".to_string());
+        }
+        let mut parsed: Vec<ParsedShard> = artifacts
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                ParsedShard::parse(text).map_err(|e| format!("shard artifact {i}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        parsed.sort_by_key(|p| p.shard.index);
+        let first = &parsed[0];
+        if parsed.len() != first.shard.of {
+            return Err(format!(
+                "incomplete shard set: {} artifacts for a {}-way shard",
+                parsed.len(),
+                first.shard.of
+            ));
+        }
+        for p in &parsed[1..] {
+            if p.shard.of != first.shard.of
+                || p.total != first.total
+                || p.fingerprint != first.fingerprint
+                || p.spec_block != first.spec_block
+            {
+                return Err(format!(
+                    "shard {} does not belong to the same sweep as shard {}",
+                    p.shard.index, first.shard.index
+                ));
+            }
+        }
+        let spec = SweepSpec::decode_spec(&first.spec_block)?;
+        if spec.grid_fingerprint() != first.fingerprint {
+            return Err("grid fingerprint mismatch: artifacts were produced by a \
+                        different engine schema or workload registry"
+                .to_string());
+        }
+        let cases = spec.cases();
+        if cases.len() != first.total {
+            return Err(format!(
+                "grid expands to {} cases but artifacts claim {}",
+                cases.len(),
+                first.total
+            ));
+        }
+        let mut outcomes: Vec<Option<Outcome>> = vec![None; cases.len()];
+        for (position, p) in parsed.iter().enumerate() {
+            // Sorted by index, a complete set has artifact i at position i;
+            // anything else is a duplicate (and a hole elsewhere).
+            if p.shard.index != position {
+                return Err(format!("duplicate shard index {}", p.shard.index));
+            }
+            let expect = p.shard.slice(cases.len());
+            let indices: Vec<usize> = p.rows.iter().map(|(i, _)| *i).collect();
+            if indices != expect.clone().collect::<Vec<_>>() {
+                return Err(format!(
+                    "shard {} rows cover {indices:?}, expected {expect:?}",
+                    p.shard.index
+                ));
+            }
+            for (i, outcome) in &p.rows {
+                outcomes[*i] = Some(outcome.clone());
+            }
+        }
+        let runs = cases
+            .into_iter()
+            .zip(outcomes)
+            .map(|(case, outcome)| Run {
+                outcome: outcome.expect("full coverage checked above"),
+                case,
+            })
+            .collect();
+        Ok(Sweep {
+            spec,
+            runs,
+            cache: CacheStats::default(),
+            cell_cache: StoreStats::default(),
+        })
+    }
+}
+
+/// One slice selector of a sharded sweep: `--shard i/n` evaluates the
+/// `i`-th of `n` contiguous index-range slices of the case grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Zero-based slice index.
+    pub index: usize,
+    /// Total number of slices.
+    pub of: usize,
+}
+
+impl Shard {
+    /// The contiguous case-index range this shard evaluates out of
+    /// `n_cases`: slices differ in length by at most one, cover
+    /// `0..n_cases` exactly, and are in index order.
+    pub fn slice(&self, n_cases: usize) -> Range<usize> {
+        let per = n_cases / self.of;
+        let rem = n_cases % self.of;
+        let start = self.index * per + self.index.min(rem);
+        let len = per + usize::from(self.index < rem);
+        start..start + len
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.of)
+    }
+}
+
+/// Error parsing a [`Shard`] from a `--shard i/n` value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseShardError(String);
+
+impl std::fmt::Display for ParseShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid shard {:?}; expected i/n with 0 <= i < n (e.g. --shard 0/3)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseShardError {}
+
+impl FromStr for Shard {
+    type Err = ParseShardError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseShardError(s.to_string());
+        let (i, n) = s.split_once('/').ok_or_else(err)?;
+        let shard = Shard {
+            index: i.trim().parse().map_err(|_| err())?,
+            of: n.trim().parse().map_err(|_| err())?,
+        };
+        if shard.of == 0 || shard.index >= shard.of {
+            return Err(err());
+        }
+        Ok(shard)
+    }
+}
+
+/// The evaluated slice of a sharded sweep, ready for artifact emission.
+pub struct ShardResult {
+    spec: SweepSpec,
+    /// The slice selector this result covers.
+    pub shard: Shard,
+    /// The global case-index range of the slice.
+    pub range: Range<usize>,
+    /// Case count of the full (unsharded) grid.
+    pub total: usize,
+    runs: Vec<Run>,
+    /// Graph-cache traffic of this slice's evaluations.
+    pub cache: CacheStats,
+    /// Result-store traffic of this slice (zero without a store).
+    pub cell_cache: StoreStats,
+}
+
+/// First line of every shard artifact; the version ties artifacts to the
+/// engine schema.
+fn shard_magic() -> String {
+    format!("stg-shard v{SCHEMA_VERSION}")
+}
+
+impl ShardResult {
+    /// The evaluated runs of this slice, in global case order.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Renders the self-describing shard artifact: a header binding the
+    /// slice to its spec (embedded verbatim) and grid fingerprint,
+    /// followed by one serialized outcome per case. Byte-deterministic,
+    /// like every other engine output.
+    pub fn artifact(&self) -> Result<String, String> {
+        let spec_block = self.spec.encode_spec()?;
+        let mut out = format!(
+            "{}\nshard {}\ncases {}..{} of {}\ngrid {:016x}\nspec-begin\n{spec_block}spec-end\n",
+            shard_magic(),
+            self.shard,
+            self.range.start,
+            self.range.end,
+            self.total,
+            self.spec.grid_fingerprint(),
+        );
+        for run in &self.runs {
+            out.push_str(&format!(
+                "row {} {}\n",
+                run.case.index,
+                crate::store::encode_outcome(&run.outcome)
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Total runs in this slice that failed to schedule.
+    pub fn errors(&self) -> usize {
+        count_errors(&self.runs)
+    }
+
+    /// Total validated runs in this slice whose simulation did not
+    /// complete.
+    pub fn deadlocks(&self) -> usize {
+        count_deadlocks(&self.runs)
+    }
+
+    /// Total validated runs in this slice on which the simulators
+    /// diverged (`SimChoice::Both` only).
+    pub fn divergences(&self) -> usize {
+        count_divergences(&self.runs)
+    }
+}
+
+/// Runs that failed to schedule. The single definition behind both
+/// [`Sweep::errors`] and [`ShardResult::errors`] — sharded and unsharded
+/// exit codes must never drift apart.
+fn count_errors(runs: &[Run]) -> usize {
+    runs.iter().filter(|r| r.outcome.is_err()).count()
+}
+
+/// Validated runs whose simulation did not complete.
+fn count_deadlocks(runs: &[Run]) -> usize {
+    runs.iter()
+        .filter_map(Run::record)
+        .filter(|r| r.sim.is_some_and(|s| !s.completed))
+        .count()
+}
+
+/// Validated runs on which the two simulators diverged
+/// (`SimChoice::Both` only; any divergence is a simulator bug).
+fn count_divergences(runs: &[Run]) -> usize {
+    runs.iter()
+        .filter_map(Run::record)
+        .filter(|r| r.sim.is_some_and(|s| s.diverged))
+        .count()
+}
+
+/// One parsed shard artifact (header + rows), before cross-artifact
+/// consistency checks.
+struct ParsedShard {
+    shard: Shard,
+    total: usize,
+    fingerprint: u64,
+    spec_block: String,
+    rows: Vec<(usize, Outcome)>,
+}
+
+impl ParsedShard {
+    fn parse(text: &str) -> Result<ParsedShard, String> {
+        let mut lines = text.lines();
+        let magic = lines.next().unwrap_or_default();
+        if magic != shard_magic() {
+            return Err(format!(
+                "bad magic {magic:?} (expected {:?}; regenerate shards after a schema bump)",
+                shard_magic()
+            ));
+        }
+        let field = |line: Option<&str>, name: &str| -> Result<String, String> {
+            let line = line.ok_or_else(|| format!("truncated header (missing {name})"))?;
+            line.strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected {name:?} line, found {line:?}"))
+        };
+        let shard: Shard = field(lines.next(), "shard")?
+            .parse()
+            .map_err(|e| format!("{e}"))?;
+        let cases = field(lines.next(), "cases")?;
+        let (range, total) = cases
+            .split_once(" of ")
+            .ok_or_else(|| format!("malformed cases line {cases:?}"))?;
+        let (start, end) = range
+            .split_once("..")
+            .ok_or_else(|| format!("malformed case range {range:?}"))?;
+        let start: usize = start.parse().map_err(|_| "bad range start".to_string())?;
+        let end: usize = end.parse().map_err(|_| "bad range end".to_string())?;
+        let total: usize = total.parse().map_err(|_| "bad case total".to_string())?;
+        if start > end || end > total {
+            return Err(format!("malformed case range {start}..{end} of {total}"));
+        }
+        let grid = field(lines.next(), "grid")?;
+        let fingerprint =
+            u64::from_str_radix(&grid, 16).map_err(|_| format!("bad fingerprint {grid:?}"))?;
+        if lines.next() != Some("spec-begin") {
+            return Err("missing spec-begin".to_string());
+        }
+        let mut spec_block = String::new();
+        loop {
+            match lines.next() {
+                Some("spec-end") => break,
+                Some(line) => {
+                    spec_block.push_str(line);
+                    spec_block.push('\n');
+                }
+                None => return Err("missing spec-end".to_string()),
+            }
+        }
+        let mut rows = Vec::new();
+        for line in lines {
+            let rest = line
+                .strip_prefix("row ")
+                .ok_or_else(|| format!("expected row line, found {line:?}"))?;
+            let (index, payload) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed row {line:?}"))?;
+            let index: usize = index.parse().map_err(|_| "bad row index".to_string())?;
+            let outcome = crate::store::decode_outcome(payload)
+                .ok_or_else(|| format!("undecodable row payload for case {index}"))?;
+            rows.push((index, outcome));
+        }
+        if rows.len() != end - start {
+            return Err(format!(
+                "shard {shard} carries {} rows for a {}-case slice",
+                rows.len(),
+                end - start
+            ));
+        }
+        Ok(ParsedShard {
+            shard,
+            total,
+            fingerprint,
+            spec_block,
+            rows,
+        })
     }
 }
 
@@ -332,7 +892,7 @@ impl Case {
 }
 
 /// The deterministic measurements of one evaluated case.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Record {
     /// The scheduler's evaluation metrics.
     pub metrics: Metrics,
@@ -344,7 +904,7 @@ pub struct Record {
 }
 
 /// Discrete-event-simulation outcome for one plan.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimRecord {
     /// True if every task finished (no deadlock / time limit).
     pub completed: bool,
@@ -364,7 +924,7 @@ pub struct SimRecord {
 }
 
 /// Per-simulator validation wall-clock for one run, in microseconds.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimMicros {
     /// Reference-simulator wall-clock, when it ran.
     pub reference: Option<u64>,
@@ -535,32 +1095,29 @@ pub struct Sweep {
     /// Graph-cache hit/miss counts for this sweep: with a cold cache,
     /// `misses` equals the number of distinct `(spec, seed)` graphs and
     /// every further scheduler/PE cell over the same graph is a hit.
+    /// Cell-cache hits skip graph instantiation entirely, so a fully warm
+    /// rerun reports zero traffic here.
     pub cache: CacheStats,
+    /// Result-store (cell cache) traffic this sweep incurred: zero when
+    /// no store was passed to [`SweepSpec::run_with`].
+    pub cell_cache: StoreStats,
 }
 
 impl Sweep {
     /// Total runs that failed to schedule.
     pub fn errors(&self) -> usize {
-        self.runs.iter().filter(|r| r.outcome.is_err()).count()
+        count_errors(&self.runs)
     }
 
     /// Total validated runs whose simulation did not complete.
     pub fn deadlocks(&self) -> usize {
-        self.runs
-            .iter()
-            .filter_map(Run::record)
-            .filter(|r| r.sim.is_some_and(|s| !s.completed))
-            .count()
+        count_deadlocks(&self.runs)
     }
 
     /// Total validated runs on which the two simulators diverged
     /// (`SimChoice::Both` only; any divergence is a simulator bug).
     pub fn divergences(&self) -> usize {
-        self.runs
-            .iter()
-            .filter_map(Run::record)
-            .filter(|r| r.sim.is_some_and(|s| s.diverged))
-            .count()
+        count_divergences(&self.runs)
     }
 
     /// A human-readable per-cell validation timing report (for stderr —
@@ -718,15 +1275,42 @@ impl Sweep {
     /// omits the `--sim` choice because the simulators are equivalent and
     /// results must not depend on which one validated.
     pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// [`Self::to_json`] plus a `"cache"` member reporting the graph-cache
+    /// and cell-cache traffic this sweep incurred. Like the `--sim-timing`
+    /// columns, the cache member reflects live counters (a warm rerun
+    /// reports different traffic than a cold one) and is therefore
+    /// **excluded from the byte-stability contract**; the `"spec"` and
+    /// `"runs"` members remain byte-identical across cache states.
+    pub fn to_json_with_stats(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, stats: bool) -> String {
         let schedulers: Vec<String> = self
             .spec
             .schedulers
             .iter()
             .map(|s| format!("\"{s}\""))
             .collect();
+        let cache = if stats {
+            format!(
+                "  \"cache\": {{\"graphs\": {{\"hits\": {}, \"misses\": {}}}, \
+                 \"cells\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}}}}},\n",
+                self.cache.hits,
+                self.cache.misses,
+                self.cell_cache.hits,
+                self.cell_cache.misses,
+                self.cell_cache.invalidations
+            )
+        } else {
+            String::new()
+        };
         let mut out = format!(
             "{{\n  \"spec\": {{\"graphs\": {}, \"seed\": {}, \"validate\": {}, \
-             \"schedulers\": [{}]}},\n  \"runs\": [\n",
+             \"schedulers\": [{}]}},\n{cache}  \"runs\": [\n",
             self.spec.graphs,
             self.spec.seed,
             self.spec.validate,
@@ -787,23 +1371,6 @@ impl Sweep {
         }
         out.push_str("  ]\n}\n");
         out
-    }
-}
-
-/// A short, comma-free code for a scheduling error (CSV-safe).
-fn error_code(e: &stg_analysis::ScheduleError) -> String {
-    use stg_analysis::ScheduleError as E;
-    match e {
-        E::Cyclic => "cyclic".into(),
-        E::Uncovered(v) => format!("uncovered({})", v.index()),
-        E::Duplicated(v) => format!("duplicated({})", v.index()),
-        E::NotSchedulable(v) => format!("not-schedulable({})", v.index()),
-        E::EmptyBlock(b) => format!("empty-block({b})"),
-        E::BlockOrderViolation { producer, consumer } => format!(
-            "block-order-violation({}->{})",
-            producer.index(),
-            consumer.index()
-        ),
     }
 }
 
@@ -1001,6 +1568,167 @@ mod tests {
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().all(|c| c.runs.len() == 1));
         assert!(sweep.runs.iter().all(|r| r.record().is_some()));
+    }
+
+    #[test]
+    fn shard_slices_partition_every_grid() {
+        for n_cases in [0usize, 1, 5, 17, 96] {
+            for of in [1usize, 2, 3, 7, 13] {
+                let mut covered = Vec::new();
+                let mut lens = Vec::new();
+                for index in 0..of {
+                    let r = Shard { index, of }.slice(n_cases);
+                    lens.push(r.len());
+                    covered.extend(r);
+                }
+                // Contiguous, in order, covering 0..n exactly once, with
+                // slice lengths differing by at most one.
+                assert_eq!(covered, (0..n_cases).collect::<Vec<_>>());
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "{n_cases} cases / {of} shards: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_parses_and_rejects() {
+        assert_eq!("0/3".parse::<Shard>().unwrap(), Shard { index: 0, of: 3 });
+        assert_eq!("2/3".parse::<Shard>().unwrap(), Shard { index: 2, of: 3 });
+        for bad in ["", "3", "3/3", "4/3", "0/0", "-1/3", "a/b", "1/3/4"] {
+            assert!(bad.parse::<Shard>().is_err(), "{bad:?}");
+        }
+        let s: Shard = "1/4".parse().unwrap();
+        assert_eq!(s.to_string().parse::<Shard>().unwrap(), s);
+    }
+
+    #[test]
+    fn warm_store_rerun_is_byte_identical_with_full_hits() {
+        let mut spec = smoke_spec();
+        spec.seed = 0x5EED_CE11; // unique: no cross-test graph-cache noise
+        let store = ResultStore::in_memory();
+        let cold = spec.run_with(Some(&store));
+        let n = cold.runs.len() as u64;
+        assert_eq!(cold.cell_cache.hits, 0);
+        assert_eq!(cold.cell_cache.misses, n);
+        let warm = spec.run_with(Some(&store));
+        assert_eq!(warm.cell_cache.hits, n);
+        assert_eq!(warm.cell_cache.misses, 0);
+        // Warm cells never instantiate a graph.
+        assert_eq!(warm.cache.total(), 0);
+        assert_eq!(cold.to_csv(), warm.to_csv());
+        assert_eq!(cold.to_json(), warm.to_json());
+        // And both match a storeless run bit for bit.
+        assert_eq!(cold.to_csv(), spec.run().to_csv());
+    }
+
+    #[test]
+    fn changed_key_components_miss_the_warm_store() {
+        let mut spec = smoke_spec();
+        spec.seed = 0x5EED_CE12;
+        let store = ResultStore::in_memory();
+        spec.run_with(Some(&store));
+        let warm_base = spec.run_with(Some(&store));
+        assert_eq!(warm_base.cell_cache.misses, 0);
+        // Each varied spec dimension must force misses for the changed
+        // cells (seed shifts every per-seed cell; sim mode shifts all).
+        let mut reseeded = spec.clone();
+        reseeded.seed += 1000;
+        let r = reseeded.run_with(Some(&store));
+        assert_eq!(r.cell_cache.hits, 0, "seed is a key component");
+        let mut validated = spec.clone();
+        validated.validate = false; // smoke_spec validates; turn it off
+        let v = validated.run_with(Some(&store));
+        assert_eq!(v.cell_cache.hits, 0, "sim mode is a key component");
+    }
+
+    #[test]
+    fn sharded_artifacts_merge_byte_identically() {
+        let mut spec = smoke_spec();
+        spec.seed = 0x5EED_CE13;
+        let unsharded = spec.run();
+        let total = unsharded.runs.len();
+        for of in [1usize, 2, 3, total, total + 3] {
+            let artifacts: Vec<String> = (0..of)
+                .map(|index| {
+                    spec.run_shard(Shard { index, of }, None)
+                        .artifact()
+                        .expect("registry workloads shard")
+                })
+                .collect();
+            let merged = SweepSpec::merge_shards(&artifacts).expect("complete shard set");
+            assert_eq!(merged.to_csv(), unsharded.to_csv(), "{of}-way");
+            assert_eq!(merged.to_json(), unsharded.to_json(), "{of}-way");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_artifacts() {
+        let mut spec = smoke_spec();
+        spec.seed = 0x5EED_CE14;
+        let shard = |spec: &SweepSpec, index, of| {
+            spec.run_shard(Shard { index, of }, None)
+                .artifact()
+                .unwrap()
+        };
+        let a0 = shard(&spec, 0, 2);
+        let a1 = shard(&spec, 1, 2);
+        // Complete set merges; incomplete or duplicated sets do not.
+        assert!(SweepSpec::merge_shards(&[a1.clone(), a0.clone()]).is_ok());
+        assert!(SweepSpec::merge_shards(std::slice::from_ref(&a0)).is_err());
+        assert!(SweepSpec::merge_shards(&[a0.clone(), a0.clone()]).is_err());
+        assert!(SweepSpec::merge_shards(&[]).is_err());
+        // A shard of a different spec (seed) cannot join the set.
+        let mut other = spec.clone();
+        other.seed += 1;
+        let foreign = shard(&other, 1, 2);
+        assert!(SweepSpec::merge_shards(&[a0.clone(), foreign]).is_err());
+        // Corrupted rows are rejected outright.
+        let corrupt = a1.replace("row", "rwo");
+        assert!(SweepSpec::merge_shards(&[a0.clone(), corrupt]).is_err());
+        // A reversed or out-of-bounds case range is a malformed artifact,
+        // not an arithmetic panic.
+        let cases_line = a1
+            .lines()
+            .find(|l| l.starts_with("cases "))
+            .expect("header")
+            .to_string();
+        for bad in ["cases 12..0 of 12", "cases 0..99 of 12"] {
+            let reversed = a1.replace(&cases_line, bad);
+            assert!(
+                SweepSpec::merge_shards(&[a0.clone(), reversed]).is_err(),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_workloads_bypass_the_store_and_refuse_to_shard() {
+        use stg_model::Builder;
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..4).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 64);
+        let spec = SweepSpec {
+            workloads: vec![WorkloadSpec {
+                workload: WorkloadKind::fixed("tiny", b.finish().unwrap()),
+                pes: vec![2, 4],
+            }],
+            graphs: 1,
+            seed: 0,
+            schedulers: vec![SchedulerKind::StreamingLts],
+            validate: false,
+            sim: SimChoice::default(),
+            timing: false,
+            threads: Some(1),
+        };
+        let store = ResultStore::in_memory();
+        let sweep = spec.run_with(Some(&store));
+        // Unkeyable cells generate no store traffic at all.
+        assert_eq!(sweep.cell_cache, StoreStats::default());
+        assert_eq!(store.len(), 0);
+        assert!(spec
+            .run_shard(Shard { index: 0, of: 1 }, None)
+            .artifact()
+            .is_err());
     }
 
     #[test]

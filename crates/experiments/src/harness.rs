@@ -7,7 +7,8 @@ use stg_core::SchedulerKind;
 use stg_des::SimKind;
 use stg_workloads::{WorkloadFamily, WorkloadKind};
 
-use crate::engine::SimChoice;
+use crate::engine::{Shard, SimChoice};
+use crate::store::ResultStore;
 
 /// Common experiment options, parsed from the command line.
 #[derive(Clone, Debug)]
@@ -44,6 +45,12 @@ pub struct Args {
     pub list_workloads: bool,
     /// Print the scheduler registry (name, alias) and exit.
     pub list_schedulers: bool,
+    /// Persist sweep-cell results under this directory (`--cache-dir`);
+    /// warm reruns skip re-evaluating unchanged cells.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Evaluate only one index-range slice of the grid (`--shard i/n`,
+    /// `sweep` binary only) and emit a shard artifact.
+    pub shard: Option<Shard>,
 }
 
 impl Default for Args {
@@ -63,6 +70,8 @@ impl Default for Args {
             schedulers: Vec::new(),
             list_workloads: false,
             list_schedulers: false,
+            cache_dir: None,
+            shard: None,
         }
     }
 }
@@ -70,14 +79,20 @@ impl Default for Args {
 impl Args {
     /// Parses `--graphs N --seed S --timeout-ms T --csv --json --validate
     /// --sim KIND --sim-timing --threads N --workload LIST --pes LIST
-    /// --scheduler LIST --list-workloads --list-schedulers` from
-    /// `std::env`. List flags take comma-separated values and may repeat;
-    /// `--topology` is an alias of `--workload`. `--sim` takes
-    /// `reference` (default), `batched` (the bit-identical fast path), or
-    /// `both` (differential validation with speedup stats).
+    /// --scheduler LIST --cache-dir DIR --shard I/N --list-workloads
+    /// --list-schedulers` from `std::env`. List flags take comma-separated
+    /// values and may repeat; `--topology` is an alias of `--workload`.
+    /// `--sim` takes `reference` (default), `batched` (the bit-identical
+    /// fast path), or `both` (differential validation with speedup stats).
     pub fn parse() -> Args {
+        Args::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`Self::parse`] over an explicit argument list (the `sweep` binary
+    /// strips its `merge` subcommand before flag parsing).
+    pub fn parse_from(it: impl IntoIterator<Item = String>) -> Args {
         let mut args = Args::default();
-        let mut it = std::env::args().skip(1);
+        let mut it = it.into_iter();
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--graphs" => args.graphs = next_value(&mut it, "--graphs"),
@@ -96,11 +111,19 @@ impl Args {
                 "--scheduler" => append_list(&mut args.schedulers, &mut it, "--scheduler"),
                 "--list-workloads" => args.list_workloads = true,
                 "--list-schedulers" => args.list_schedulers = true,
+                "--cache-dir" => {
+                    let Some(dir) = it.next() else {
+                        eprintln!("--cache-dir expects a directory path");
+                        std::process::exit(2);
+                    };
+                    args.cache_dir = Some(dir.into());
+                }
+                "--shard" => args.shard = Some(next_parsed(&mut it, "--shard")),
                 other => {
                     eprintln!(
                         "unknown flag {other}; supported: --graphs --seed --timeout-ms --csv \
                          --json --validate --sim --sim-timing --threads --workload --pes \
-                         --scheduler --list-workloads --list-schedulers"
+                         --scheduler --cache-dir --shard --list-workloads --list-schedulers"
                     );
                     std::process::exit(2);
                 }
@@ -136,6 +159,30 @@ impl Args {
     /// True if `p` passes the `--pes` filter.
     pub fn pes_selected(&self, p: usize) -> bool {
         self.pes.is_empty() || self.pes.contains(&p)
+    }
+
+    /// Opens the `--cache-dir` result store, if one was requested. An
+    /// unusable directory is a hard error — a silently disabled cache
+    /// would masquerade as a byte-identical (but slow) rerun.
+    pub fn open_store(&self) -> Option<ResultStore> {
+        self.cache_dir.as_ref().map(|dir| {
+            ResultStore::at_dir(dir).unwrap_or_else(|e| {
+                eprintln!("--cache-dir {}: {e}", dir.display());
+                std::process::exit(2);
+            })
+        })
+    }
+
+    /// Exits with usage error when `--shard` was passed to a binary that
+    /// does not emit shard artifacts (everything but `sweep`).
+    pub fn reject_shard(&self, bin: &str) {
+        if let Some(shard) = self.shard {
+            eprintln!(
+                "--shard {shard} is only supported by the sweep binary; {bin} has no \
+                 mergeable artifact format"
+            );
+            std::process::exit(2);
+        }
     }
 }
 

@@ -28,12 +28,15 @@
 pub mod engine;
 pub mod harness;
 pub mod stats;
+pub mod store;
 
 pub use engine::{
-    Case, Cell, Record, Run, SimChoice, SimMicros, SimRecord, Sweep, SweepSpec, WorkloadSpec,
+    Case, Cell, Record, Run, Shard, ShardResult, SimChoice, SimMicros, SimRecord, Sweep, SweepSpec,
+    WorkloadSpec,
 };
 pub use harness::{
     default_threads, par_map, par_map_with, print_scheduler_registry, print_workload_registry, Args,
 };
 pub use stats::{summary, Summary};
 pub use stg_workloads::{WorkloadFamily, WorkloadKind};
+pub use store::{CellKey, ResultStore, StoreStats, SCHEMA_VERSION};

@@ -1,0 +1,622 @@
+//! Content-addressed sweep-cell result store.
+//!
+//! The staged sweep pipeline (see [`crate::engine`]) keys every grid cell
+//! by a [`CellKey`] — a stable content hash over the workload spec
+//! string, graph seed, PE count, scheduler preset, simulation mode, and
+//! the engine [`SCHEMA_VERSION`] — and consults a [`ResultStore`] before
+//! evaluating it. The store layers an in-memory map over an optional
+//! on-disk directory (`--cache-dir`), so repeated sweeps skip
+//! re-evaluating unchanged cells within a process *and* across processes.
+//!
+//! Stored payloads are the deterministic [`Record`]/`ScheduleError`
+//! outcome of a cell, serialized by [`encode_outcome`] in a format that
+//! round-trips bit-exactly (floats use Rust's shortest round-trip
+//! representation). Non-deterministic validation wall-clocks are
+//! deliberately **not** stored — the engine bypasses the store entirely
+//! when timing capture is on, keeping cached and fresh rows
+//! indistinguishable on the byte-stable output path.
+//!
+//! Invalidation is structural, not temporal: the canonical key string is
+//! embedded in every cache entry and verified on load, so a hash
+//! collision, a truncated file, or an entry written by an older
+//! [`SCHEMA_VERSION`] is detected, counted in
+//! [`StoreStats::invalidations`], and transparently re-evaluated. Bump
+//! [`SCHEMA_VERSION`] whenever the meaning of a cell changes — new record
+//! fields, changed scheduler/simulator semantics, changed workload
+//! generators — and every old entry misses.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use stg_analysis::ScheduleError;
+use stg_graph::NodeId;
+
+use crate::engine::{Record, SimMicros, SimRecord};
+
+/// The engine result-schema version, embedded in every [`CellKey`].
+/// Bumping it invalidates every previously cached cell (the canonical key
+/// string changes, so old entries can never verify).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A cell outcome as the engine records it: a scheduling error is data,
+/// not a panic, and caches like any other result.
+pub type Outcome = Result<Record, ScheduleError>;
+
+/// 64-bit FNV-1a over `bytes` — a stable, dependency-free content hash
+/// (the algorithm is pinned here; `std`'s hashers are explicitly not
+/// stable across releases, which would silently invalidate disk caches on
+/// a toolchain upgrade).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content-addressed identity of one sweep cell.
+///
+/// Two cells share a key exactly when they are guaranteed to produce the
+/// same deterministic [`Record`]: same workload spec string, seed, PE
+/// count, scheduler preset, simulation mode (`off` when validation is
+/// disabled, else the `--sim` choice), and engine schema version.
+/// Changing **any** component changes the canonical string and therefore
+/// the hash — the cache-correctness tests pin this.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    canonical: String,
+    hash: u64,
+}
+
+impl CellKey {
+    /// Builds a key from its components. The engine passes
+    /// [`SCHEMA_VERSION`]; tests pass other versions to prove the bump
+    /// invalidates.
+    pub fn new(
+        version: u32,
+        workload_spec: &str,
+        seed: u64,
+        pes: usize,
+        scheduler: &str,
+        sim_mode: &str,
+    ) -> CellKey {
+        let canonical = format!("v{version}|{workload_spec}|{seed}|{pes}|{scheduler}|{sim_mode}");
+        let hash = fnv1a(canonical.as_bytes());
+        CellKey { canonical, hash }
+    }
+
+    /// The content hash (also the disk file name stem).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The canonical key string the hash is computed over. Embedded in
+    /// every cache entry and verified on load.
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The file this key persists under inside a `--cache-dir`.
+    pub fn file_name(&self) -> String {
+        format!("{:016x}.cell", self.hash)
+    }
+}
+
+/// Hit/miss/invalidation counters of a [`ResultStore`].
+///
+/// `misses` counts every lookup that forced an evaluation, including the
+/// `invalidations` subset (entries that existed but failed verification —
+/// canonical-key mismatch, truncation, undecodable payload).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that forced an evaluation.
+    pub misses: u64,
+    /// Entries found but rejected by verification (subset of `misses`).
+    pub invalidations: u64,
+}
+
+impl StoreStats {
+    /// Total lookups observed.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Counter-wise difference against an earlier snapshot (for per-sweep
+    /// deltas on a long-lived store).
+    pub fn since(&self, earlier: &StoreStats) -> StoreStats {
+        StoreStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            invalidations: self.invalidations - earlier.invalidations,
+        }
+    }
+}
+
+/// The sweep-cell result store: an in-memory map, optionally backed by an
+/// on-disk directory shared across processes.
+///
+/// Thread-safe; lookups and inserts from concurrent shards of one grid
+/// are fine. Disk writes are atomic (temp file + rename), so concurrent
+/// writers of the same cell race benignly — both write identical content.
+/// Disk I/O errors degrade to cache misses (with a once-per-store
+/// warning) rather than failing the sweep: the cache is an accelerator,
+/// never a correctness dependency.
+pub struct ResultStore {
+    mem: Mutex<HashMap<u64, Entry>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    warned_io: AtomicBool,
+}
+
+struct Entry {
+    canonical: String,
+    payload: String,
+}
+
+/// What probing the backing directory for a key finds.
+enum DiskEntry {
+    /// No file (or no directory configured).
+    Absent,
+    /// A file that does not even split into (canonical, payload) lines.
+    Malformed,
+    /// A structurally intact entry, still to be verified against the key.
+    Entry(String, String),
+}
+
+impl ResultStore {
+    /// A purely in-memory store (process lifetime only).
+    pub fn in_memory() -> ResultStore {
+        ResultStore {
+            mem: Mutex::new(HashMap::new()),
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            warned_io: AtomicBool::new(false),
+        }
+    }
+
+    /// A store persisting under `dir` (created if absent), as `--cache-dir`
+    /// opens it.
+    pub fn at_dir(dir: impl AsRef<Path>) -> std::io::Result<ResultStore> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        let mut store = ResultStore::in_memory();
+        store.dir = Some(dir.as_ref().to_path_buf());
+        Ok(store)
+    }
+
+    /// The backing directory, when this store persists to disk.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks `key` up, counting a hit, miss, or invalidation. Returns the
+    /// decoded outcome only if the entry verifies: its embedded canonical
+    /// key must equal `key.canonical()` and its payload must decode.
+    pub fn lookup(&self, key: &CellKey) -> Option<Outcome> {
+        let mem_entry = {
+            let mem = self.mem.lock().expect("result store lock");
+            mem.get(&key.hash)
+                .map(|e| (e.canonical.clone(), e.payload.clone()))
+        };
+        let from_disk = mem_entry.is_none();
+        let found = match mem_entry {
+            Some(e) => DiskEntry::Entry(e.0, e.1),
+            None => self.read_disk(key),
+        };
+        match found {
+            DiskEntry::Absent => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            DiskEntry::Malformed => {
+                // A file exists but cannot even be split into an entry:
+                // truncation or foreign content. Re-evaluation overwrites
+                // it.
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            DiskEntry::Entry(canonical, payload) => {
+                let outcome = (canonical == key.canonical())
+                    .then(|| decode_outcome(&payload))
+                    .flatten();
+                match outcome {
+                    Some(o) => {
+                        if from_disk {
+                            // Promote verified disk hits into memory so
+                            // repeat lookups of the same cell skip the
+                            // file re-read.
+                            self.mem
+                                .lock()
+                                .expect("result store lock")
+                                .insert(key.hash, Entry { canonical, payload });
+                        }
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        Some(o)
+                    }
+                    None => {
+                        // Present but unverifiable: collision, truncation,
+                        // or a stale format. Drop it; the evaluation that
+                        // follows re-inserts a fresh entry.
+                        self.mem
+                            .lock()
+                            .expect("result store lock")
+                            .remove(&key.hash);
+                        self.invalidations.fetch_add(1, Ordering::Relaxed);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts the outcome of an evaluated cell (memory always, disk when
+    /// configured).
+    pub fn insert(&self, key: &CellKey, outcome: &Outcome) {
+        let payload = encode_outcome(outcome);
+        self.write_disk(key, &payload);
+        self.mem.lock().expect("result store lock").insert(
+            key.hash,
+            Entry {
+                canonical: key.canonical().to_string(),
+                payload,
+            },
+        );
+    }
+
+    /// The counters accumulated over this store's lifetime. Use
+    /// [`StoreStats::since`] for per-sweep deltas.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entries resident in memory.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("result store lock").len()
+    }
+
+    /// True when no entry is resident in memory.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn read_disk(&self, key: &CellKey) -> DiskEntry {
+        let Some(dir) = self.dir.as_ref() else {
+            return DiskEntry::Absent;
+        };
+        let Ok(text) = std::fs::read_to_string(dir.join(key.file_name())) else {
+            return DiskEntry::Absent;
+        };
+        // Entry layout: canonical key line, payload line.
+        let mut lines = text.lines();
+        match (lines.next(), lines.next()) {
+            (Some(canonical), Some(payload)) => {
+                DiskEntry::Entry(canonical.to_string(), payload.to_string())
+            }
+            _ => DiskEntry::Malformed,
+        }
+    }
+
+    fn write_disk(&self, key: &CellKey, payload: &str) {
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let tmp = dir.join(format!(".{}.{}.tmp", key.file_name(), std::process::id()));
+        let result = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            writeln!(f, "{}", key.canonical())?;
+            writeln!(f, "{payload}")?;
+            f.sync_data()?;
+            std::fs::rename(&tmp, dir.join(key.file_name()))
+        })();
+        if let Err(e) = result {
+            let _ = std::fs::remove_file(&tmp);
+            if !self.warned_io.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: cell cache writes to {} failing ({e}); continuing uncached",
+                    dir.display()
+                );
+            }
+        }
+    }
+}
+
+/// Renders a float so that parsing the text back yields the identical bit
+/// pattern (Rust's `{:?}` emits the shortest round-trip representation).
+fn f64_field(v: f64) -> String {
+    format!("{v:?}")
+}
+
+/// Serializes an outcome as one whitespace-separated line. The format is
+/// versioned implicitly through [`SCHEMA_VERSION`] in the cell key: any
+/// field change here must bump the version.
+pub fn encode_outcome(outcome: &Outcome) -> String {
+    match outcome {
+        Ok(r) => {
+            let m = &r.metrics;
+            let sim = match &r.sim {
+                Some(s) => format!(
+                    "sim {} {} {} {} {}",
+                    s.completed as u8,
+                    s.makespan,
+                    f64_field(s.rel_err_pct),
+                    s.beats,
+                    s.diverged as u8
+                ),
+                None => "nosim".to_string(),
+            };
+            format!(
+                "ok {} {} {} {} {} {} {} {sim}",
+                m.makespan,
+                f64_field(m.speedup),
+                f64_field(m.sslr),
+                f64_field(m.slr),
+                f64_field(m.utilization),
+                m.blocks,
+                r.buffer_elements
+            )
+        }
+        Err(e) => format!("err {}", error_code(e)),
+    }
+}
+
+/// Parses an [`encode_outcome`] line back. `None` on any malformation
+/// (the store treats that as an invalidation).
+pub fn decode_outcome(s: &str) -> Option<Outcome> {
+    let mut it = s.split_ascii_whitespace();
+    match it.next()? {
+        "ok" => {
+            let metrics = stg_sched::Metrics {
+                makespan: it.next()?.parse().ok()?,
+                speedup: it.next()?.parse().ok()?,
+                sslr: it.next()?.parse().ok()?,
+                slr: it.next()?.parse().ok()?,
+                utilization: it.next()?.parse().ok()?,
+                blocks: it.next()?.parse().ok()?,
+            };
+            let buffer_elements = it.next()?.parse().ok()?;
+            let sim = match it.next()? {
+                "nosim" => None,
+                "sim" => Some(SimRecord {
+                    completed: parse_bool01(it.next()?)?,
+                    makespan: it.next()?.parse().ok()?,
+                    rel_err_pct: it.next()?.parse().ok()?,
+                    beats: it.next()?.parse().ok()?,
+                    diverged: parse_bool01(it.next()?)?,
+                    // Wall-clocks are never stored: a cached cell reports
+                    // no timing, by design.
+                    micros: SimMicros::default(),
+                }),
+                _ => return None,
+            };
+            if it.next().is_some() {
+                return None; // trailing junk
+            }
+            Some(Ok(Record {
+                metrics,
+                buffer_elements,
+                sim,
+            }))
+        }
+        "err" => {
+            let e = parse_error_code(it.next()?)?;
+            if it.next().is_some() {
+                return None;
+            }
+            Some(Err(e))
+        }
+        _ => None,
+    }
+}
+
+fn parse_bool01(s: &str) -> Option<bool> {
+    match s {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+/// A short, comma- and space-free code for a scheduling error (CSV-safe,
+/// store-safe). Round-trips through [`parse_error_code`].
+pub fn error_code(e: &ScheduleError) -> String {
+    use ScheduleError as E;
+    match e {
+        E::Cyclic => "cyclic".into(),
+        E::Uncovered(v) => format!("uncovered({})", v.index()),
+        E::Duplicated(v) => format!("duplicated({})", v.index()),
+        E::NotSchedulable(v) => format!("not-schedulable({})", v.index()),
+        E::EmptyBlock(b) => format!("empty-block({b})"),
+        E::BlockOrderViolation { producer, consumer } => format!(
+            "block-order-violation({}->{})",
+            producer.index(),
+            consumer.index()
+        ),
+    }
+}
+
+/// Parses an [`error_code`] string back into its [`ScheduleError`].
+pub fn parse_error_code(s: &str) -> Option<ScheduleError> {
+    if s == "cyclic" {
+        return Some(ScheduleError::Cyclic);
+    }
+    let (name, args) = s.strip_suffix(')')?.split_once('(')?;
+    let node = |a: &str| -> Option<NodeId> { Some(NodeId(a.parse().ok()?)) };
+    match name {
+        "uncovered" => Some(ScheduleError::Uncovered(node(args)?)),
+        "duplicated" => Some(ScheduleError::Duplicated(node(args)?)),
+        "not-schedulable" => Some(ScheduleError::NotSchedulable(node(args)?)),
+        "empty-block" => Some(ScheduleError::EmptyBlock(args.parse().ok()?)),
+        "block-order-violation" => {
+            let (p, c) = args.split_once("->")?;
+            Some(ScheduleError::BlockOrderViolation {
+                producer: node(p)?,
+                consumer: node(c)?,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_sched::Metrics;
+
+    fn sample_record(sim: bool) -> Record {
+        Record {
+            metrics: Metrics {
+                makespan: 645,
+                speedup: 1.984_496_124_031_007_8,
+                sslr: 2.471_264,
+                slr: 0.503_906_25,
+                utilization: 0.992_248,
+                blocks: 3,
+            },
+            buffer_elements: 7,
+            sim: sim.then_some(SimRecord {
+                completed: true,
+                makespan: 645,
+                rel_err_pct: 0.015_625,
+                beats: 2048,
+                diverged: false,
+                micros: SimMicros::default(),
+            }),
+        }
+    }
+
+    fn assert_round_trip(outcome: &Outcome) {
+        let text = encode_outcome(outcome);
+        let back = decode_outcome(&text).expect("decodes");
+        // Re-encoding must reproduce the exact text (bit-exact floats).
+        assert_eq!(encode_outcome(&back), text);
+    }
+
+    #[test]
+    fn outcomes_round_trip_bit_exactly() {
+        assert_round_trip(&Ok(sample_record(false)));
+        assert_round_trip(&Ok(sample_record(true)));
+        for e in [
+            ScheduleError::Cyclic,
+            ScheduleError::Uncovered(NodeId(3)),
+            ScheduleError::Duplicated(NodeId(12)),
+            ScheduleError::NotSchedulable(NodeId(0)),
+            ScheduleError::EmptyBlock(5),
+            ScheduleError::BlockOrderViolation {
+                producer: NodeId(9),
+                consumer: NodeId(2),
+            },
+        ] {
+            let text = encode_outcome(&Err(e.clone()));
+            assert_eq!(decode_outcome(&text), Some(Err(e)));
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_decode_to_none() {
+        for bad in [
+            "",
+            "ok",
+            "ok 1 2 3",
+            "ok 1 x 3 4 5 6 7 nosim",
+            "ok 1 2.0 3.0 4.0 5.0 6 7 nosim extra",
+            "ok 1 2.0 3.0 4.0 5.0 6 7 sim 2 1 0.0 1 0",
+            "err",
+            "err unknown-code",
+            "err uncovered(x)",
+            "wat 1 2 3",
+        ] {
+            assert_eq!(decode_outcome(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn cell_key_components_all_change_the_hash() {
+        let base = CellKey::new(SCHEMA_VERSION, "chain:8", 7, 4, "sb-lts", "off");
+        let variants = [
+            CellKey::new(SCHEMA_VERSION + 1, "chain:8", 7, 4, "sb-lts", "off"),
+            CellKey::new(SCHEMA_VERSION, "chain:9", 7, 4, "sb-lts", "off"),
+            CellKey::new(SCHEMA_VERSION, "chain:8", 8, 4, "sb-lts", "off"),
+            CellKey::new(SCHEMA_VERSION, "chain:8", 7, 8, "sb-lts", "off"),
+            CellKey::new(SCHEMA_VERSION, "chain:8", 7, 4, "sb-rlx", "off"),
+            CellKey::new(SCHEMA_VERSION, "chain:8", 7, 4, "sb-lts", "reference"),
+        ];
+        for v in &variants {
+            assert_ne!(v.canonical(), base.canonical());
+            assert_ne!(v.hash(), base.hash());
+        }
+        // Identical components reproduce the identical key.
+        let again = CellKey::new(SCHEMA_VERSION, "chain:8", 7, 4, "sb-lts", "off");
+        assert_eq!(again, base);
+        assert_eq!(again.file_name(), base.file_name());
+    }
+
+    #[test]
+    fn memory_store_hits_after_insert_and_counts() {
+        let store = ResultStore::in_memory();
+        let key = CellKey::new(SCHEMA_VERSION, "chain:8", 1, 2, "sb-lts", "off");
+        assert_eq!(store.lookup(&key), None);
+        store.insert(&key, &Ok(sample_record(true)));
+        assert_eq!(store.lookup(&key), Some(Ok(sample_record(true))));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 1, 0));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn disk_store_round_trips_across_instances_and_invalidates_corruption() {
+        let dir = std::env::temp_dir().join(format!(
+            "stg-store-unit-{}-{:x}",
+            std::process::id(),
+            fnv1a(b"disk_store_round_trips")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CellKey::new(SCHEMA_VERSION, "fft:8", 3, 8, "sb-rlx", "batched");
+        {
+            let store = ResultStore::at_dir(&dir).expect("create cache dir");
+            store.insert(&key, &Ok(sample_record(false)));
+        }
+        // A fresh store (fresh process, conceptually) reads it back.
+        let store = ResultStore::at_dir(&dir).expect("open cache dir");
+        assert_eq!(store.lookup(&key), Some(Ok(sample_record(false))));
+        assert_eq!(store.stats().hits, 1);
+        // Corrupt the payload: the entry invalidates instead of decoding.
+        let store2 = ResultStore::at_dir(&dir).expect("open cache dir");
+        std::fs::write(
+            dir.join(key.file_name()),
+            format!("{}\nok 1 garbage\n", key.canonical()),
+        )
+        .expect("corrupt entry");
+        assert_eq!(store2.lookup(&key), None);
+        let s = store2.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (0, 1, 1));
+        // A canonical mismatch (hash collision / stale schema) also
+        // invalidates.
+        let store3 = ResultStore::at_dir(&dir).expect("open cache dir");
+        std::fs::write(
+            dir.join(key.file_name()),
+            format!(
+                "v0|other|0|0|x|off\n{}\n",
+                encode_outcome(&Ok(sample_record(false)))
+            ),
+        )
+        .expect("mismatched entry");
+        assert_eq!(store3.lookup(&key), None);
+        assert_eq!(store3.stats().invalidations, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,164 @@
+//! Cache-correctness properties of the staged sweep pipeline.
+//!
+//! The result store is an *accelerator*: its presence, temperature, and
+//! backing medium must never change a byte of sweep output. These tests
+//! pin that from the outside — a warm-cache rerun of a random filtered
+//! spec is byte-identical to the cold run (with every cell served from
+//! the store), and changing any `CellKey` component forces misses.
+
+use proptest::prelude::*;
+use stg_core::SchedulerKind;
+use stg_experiments::engine::{SimChoice, WorkloadSpec};
+use stg_experiments::{ResultStore, SweepSpec};
+
+/// A small spec assembled from proptest-chosen grid dimensions. Bitmasks
+/// select non-empty subsets of workloads and schedulers; everything stays
+/// proptest-sized so validated sweeps run in milliseconds.
+fn build_spec(
+    workload_mask: usize,
+    sched_mask: usize,
+    pe_choice: usize,
+    graphs: u64,
+    seed: u64,
+    validate: bool,
+) -> SweepSpec {
+    let all_workloads = ["chain:6", "fft:8", "stencil2d:4x4", "forkjoin:2x3"];
+    let all_schedulers = [
+        SchedulerKind::StreamingLts,
+        SchedulerKind::StreamingRlx,
+        SchedulerKind::NonStreaming,
+    ];
+    let pes = [vec![2], vec![4], vec![2, 4]][pe_choice % 3].clone();
+    let workloads: Vec<WorkloadSpec> = all_workloads
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| workload_mask & (1 << i) != 0)
+        .map(|(_, s)| WorkloadSpec {
+            workload: s.parse().expect("registered spec"),
+            pes: pes.clone(),
+        })
+        .collect();
+    let schedulers: Vec<SchedulerKind> = all_schedulers
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| sched_mask & (1 << i) != 0)
+        .map(|(_, &k)| k)
+        .collect();
+    SweepSpec {
+        workloads,
+        graphs,
+        seed,
+        schedulers,
+        validate,
+        sim: SimChoice::Batched,
+        timing: false,
+        threads: Some(2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A warm-cache rerun of a random filtered spec is byte-identical to
+    /// the cold run on both emitters, with every cell a store hit and no
+    /// graph ever re-instantiated.
+    #[test]
+    fn warm_rerun_is_byte_identical(
+        workload_mask in 1usize..16,
+        sched_mask in 1usize..8,
+        pe_choice in 0usize..3,
+        graphs in 1u64..3,
+        seed in any::<u64>(),
+        validate in any::<bool>(),
+    ) {
+        let spec = build_spec(workload_mask, sched_mask, pe_choice, graphs, seed, validate);
+        let store = ResultStore::in_memory();
+        let cold = spec.run_with(Some(&store));
+        let warm = spec.run_with(Some(&store));
+        let n = cold.runs.len() as u64;
+        prop_assert_eq!(cold.cell_cache.hits, 0);
+        prop_assert_eq!(cold.cell_cache.misses, n);
+        prop_assert_eq!(warm.cell_cache.hits, n);
+        prop_assert_eq!(warm.cell_cache.misses, 0);
+        prop_assert_eq!(warm.cache.total(), 0, "warm cells must not instantiate graphs");
+        prop_assert_eq!(cold.to_csv(), warm.to_csv());
+        prop_assert_eq!(cold.to_json(), warm.to_json());
+        // The store never changes output: a storeless run matches too.
+        prop_assert_eq!(cold.to_csv(), spec.run().to_csv());
+    }
+
+    /// Changing any `CellKey` component — seed, PE count, scheduler, sim
+    /// mode, workload — makes every (changed) cell miss a store warmed
+    /// with the original spec.
+    #[test]
+    fn changing_any_key_component_forces_misses(
+        seed in any::<u64>(),
+        component in 0usize..5,
+    ) {
+        let base = build_spec(0b0001, 0b001, 0, 1, seed, false);
+        let store = ResultStore::in_memory();
+        base.run_with(Some(&store));
+        prop_assert_eq!(base.run_with(Some(&store)).cell_cache.misses, 0);
+        let mut changed = base.clone();
+        match component {
+            0 => changed.seed = changed.seed.wrapping_add(1),
+            1 => changed.workloads[0].pes = vec![8],
+            2 => changed.schedulers = vec![SchedulerKind::StreamingRlx],
+            3 => changed.validate = true, // sim mode off -> batched
+            _ => changed.workloads[0].workload = "chain:7".parse().unwrap(),
+        }
+        let rerun = changed.run_with(Some(&store));
+        prop_assert_eq!(rerun.cell_cache.hits, 0, "component {} must key the cell", component);
+        prop_assert_eq!(rerun.cell_cache.misses, rerun.runs.len() as u64);
+    }
+}
+
+/// The disk store carries cells across store instances (processes): a
+/// second instance over the same `--cache-dir` serves the whole grid
+/// without evaluating anything, byte-identically.
+#[test]
+fn disk_store_warms_across_instances() {
+    let dir = std::env::temp_dir().join(format!("stg-cell-cache-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = build_spec(0b0011, 0b101, 2, 2, 0xD15C_CAFE, true);
+    let cold_csv;
+    {
+        let store = ResultStore::at_dir(&dir).expect("create cache dir");
+        let cold = spec.run_with(Some(&store));
+        assert_eq!(cold.cell_cache.misses, cold.runs.len() as u64);
+        cold_csv = cold.to_csv();
+    }
+    let store = ResultStore::at_dir(&dir).expect("reopen cache dir");
+    let warm = spec.run_with(Some(&store));
+    assert_eq!(warm.cell_cache.hits, warm.runs.len() as u64);
+    assert_eq!(warm.cell_cache.misses, 0);
+    assert_eq!(warm.to_csv(), cold_csv);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted disk entry invalidates (counted), re-evaluates, and heals:
+/// output stays byte-identical and a further rerun is all hits again.
+#[test]
+fn corrupted_disk_entries_invalidate_and_heal() {
+    let dir = std::env::temp_dir().join(format!("stg-cell-cache-inv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = build_spec(0b0001, 0b001, 0, 2, 0xBAD_F00D, false);
+    let store = ResultStore::at_dir(&dir).expect("create cache dir");
+    let cold = spec.run_with(Some(&store));
+    // Truncate every cell file on disk and drop the in-memory copies by
+    // reopening the store.
+    for entry in std::fs::read_dir(&dir).expect("cache dir") {
+        let path = entry.expect("entry").path();
+        std::fs::write(&path, "garbage\n").expect("corrupt");
+    }
+    let store = ResultStore::at_dir(&dir).expect("reopen cache dir");
+    let healed = spec.run_with(Some(&store));
+    let n = cold.runs.len() as u64;
+    assert_eq!(healed.cell_cache.invalidations, n);
+    assert_eq!(healed.cell_cache.misses, n);
+    assert_eq!(healed.cell_cache.hits, 0);
+    assert_eq!(healed.to_csv(), cold.to_csv());
+    let again = spec.run_with(Some(&store));
+    assert_eq!(again.cell_cache.hits, n);
+    let _ = std::fs::remove_dir_all(&dir);
+}

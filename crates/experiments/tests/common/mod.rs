@@ -1,0 +1,42 @@
+//! The golden sweep grid shared by the snapshot and shard/merge
+//! integration tests — one definition, one fixture.
+
+use stg_core::SchedulerKind;
+use stg_experiments::engine::{SimChoice, WorkloadSpec};
+use stg_experiments::SweepSpec;
+
+/// Path of the checked-in golden CSV this grid is pinned to.
+pub const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_sweep_validate.csv"
+);
+
+/// The golden grid: one small validated cell per registered seeded
+/// family, both streaming heuristics plus the buffered baseline.
+pub fn golden_spec(sim: SimChoice) -> SweepSpec {
+    let workload = |spec: &str, pes: Vec<usize>| WorkloadSpec {
+        workload: spec.parse().expect("registered spec"),
+        pes,
+    };
+    SweepSpec {
+        workloads: vec![
+            workload("chain:6", vec![2, 4]),
+            workload("fft:8", vec![8]),
+            workload("stencil2d:5x4", vec![4]),
+            workload("spmv:48:0.08", vec![8]),
+            workload("attention:seq256", vec![8]),
+            workload("forkjoin:3x5", vec![4]),
+        ],
+        graphs: 2,
+        seed: 7,
+        schedulers: vec![
+            SchedulerKind::StreamingLts,
+            SchedulerKind::StreamingRlx,
+            SchedulerKind::NonStreaming,
+        ],
+        validate: true,
+        sim,
+        timing: false,
+        threads: Some(2),
+    }
+}

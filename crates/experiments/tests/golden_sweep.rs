@@ -13,42 +13,10 @@
 //!
 //! and review the fixture diff like any other code change.
 
-use stg_core::SchedulerKind;
-use stg_experiments::engine::{SimChoice, WorkloadSpec};
-use stg_experiments::SweepSpec;
+mod common;
 
-fn golden_spec(sim: SimChoice) -> SweepSpec {
-    let workload = |spec: &str, pes: Vec<usize>| WorkloadSpec {
-        workload: spec.parse().expect("registered spec"),
-        pes,
-    };
-    SweepSpec {
-        workloads: vec![
-            workload("chain:6", vec![2, 4]),
-            workload("fft:8", vec![8]),
-            workload("stencil2d:5x4", vec![4]),
-            workload("spmv:48:0.08", vec![8]),
-            workload("attention:seq256", vec![8]),
-            workload("forkjoin:3x5", vec![4]),
-        ],
-        graphs: 2,
-        seed: 7,
-        schedulers: vec![
-            SchedulerKind::StreamingLts,
-            SchedulerKind::StreamingRlx,
-            SchedulerKind::NonStreaming,
-        ],
-        validate: true,
-        sim,
-        timing: false,
-        threads: Some(2),
-    }
-}
-
-const FIXTURE: &str = concat!(
-    env!("CARGO_MANIFEST_DIR"),
-    "/tests/fixtures/golden_sweep_validate.csv"
-);
+use common::{golden_spec, FIXTURE};
+use stg_experiments::engine::SimChoice;
 
 #[test]
 fn validated_sweep_csv_matches_fixture_for_both_simulators() {
@@ -69,4 +37,22 @@ fn validated_sweep_csv_matches_fixture_for_both_simulators() {
              (STG_BLESS=1 regenerates it deliberately)"
         );
     }
+}
+
+/// The byte-stability contract extends to the result store: a cold run
+/// through a store and a fully warm rerun both reproduce the fixture
+/// bytes, with every warm cell a cache hit.
+#[test]
+fn warm_cell_cache_rerun_matches_fixture() {
+    use stg_experiments::ResultStore;
+    let golden = std::fs::read_to_string(FIXTURE).expect("fixture checked in");
+    let spec = golden_spec(SimChoice::Reference);
+    let store = ResultStore::in_memory();
+    let cold = spec.run_with(Some(&store));
+    assert!(cold.to_csv() == golden, "cold store run drifted");
+    let warm = spec.run_with(Some(&store));
+    assert!(warm.to_csv() == golden, "warm store run drifted");
+    assert!(warm.cell_cache.hits > 0, "warm rerun must report cell hits");
+    assert_eq!(warm.cell_cache.hits, warm.runs.len() as u64);
+    assert_eq!(warm.cell_cache.misses, 0);
 }

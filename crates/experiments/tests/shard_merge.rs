@@ -1,0 +1,118 @@
+//! Shard/merge byte-identity against the golden sweep fixture.
+//!
+//! For random shard counts `n`, running the golden grid as `--shard 0/n
+//! .. (n-1)/n` artifacts and merging them must reproduce the checked-in
+//! golden CSV byte for byte — the same fixture the unsharded
+//! `golden_sweep` test pins. Shards share a result store here, which also
+//! exercises the store/shard interplay (a cell evaluated by any shard of
+//! any round is never evaluated again).
+
+mod common;
+
+use std::sync::OnceLock;
+
+use common::FIXTURE;
+use proptest::prelude::*;
+use stg_core::SchedulerKind;
+use stg_experiments::engine::{SimChoice, WorkloadSpec};
+use stg_experiments::{ResultStore, Shard, SweepSpec};
+
+/// The golden grid, validated by the reference simulator (the mode the
+/// fixture was blessed under).
+fn golden_spec() -> SweepSpec {
+    common::golden_spec(SimChoice::Reference)
+}
+
+/// One store shared across every shard of every proptest round: after the
+/// first full coverage of the grid, all further shard runs are pure
+/// lookups.
+fn shared_store() -> &'static ResultStore {
+    static STORE: OnceLock<ResultStore> = OnceLock::new();
+    STORE.get_or_init(ResultStore::in_memory)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Merging the complete `0/n .. (n-1)/n` artifact set reproduces the
+    /// golden fixture bytes for any shard count, including `n` larger
+    /// than the grid (empty shards).
+    #[test]
+    fn merged_shards_byte_equal_the_golden_fixture(n in 1usize..9) {
+        let golden = std::fs::read_to_string(FIXTURE).expect("fixture checked in");
+        let spec = golden_spec();
+        let artifacts: Vec<String> = (0..n)
+            .map(|index| {
+                spec.run_shard(Shard { index, of: n }, Some(shared_store()))
+                    .artifact()
+                    .expect("registry workloads shard")
+            })
+            .collect();
+        let merged = SweepSpec::merge_shards(&artifacts).expect("complete shard set");
+        prop_assert_eq!(merged.errors(), 0);
+        prop_assert_eq!(merged.deadlocks(), 0);
+        prop_assert!(merged.to_csv() == golden, "{}-way shard/merge drifted from the fixture", n);
+    }
+}
+
+/// Artifact text is itself deterministic, and shard slices tile the grid:
+/// re-emitting the same shard twice is byte-identical, and concatenating
+/// every slice's rows yields each case exactly once in order (the merge
+/// invariant the proptest exercises end to end).
+#[test]
+fn artifacts_are_deterministic() {
+    let spec = golden_spec();
+    let shard = Shard { index: 1, of: 3 };
+    let a = spec
+        .run_shard(shard, Some(shared_store()))
+        .artifact()
+        .unwrap();
+    let b = spec
+        .run_shard(shard, Some(shared_store()))
+        .artifact()
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+/// Merged sweeps preserve the full failure-accounting surface: an `err`
+/// row in an artifact decodes back into a scheduling-error outcome (data,
+/// not a lost row) and renders through the merged CSV/JSON emitters. No
+/// registered preset errors on these grids, so the row is injected into
+/// the artifact text — exactly what a shard of a failing grid would
+/// carry.
+#[test]
+fn error_rows_survive_the_shard_round_trip() {
+    let spec = SweepSpec {
+        workloads: vec![WorkloadSpec {
+            workload: "chain:4".parse().unwrap(),
+            pes: vec![2],
+        }],
+        graphs: 2,
+        seed: 3,
+        schedulers: vec![SchedulerKind::StreamingLts],
+        validate: false,
+        sim: SimChoice::default(),
+        timing: false,
+        threads: Some(1),
+    };
+    let artifact = spec
+        .run_shard(Shard { index: 0, of: 1 }, None)
+        .artifact()
+        .unwrap();
+    let (ok_line, _) = artifact
+        .lines()
+        .find(|l| l.starts_with("row 1 "))
+        .map(|l| (l.to_string(), ()))
+        .expect("second row present");
+    let hacked = artifact.replace(&ok_line, "row 1 err block-order-violation(3->1)");
+    let merged = SweepSpec::merge_shards(&[hacked]).expect("artifact still well-formed");
+    assert_eq!(merged.errors(), 1);
+    let csv = merged.to_csv();
+    assert!(
+        csv.contains(",error:block-order-violation(3->1),"),
+        "error row renders through the merged CSV:\n{csv}"
+    );
+    assert!(merged.to_json().contains("\"block-order-violation(3->1)\""));
+    // The intact first row still carries its real record.
+    assert!(csv.lines().nth(1).unwrap().contains(",ok,"));
+}
