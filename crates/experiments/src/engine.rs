@@ -112,7 +112,7 @@ impl FromStr for SimChoice {
 }
 
 /// One workload and the PE counts to sweep it over.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct WorkloadSpec {
     /// The graph source (any registered [`WorkloadKind`], or a fixed
     /// graph via [`WorkloadKind::fixed`]).
@@ -122,7 +122,7 @@ pub struct WorkloadSpec {
 }
 
 /// A declarative sweep: workloads × PE counts × seeds × schedulers.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct SweepSpec {
     /// Workloads with their PE sweeps.
     pub workloads: Vec<WorkloadSpec>,

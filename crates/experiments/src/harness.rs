@@ -103,7 +103,17 @@ impl Args {
                 "--validate" => args.validate = true,
                 "--sim" => args.sim = next_parsed(&mut it, "--sim"),
                 "--sim-timing" => args.sim_timing = true,
-                "--threads" => args.threads = Some(next_value(&mut it, "--threads")),
+                "--threads" => {
+                    let threads: usize = next_value(&mut it, "--threads");
+                    if threads == 0 {
+                        eprintln!(
+                            "--threads must be at least 1, got 0 \
+                             (omit the flag to use all available cores)"
+                        );
+                        std::process::exit(2);
+                    }
+                    args.threads = Some(threads);
+                }
                 "--workload" | "--topology" => {
                     append_list(&mut args.workloads, &mut it, flag.as_str())
                 }

@@ -1,0 +1,47 @@
+//! `--threads` CLI validation for the sweep frontend: zero and junk
+//! values exit with code 2 and a clear message instead of panicking or
+//! silently clamping to one worker.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(args)
+        .output()
+        .expect("sweep launches");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn sweep_rejects_zero_threads() {
+    let (code, stderr) = run(&["--threads", "0"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--threads must be at least 1"), "{stderr}");
+}
+
+#[test]
+fn sweep_rejects_junk_threads() {
+    for junk in ["many", "-4", "1.5", ""] {
+        let (code, stderr) = run(&["--threads", junk]);
+        assert_eq!(code, Some(2), "--threads {junk:?}: {stderr}");
+        assert!(stderr.contains("--threads"), "--threads {junk:?}: {stderr}");
+    }
+}
+
+#[test]
+fn sweep_accepts_positive_threads() {
+    // A tiny grid with an explicit worker count parses and runs.
+    let (code, stderr) = run(&[
+        "--threads",
+        "2",
+        "--workload",
+        "chain",
+        "--pes",
+        "2",
+        "--csv",
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+}

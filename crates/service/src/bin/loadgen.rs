@@ -1,0 +1,144 @@
+//! Closed-loop load generator for the scheduler service daemon.
+//!
+//! ```text
+//! loadgen [--addr 127.0.0.1:7171] [--clients N] [--requests N]
+//!         [--passes N] [--seed S] [--min-warm-speedup X]
+//!         [--connect-timeout-ms N]
+//! loadgen --check '{"workload":"chain:8","pes":4,"scheduler":"sb-lts"}'
+//! loadgen --shutdown
+//! ```
+//!
+//! The default mode replays a deterministic seeded request mix from
+//! `--clients` concurrent connections for `--passes` passes (pass 1
+//! cold, the rest warm) and reports per-pass p50/p99 latency, req/s,
+//! and the warm-pass cache hits; it exits non-zero on any error frame
+//! or when the cold/warm p50 ratio falls below `--min-warm-speedup`.
+//! `--check` byte-diffs one daemon response against direct engine
+//! output; `--shutdown` drains the daemon. Count flags reject zero and
+//! non-numeric values with exit code 2.
+
+use std::process::exit;
+use std::time::Duration;
+
+use stg_service::loadgen::{self, LoadgenConfig};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--passes N] \
+         [--seed S] [--min-warm-speedup X] [--connect-timeout-ms N] \
+         [--check REQUEST | --shutdown]"
+    );
+    exit(2);
+}
+
+fn value(flag: &str, it: &mut impl Iterator<Item = String>) -> String {
+    it.next()
+        .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+}
+
+fn count(flag: &str, it: &mut impl Iterator<Item = String>) -> usize {
+    let v = value(flag, it);
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        Ok(_) => fail(&format!("{flag} must be at least 1, got 0")),
+        Err(_) => fail(&format!("{flag} needs a positive integer, got {v:?}")),
+    }
+}
+
+fn main() {
+    let mut config = LoadgenConfig::default();
+    let mut min_warm_speedup: Option<f64> = None;
+    let mut connect_timeout = Duration::from_secs(5);
+    let mut check: Option<String> = None;
+    let mut want_shutdown = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr", &mut it),
+            "--clients" => config.clients = count("--clients", &mut it),
+            "--requests" => config.requests = count("--requests", &mut it),
+            "--passes" => config.passes = count("--passes", &mut it),
+            "--seed" => {
+                let v = value("--seed", &mut it);
+                config.seed = v.parse().unwrap_or_else(|_| {
+                    fail(&format!("--seed needs an unsigned integer, got {v:?}"))
+                });
+            }
+            "--min-warm-speedup" => {
+                let v = value("--min-warm-speedup", &mut it);
+                let x: f64 = v.parse().unwrap_or_else(|_| {
+                    fail(&format!("--min-warm-speedup needs a number, got {v:?}"))
+                });
+                if !x.is_finite() || x <= 0.0 {
+                    fail(&format!("--min-warm-speedup must be positive, got {v}"));
+                }
+                min_warm_speedup = Some(x);
+            }
+            "--connect-timeout-ms" => {
+                let v = value("--connect-timeout-ms", &mut it);
+                let ms: u64 = v.parse().unwrap_or_else(|_| {
+                    fail(&format!(
+                        "--connect-timeout-ms needs an unsigned integer, got {v:?}"
+                    ))
+                });
+                connect_timeout = Duration::from_millis(ms);
+            }
+            "--check" => check = Some(value("--check", &mut it)),
+            "--shutdown" => want_shutdown = true,
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    // Wait for the daemon (the smoke harness starts `serve` in the
+    // background and runs loadgen immediately).
+    if let Err(e) = loadgen::connect_retry(&config.addr, connect_timeout) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+
+    if let Some(line) = check {
+        match loadgen::check_against_engine(&config.addr, &line) {
+            Ok(()) => {
+                println!("check: daemon response is byte-identical to direct engine output");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(1);
+            }
+        }
+    }
+    if want_shutdown {
+        match loadgen::shutdown(&config.addr) {
+            Ok(()) => {
+                println!("shutdown: daemon acknowledged the drain");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(1);
+            }
+        }
+    }
+
+    let report = match loadgen::run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+    print!("{}", report.render());
+    println!("{}", report.summary_line());
+    if report.errors() > 0 {
+        eprintln!("error: {} requests failed", report.errors());
+        exit(1);
+    }
+    if let (Some(min), Some(got)) = (min_warm_speedup, report.warm_speedup()) {
+        if got < min {
+            eprintln!("error: warm-cache p50 speedup {got:.1}x is below the {min:.1}x floor");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Bounded admission queue with per-client round-robin fairness.
+//!
+//! The daemon never buffers without bound: [`Admission::push`] rejects
+//! with [`Reject::Overloaded`] the moment `bound` requests are queued,
+//! and with [`Reject::Draining`] once shutdown has begun — the caller
+//! turns either into a `503`-style error frame. Accepted work is held in
+//! one FIFO sub-queue per client, and [`Admission::pop`] serves clients
+//! round-robin: a client that floods the queue gets its requests
+//! interleaved with everyone else's, not served as a contiguous burst, so
+//! one heavy client cannot starve the others.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reject {
+    /// The queue already holds `bound` requests.
+    Overloaded,
+    /// The queue is draining for shutdown and admits nothing new.
+    Draining,
+}
+
+struct State<T> {
+    /// Per-client FIFO sub-queues, in round-robin rotation order: the
+    /// front client is served next, then rotated to the back while it
+    /// still has queued work.
+    clients: VecDeque<(u64, VecDeque<T>)>,
+    queued: usize,
+    draining: bool,
+}
+
+/// The bounded, fair admission queue ([`Reject`] instead of unbounded
+/// buffering; round-robin across clients instead of global FIFO).
+pub struct Admission<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    bound: usize,
+}
+
+impl<T> Admission<T> {
+    /// A queue admitting at most `bound` queued requests (`bound >= 1`).
+    pub fn new(bound: usize) -> Admission<T> {
+        assert!(bound >= 1, "admission queue bound must be at least 1");
+        Admission {
+            state: Mutex::new(State {
+                clients: VecDeque::new(),
+                queued: 0,
+                draining: false,
+            }),
+            available: Condvar::new(),
+            bound,
+        }
+    }
+
+    /// The configured bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Admits `job` for `client`, or rejects it without queueing.
+    pub fn push(&self, client: u64, job: T) -> Result<(), Reject> {
+        let mut state = self.state.lock().expect("admission lock");
+        if state.draining {
+            return Err(Reject::Draining);
+        }
+        if state.queued >= self.bound {
+            return Err(Reject::Overloaded);
+        }
+        match state.clients.iter_mut().find(|(id, _)| *id == client) {
+            Some((_, jobs)) => jobs.push_back(job),
+            None => state.clients.push_back((client, VecDeque::from([job]))),
+        }
+        state.queued += 1;
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Takes the next job, blocking while the queue is empty. Returns
+    /// `None` once the queue is draining **and** empty — the worker's
+    /// signal to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("admission lock");
+        loop {
+            if let Some((client, mut jobs)) = state.clients.pop_front() {
+                let job = jobs.pop_front().expect("client sub-queues are non-empty");
+                if !jobs.is_empty() {
+                    state.clients.push_back((client, jobs));
+                }
+                state.queued -= 1;
+                return Some(job);
+            }
+            if state.draining {
+                return None;
+            }
+            state = self.available.wait(state).expect("admission lock");
+        }
+    }
+
+    /// Begins the graceful drain: no new admissions, queued work still
+    /// served, blocked workers woken (they exit once the queue is empty).
+    pub fn drain(&self) {
+        self.state.lock().expect("admission lock").draining = true;
+        self.available.notify_all();
+    }
+
+    /// Number of currently queued requests.
+    pub fn queued(&self) -> usize {
+        self.state.lock().expect("admission lock").queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_rejects_exactly_the_overflow() {
+        let q = Admission::new(4);
+        let mut accepted = 0;
+        let mut rejected = 0;
+        // A burst of 50 from two interleaved clients with no worker
+        // popping: exactly `bound` admitted, the rest rejected.
+        for i in 0..50u64 {
+            match q.push(i % 2, i) {
+                Ok(()) => accepted += 1,
+                Err(Reject::Overloaded) => rejected += 1,
+                Err(r) => panic!("unexpected rejection {r:?}"),
+            }
+        }
+        assert_eq!((accepted, rejected), (4, 46));
+        assert_eq!(q.queued(), 4);
+    }
+
+    #[test]
+    fn pop_round_robins_across_clients() {
+        let q = Admission::new(16);
+        // Client 1 floods first; client 2 sends one late request.
+        for job in [10, 11, 12] {
+            q.push(1, job).unwrap();
+        }
+        q.push(2, 20).unwrap();
+        q.push(3, 30).unwrap();
+        // Round-robin: one from each client in rotation order, not
+        // client 1's whole burst first.
+        let order: Vec<i32> = (0..5).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(order, vec![10, 20, 30, 11, 12]);
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_unblocks_workers() {
+        let q = Admission::new(4);
+        q.push(1, 1).unwrap();
+        q.drain();
+        assert_eq!(q.push(1, 2), Err(Reject::Draining));
+        // Queued work is still served, then workers see the exit signal.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = std::sync::Arc::new(Admission::new(2));
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.push(9, 42).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(42));
+    }
+}

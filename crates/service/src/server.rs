@@ -1,0 +1,330 @@
+//! The TCP daemon: newline-delimited JSON over loopback, with bounded
+//! admission and a fixed worker pool.
+//!
+//! One reader thread per connection parses frames and answers control
+//! requests inline; plan/sweep requests go through the bounded
+//! [`Admission`] queue (rejected with a `503` frame when full — the
+//! daemon never buffers without bound) and are executed by `workers`
+//! pool threads, which send response frames back through the
+//! connection's writer channel. Responses to one request are contiguous
+//! and in order; requests from different connections are served with
+//! per-client round-robin fairness.
+//!
+//! Shutdown (`{"cmd":"shutdown"}` or [`Daemon::shutdown`]) is a graceful
+//! drain: no new admissions, queued work still served, then the workers
+//! and the accept loop exit.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use crate::protocol::{self, ProtoError, Request};
+use crate::queue::{Admission, Reject};
+use crate::service::Service;
+
+/// Longest accepted request line, in bytes. Longer lines are discarded
+/// (without buffering them) and answered with a 400 frame.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// One admitted unit of work: the request plus the connection's writer.
+struct Job {
+    client: u64,
+    request: Request,
+    out: mpsc::Sender<String>,
+}
+
+/// The running daemon: listener address plus the handles needed to stop
+/// and join it.
+pub struct Daemon {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    queue: Arc<Admission<Job>>,
+    stopping: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept loop and `workers` pool threads over the bounded
+    /// admission queue.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<Service>,
+        workers: usize,
+        queue_bound: usize,
+    ) -> std::io::Result<Daemon> {
+        assert!(workers >= 1, "daemon needs at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(Admission::<Job>::new(queue_bound));
+        let stopping = Arc::new(AtomicBool::new(false));
+
+        let mut pool = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let queue = Arc::clone(&queue);
+            let service = Arc::clone(&service);
+            pool.push(std::thread::spawn(move || {
+                while let Some(job) = queue.pop() {
+                    for frame in service.dispatch(job.client, &job.request) {
+                        // A send failure means the client hung up; the
+                        // result stays in the shared cache regardless.
+                        let _ = job.out.send(frame);
+                    }
+                }
+            }));
+        }
+
+        let accept = {
+            let queue = Arc::clone(&queue);
+            let service = Arc::clone(&service);
+            let stopping = Arc::clone(&stopping);
+            std::thread::spawn(move || {
+                let clients = Arc::new(AtomicU64::new(0));
+                for stream in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let client = clients.fetch_add(1, Ordering::Relaxed) + 1;
+                    let queue = Arc::clone(&queue);
+                    let service = Arc::clone(&service);
+                    let stopping = Arc::clone(&stopping);
+                    std::thread::spawn(move || {
+                        serve_connection(stream, client, &service, &queue, &stopping);
+                    });
+                }
+            })
+        };
+
+        Ok(Daemon {
+            addr,
+            service,
+            queue,
+            stopping,
+            accept: Some(accept),
+            workers: pool,
+        })
+    }
+
+    /// The bound listener address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service this daemon fronts.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Begins the graceful drain: stop admitting, serve what is queued,
+    /// wake the accept loop so it can exit.
+    pub fn shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        self.queue.drain();
+        // The accept loop is blocked in `accept`; a throwaway connection
+        // wakes it to observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits for the drain to complete: all queued work served, workers
+    /// and accept loop exited. Open connections are not waited for —
+    /// their reader threads die with their sockets.
+    pub fn wait(mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+/// Reads one `\n`-terminated frame with a hard length bound. Oversized
+/// lines are consumed and discarded (never buffered whole) and reported
+/// as `Some(Err(len))`; EOF with no pending bytes is `None`.
+fn read_frame(
+    reader: &mut impl BufRead,
+    max: usize,
+) -> std::io::Result<Option<Result<String, usize>>> {
+    let mut line = Vec::new();
+    let mut total = 0usize;
+    let mut saw_bytes = false;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if !saw_bytes {
+                return Ok(None);
+            }
+            break; // unterminated trailing data still forms a frame
+        }
+        saw_bytes = true;
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                total += pos;
+                if total <= max {
+                    line.extend_from_slice(&buf[..pos]);
+                }
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = buf.len();
+                total += len;
+                if total <= max {
+                    line.extend_from_slice(buf);
+                } else {
+                    line.clear(); // over the bound: stop buffering, keep draining
+                }
+                reader.consume(len);
+            }
+        }
+    }
+    if total > max {
+        return Ok(Some(Err(total)));
+    }
+    Ok(Some(Ok(String::from_utf8_lossy(&line).into_owned())))
+}
+
+/// One connection's reader loop: frames in, responses out through the
+/// writer channel. Malformed frames answer with a 400 and keep the
+/// connection open; only EOF or an I/O error ends it.
+fn serve_connection(
+    stream: TcpStream,
+    client: u64,
+    service: &Arc<Service>,
+    queue: &Arc<Admission<Job>>,
+    stopping: &Arc<AtomicBool>,
+) {
+    // Responses are one buffered write + flush per frame; without
+    // TCP_NODELAY a frame can sit behind Nagle waiting on a delayed ACK,
+    // putting a ~40ms floor under every warm (cache-hit) request.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || {
+        let mut out = std::io::BufWriter::new(write_half);
+        for frame in rx {
+            if out
+                .write_all(frame.as_bytes())
+                .and_then(|()| out.write_all(b"\n"))
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = match read_frame(&mut reader, MAX_FRAME_BYTES) {
+            Ok(Some(Ok(frame))) => frame,
+            Ok(Some(Err(len))) => {
+                service.counters().record_malformed();
+                let e = ProtoError::bad(
+                    0,
+                    format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+                );
+                if tx.send(e.frame()).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Ok(None) | Err(_) => break,
+        };
+        if frame.trim().is_empty() {
+            continue;
+        }
+        let request = match service.parse(&frame) {
+            Ok(r) => r,
+            Err(error_frame) => {
+                if tx.send(error_frame).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        if let Some(reply) = service.control(&request) {
+            if tx.send(reply).is_err() {
+                break;
+            }
+            continue;
+        }
+        if let Request::Shutdown { id } = request {
+            // Acknowledge first, then start the drain so this client's
+            // ack is never cut off by the exit.
+            let ack = protocol::DoneResponse {
+                id,
+                cases: 0,
+                errors: 0,
+            }
+            .frame();
+            let _ = tx.send(ack);
+            stopping.store(true, Ordering::SeqCst);
+            queue.drain();
+            // The accepted socket's local address is the listener's;
+            // reconnecting wakes the accept loop to observe the flag.
+            if let Ok(addr) = reader.get_ref().local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            continue;
+        }
+        let id = request.id();
+        let job = Job {
+            client,
+            request,
+            out: tx.clone(),
+        };
+        match queue.push(client, job) {
+            Ok(()) => service.counters().record_accepted(client),
+            Err(reject) => {
+                service.counters().record_rejected(client);
+                let reason = match reject {
+                    Reject::Overloaded => {
+                        format!("queue full ({} queued); retry later", queue.bound())
+                    }
+                    Reject::Draining => "service is draining for shutdown".to_string(),
+                };
+                if tx.send(ProtoError::overloaded(id, reason).frame()).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_frame_splits_lines_and_handles_eof() {
+        let mut r = BufReader::new(Cursor::new(b"one\ntwo\nthree".to_vec()));
+        assert_eq!(read_frame(&mut r, 16).unwrap(), Some(Ok("one".into())));
+        assert_eq!(read_frame(&mut r, 16).unwrap(), Some(Ok("two".into())));
+        // Unterminated trailing bytes still form a final frame.
+        assert_eq!(read_frame(&mut r, 16).unwrap(), Some(Ok("three".into())));
+        assert_eq!(read_frame(&mut r, 16).unwrap(), None);
+    }
+
+    #[test]
+    fn read_frame_discards_oversized_lines_without_buffering() {
+        let long = "x".repeat(100);
+        let input = format!("{long}\nok\n");
+        let mut r = BufReader::new(Cursor::new(input.into_bytes()));
+        match read_frame(&mut r, 16).unwrap() {
+            Some(Err(len)) => assert_eq!(len, 100),
+            other => panic!("expected oversize error, got {other:?}"),
+        }
+        // The stream recovers at the next line.
+        assert_eq!(read_frame(&mut r, 16).unwrap(), Some(Ok("ok".into())));
+    }
+}

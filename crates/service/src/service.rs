@@ -1,0 +1,404 @@
+//! The scheduler service core: request execution over the shared caches.
+//!
+//! [`Service`] is the transport-independent half of the daemon. It owns
+//! the process-wide [`ResultStore`] (in-memory, optionally backed by a
+//! `--cache-dir` directory shared with the `sweep` binary — the cell keys
+//! are identical) and the request [`Counters`], and turns parsed
+//! [`Request`]s into response frames. The TCP layer ([`crate::server`])
+//! adds admission control and the worker pool on top; tests drive the
+//! full request path in-process through [`Service::handle`] without
+//! sockets.
+//!
+//! Warm requests never re-schedule: a plan request is keyed by the same
+//! content-addressed `CellKey` the sweep engine uses, looked up in the
+//! store, and only evaluated (then persisted) on a miss. Responses are
+//! byte-identical either way — the `outcome` payload is the engine's
+//! canonical serialization, which stores no wall-clocks.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use stg_experiments::{ResultStore, StoreStats, SweepSpec};
+use stg_workloads::WorkloadFamily;
+
+use crate::counters::Counters;
+use crate::protocol::{
+    self, DoneResponse, PlanRequest, PlanResponse, ProtoError, RecordResponse, Request,
+    SweepRequest,
+};
+
+/// Service tuning knobs (transport-independent; the daemon adds its own).
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Persist the cell cache under this directory (`--cache-dir`); warm
+    /// requests survive daemon restarts. `None`: in-memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Reject plan/sweep workloads above this task count with a 400 frame
+    /// instead of instantiating them (an admission-control bound on
+    /// per-request memory, not a scheduling limit).
+    pub max_tasks: usize,
+    /// Artificial per-request service time, applied before evaluation.
+    /// Zero in production; the overload and fairness tests (and load
+    /// experiments) use it to hold workers busy deterministically.
+    pub eval_delay: Duration,
+    /// Worker threads a single sweep request may use (plan requests are
+    /// always single-threaded — the daemon's worker pool is the
+    /// concurrency unit).
+    pub sweep_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_dir: None,
+            max_tasks: 1_000_000,
+            eval_delay: Duration::ZERO,
+            sweep_threads: 1,
+        }
+    }
+}
+
+/// The transport-independent scheduler service: shared caches, counters,
+/// and request execution.
+pub struct Service {
+    config: ServiceConfig,
+    store: ResultStore,
+    counters: Counters,
+}
+
+impl Service {
+    /// Opens the service, creating the cache directory if configured.
+    pub fn new(config: ServiceConfig) -> std::io::Result<Service> {
+        let store = match &config.cache_dir {
+            Some(dir) => ResultStore::at_dir(dir)?,
+            None => ResultStore::in_memory(),
+        };
+        Ok(Service {
+            config,
+            store,
+            counters: Counters::new(),
+        })
+    }
+
+    /// The shared cell-result store.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// The request counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The configuration this service was opened with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Parses one frame, counting malformed input. `Err` is the error
+    /// frame to send back.
+    pub fn parse(&self, line: &str) -> Result<Request, String> {
+        protocol::parse_request(line).map_err(|e| {
+            self.counters.record_malformed();
+            e.frame()
+        })
+    }
+
+    /// Answers a control request ([`Request::Stats`] / [`Request::Ping`]),
+    /// `None` for plan/sweep/shutdown (which go through admission).
+    pub fn control(&self, request: &Request) -> Option<String> {
+        match request {
+            Request::Stats { id } => Some(self.stats_frame(*id)),
+            Request::Ping { id } => Some(protocol::Response::Pong { id: *id }.frame()),
+            _ => None,
+        }
+    }
+
+    /// The current `"stats"` frame: request counters plus shared-store
+    /// traffic.
+    pub fn stats_frame(&self, id: u64) -> String {
+        self.counters.snapshot().frame(id, self.store.stats())
+    }
+
+    /// Result-store counters (hits are warm requests served without
+    /// re-scheduling).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Executes an admitted plan/sweep request and returns its response
+    /// frames, maintaining the dispatch/completion counters. Shutdown is
+    /// acknowledged but transport shutdown itself is the daemon's job.
+    pub fn dispatch(&self, client: u64, request: &Request) -> Vec<String> {
+        self.counters.record_dispatched();
+        let (frames, eval_micros, sched_errors) = match request {
+            Request::Plan(p) => self.plan(p),
+            Request::Sweep(s) => self.sweep(s),
+            Request::Shutdown { id } => (
+                vec![DoneResponse {
+                    id: *id,
+                    cases: 0,
+                    errors: 0,
+                }
+                .frame()],
+                0,
+                0,
+            ),
+            // Control requests are answered by `control`, not dispatched;
+            // answering here anyway keeps dispatch total.
+            other => (vec![self.control(other).expect("control request")], 0, 0),
+        };
+        self.counters
+            .record_completed(client, eval_micros, sched_errors);
+        frames
+    }
+
+    /// The full in-process request path — parse, admission accounting,
+    /// control handling, execution — exactly what one daemon worker does
+    /// for one frame, minus the socket and the queue. Always returns at
+    /// least one frame; never panics on malformed input.
+    pub fn handle(&self, client: u64, line: &str) -> Vec<String> {
+        let request = match self.parse(line) {
+            Ok(r) => r,
+            Err(frame) => return vec![frame],
+        };
+        if let Some(frame) = self.control(&request) {
+            return vec![frame];
+        }
+        self.counters.record_accepted(client);
+        self.dispatch(client, &request)
+    }
+
+    /// Evaluates one plan request: cache lookup → (on miss) one-cell
+    /// engine evaluation → persist. Returns (frames, eval_micros,
+    /// sched_errors).
+    fn plan(&self, req: &PlanRequest) -> (Vec<String>, u64, u64) {
+        if !self.config.eval_delay.is_zero() {
+            std::thread::sleep(self.config.eval_delay);
+        }
+        if let Err(frame) = self.check_size(req.id, &req.spec()) {
+            return (vec![frame], 0, 0);
+        }
+        let spec = req.spec();
+        let case = spec
+            .cases()
+            .pop()
+            .expect("a plan request expands to exactly one case");
+        let key = spec.cell_key(&case);
+        let (outcome, eval_micros) = match self.store.lookup(&key) {
+            Some(outcome) => (outcome, 0),
+            None => {
+                let t0 = Instant::now();
+                let sweep = spec.run_with(None);
+                let micros = t0.elapsed().as_micros() as u64;
+                let outcome = sweep
+                    .runs
+                    .into_iter()
+                    .next()
+                    .expect("one-cell sweep has one run")
+                    .outcome;
+                self.store.insert(&key, &outcome);
+                (outcome, micros)
+            }
+        };
+        let sched_errors = u64::from(outcome.is_err());
+        let response = PlanResponse {
+            id: req.id,
+            workload: req.workload.spec(),
+            seed: case.seed,
+            pes: req.pes,
+            scheduler: req.scheduler.alias().to_string(),
+            sim: req.sim.to_string(),
+            outcome: stg_experiments::store::encode_outcome(&outcome),
+        };
+        (vec![response.frame()], eval_micros, sched_errors)
+    }
+
+    /// Evaluates a sweep request through the shared store, streaming one
+    /// record frame per case plus the final done frame.
+    fn sweep(&self, req: &SweepRequest) -> (Vec<String>, u64, u64) {
+        if !self.config.eval_delay.is_zero() {
+            std::thread::sleep(self.config.eval_delay);
+        }
+        if let Err(frame) = self.check_size(req.id, &req.spec) {
+            return (vec![frame], 0, 0);
+        }
+        let mut spec = req.spec.clone();
+        spec.threads = Some(self.config.sweep_threads.max(1));
+        let t0 = Instant::now();
+        let sweep = spec.run_with(Some(&self.store));
+        let eval_micros = t0.elapsed().as_micros() as u64;
+        let errors = sweep.errors() as u64;
+        let mut frames = Vec::with_capacity(sweep.runs.len() + 1);
+        for run in &sweep.runs {
+            frames.push(
+                RecordResponse {
+                    id: req.id,
+                    index: run.case.index,
+                    workload: run.case.workload.spec(),
+                    seed: run.case.seed,
+                    pes: run.case.pes,
+                    scheduler: run.case.scheduler.alias().to_string(),
+                    outcome: stg_experiments::store::encode_outcome(&run.outcome),
+                }
+                .frame(),
+            );
+        }
+        frames.push(
+            DoneResponse {
+                id: req.id,
+                cases: sweep.runs.len(),
+                errors: errors as usize,
+            }
+            .frame(),
+        );
+        (frames, eval_micros, errors)
+    }
+
+    /// Rejects specs whose largest workload exceeds the configured task
+    /// bound. `Err` is the 400 frame.
+    fn check_size(&self, id: u64, spec: &SweepSpec) -> Result<(), String> {
+        for w in &spec.workloads {
+            let tasks = w.workload.task_count();
+            if tasks > self.config.max_tasks {
+                return Err(ProtoError::bad(
+                    id,
+                    format!(
+                        "workload {} has {tasks} tasks, above the service bound of {}",
+                        w.workload.spec(),
+                        self.config.max_tasks
+                    ),
+                )
+                .frame());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_response, Response};
+
+    fn service() -> Service {
+        Service::new(ServiceConfig::default()).expect("in-memory service")
+    }
+
+    #[test]
+    fn plan_response_matches_direct_engine_evaluation() {
+        let s = service();
+        let line = r#"{"id":5,"workload":"chain:8","seed":3,"pes":4,"scheduler":"sb-lts","sim":"batched"}"#;
+        let frames = s.handle(1, line);
+        assert_eq!(frames.len(), 1);
+        let Response::Ok(resp) = parse_response(&frames[0]).unwrap() else {
+            panic!("not ok: {}", frames[0]);
+        };
+        // Direct engine evaluation of the identical one-cell spec.
+        let req = match protocol::parse_request(line).unwrap() {
+            Request::Plan(p) => p,
+            _ => unreachable!(),
+        };
+        let direct = req.spec().run();
+        let expected = stg_experiments::store::encode_outcome(&direct.runs[0].outcome);
+        assert_eq!(resp.outcome, expected);
+        assert_eq!(resp.id, 5);
+        assert_eq!(resp.sim, "batched");
+    }
+
+    #[test]
+    fn warm_repeat_hits_the_cache_and_is_byte_identical() {
+        let s = service();
+        let line = r#"{"workload":"fft:32","seed":1,"pes":32,"scheduler":"sb-rlx"}"#;
+        let cold = s.handle(1, line);
+        let before = s.store_stats();
+        assert_eq!((before.hits, before.misses), (0, 1));
+        let warm = s.handle(1, line);
+        let after = s.store_stats();
+        assert_eq!(after.hits, 1, "second request must be served warm");
+        assert_eq!(cold, warm, "cached responses are byte-identical");
+    }
+
+    #[test]
+    fn sweep_request_streams_records_and_done() {
+        let s = service();
+        let line = r#"{"id":2,"sweep":{"workloads":[{"workload":"chain:8","pes":[2,4]}],"graphs":2,"seed":1,"schedulers":["sb-lts","nonstreaming"]}}"#;
+        let frames = s.handle(1, line);
+        // 2 PEs × 2 schedulers × 2 graphs = 8 records + 1 done.
+        assert_eq!(frames.len(), 9);
+        for (i, frame) in frames[..8].iter().enumerate() {
+            match parse_response(frame).unwrap() {
+                Response::Record(r) => {
+                    assert_eq!(r.index, i);
+                    assert_eq!(r.id, 2);
+                }
+                other => panic!("frame {i} not a record: {other:?}"),
+            }
+        }
+        match parse_response(&frames[8]).unwrap() {
+            Response::Done(d) => assert_eq!((d.cases, d.errors), (8, 0)),
+            other => panic!("not done: {other:?}"),
+        }
+        // The sweep populated the shared store; a plan request for one of
+        // its cells is warm.
+        let hits_before = s.store_stats().hits;
+        let plan = r#"{"workload":"chain:8","seed":1,"pes":2,"scheduler":"sb-lts"}"#;
+        s.handle(1, plan);
+        assert_eq!(s.store_stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn malformed_lines_yield_structured_error_frames() {
+        let s = service();
+        for bad in ["", "garbage", "{\"pes\":4}", "{\"cmd\":\"selfdestruct\"}"] {
+            let frames = s.handle(1, bad);
+            assert_eq!(frames.len(), 1, "{bad:?}");
+            match parse_response(&frames[0]).unwrap() {
+                Response::Error(e) => assert_eq!(e.code, protocol::CODE_BAD_REQUEST),
+                other => panic!("{bad:?}: {other:?}"),
+            }
+        }
+        assert_eq!(s.counters().snapshot().malformed, 4);
+    }
+
+    #[test]
+    fn oversized_workloads_are_rejected_without_instantiation() {
+        let s = Service::new(ServiceConfig {
+            max_tasks: 100,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let frames = s.handle(
+            1,
+            r#"{"id":8,"workload":"stencil2d:64x64","seed":0,"pes":16,"scheduler":"sb-lts"}"#,
+        );
+        match parse_response(&frames[0]).unwrap() {
+            Response::Error(e) => {
+                assert_eq!(e.code, protocol::CODE_BAD_REQUEST);
+                assert_eq!(e.id, 8);
+                assert!(e.error.contains("above the service bound"), "{}", e.error);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_frame_reports_counters_and_store_traffic() {
+        let s = service();
+        s.handle(
+            3,
+            r#"{"workload":"chain:8","seed":0,"pes":2,"scheduler":"sb-lts"}"#,
+        );
+        s.handle(
+            3,
+            r#"{"workload":"chain:8","seed":0,"pes":2,"scheduler":"sb-lts"}"#,
+        );
+        let frames = s.handle(3, r#"{"cmd":"stats","id":42}"#);
+        let v = crate::json::parse(&frames[0]).unwrap();
+        let (snap, store) = crate::counters::Snapshot::from_json(&v).unwrap();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.completed, 2);
+        assert_eq!((store.hits, store.misses), (1, 1));
+        assert_eq!(v.get("id").and_then(crate::json::Json::as_u64), Some(42));
+    }
+}

@@ -1,0 +1,347 @@
+//! End-to-end daemon tests over loopback TCP: byte-identity against the
+//! engine, bounded overload with per-client fairness, the warm path
+//! across a daemon restart, and malformed-frame resilience.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stg_core::SchedulerKind;
+use stg_service::{
+    parse_request, parse_response, Daemon, PlanRequest, PlanResponse, Request, Response, Service,
+    ServiceConfig, CODE_BAD_REQUEST, CODE_OVERLOADED,
+};
+use stg_workloads::WorkloadFamily;
+
+fn start(config: ServiceConfig, workers: usize, queue_bound: usize) -> Daemon {
+    let service = Arc::new(Service::new(config).expect("service opens"));
+    Daemon::bind("127.0.0.1:0", service, workers, queue_bound).expect("daemon binds")
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        // Single write per frame: two small writes would trip Nagle +
+        // delayed-ACK and slow every request by ~40ms.
+        let frame = format!("{line}\n");
+        self.stream.write_all(frame.as_bytes()).expect("send");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "daemon closed the connection");
+        line.trim_end().to_string()
+    }
+}
+
+/// The stats snapshot via a throwaway connection (control frames are
+/// answered inline, so this works while every worker is busy).
+fn stats(addr: std::net::SocketAddr) -> (stg_service::Snapshot, stg_experiments::StoreStats) {
+    let mut c = Client::connect(addr);
+    c.send(r#"{"cmd":"stats"}"#);
+    let line = c.recv();
+    match parse_response(&line).expect("stats parses") {
+        Response::Stats(v) => stg_service::Snapshot::from_json(&v).expect("stats decodes"),
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+fn wait_until(what: &str, deadline: Duration, mut ok: impl FnMut() -> bool) {
+    let t0 = Instant::now();
+    while !ok() {
+        assert!(t0.elapsed() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The frame a direct engine evaluation of `req` produces — the
+/// byte-identity oracle for daemon responses.
+fn direct_engine_frame(req: &PlanRequest) -> String {
+    let sweep = req.spec().run();
+    PlanResponse {
+        id: req.id,
+        workload: req.workload.spec(),
+        seed: req.seed,
+        pes: req.pes,
+        scheduler: req.scheduler.alias().to_string(),
+        sim: req.sim.to_string(),
+        outcome: stg_experiments::store::encode_outcome(&sweep.runs[0].outcome),
+    }
+    .frame()
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_engine_output() {
+    let daemon = start(ServiceConfig::default(), 4, 64);
+    let addr = daemon.addr();
+    // Four clients, each with its own mix of registered cells (some
+    // validated), all in flight concurrently.
+    let mixes: Vec<Vec<(&str, usize, &str, &str)>> = vec![
+        vec![
+            ("chain:8", 4, "sb-lts", "off"),
+            ("fft:32", 8, "sb-rlx", "batched"),
+        ],
+        vec![
+            ("stencil2d:8x8", 8, "nonstreaming", "off"),
+            ("chain:8", 2, "sb-lts", "reference"),
+        ],
+        vec![
+            ("forkjoin:2x3", 4, "sb-lts", "batched"),
+            ("gauss:8", 16, "sb-rlx", "off"),
+        ],
+        vec![
+            ("spmv:64:0.05", 8, "sb-lts", "off"),
+            ("chol:4", 8, "nonstreaming", "both"),
+        ],
+    ];
+    let results: Vec<Vec<(PlanRequest, String)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = mixes
+            .iter()
+            .enumerate()
+            .map(|(c, mix)| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut got = Vec::new();
+                    for (i, &(workload, pes, scheduler, sim)) in mix.iter().enumerate() {
+                        let req = PlanRequest {
+                            id: (c * 100 + i) as u64,
+                            workload: workload.parse().unwrap(),
+                            seed: c as u64,
+                            pes,
+                            scheduler: scheduler.parse().unwrap(),
+                            sim: sim.parse().unwrap(),
+                        };
+                        client.send(&req.encode());
+                        let line = client.recv();
+                        got.push((req, line));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (req, line) in results.into_iter().flatten() {
+        assert_eq!(line, direct_engine_frame(&req), "request {}", req.encode());
+    }
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn overload_is_bounded_and_interleaved_clients_progress() {
+    // Two workers, queue bound 4, and a long artificial service time so
+    // the saturation point is reached deterministically.
+    let delay = Duration::from_millis(800);
+    let config = ServiceConfig {
+        eval_delay: delay,
+        ..ServiceConfig::default()
+    };
+    let daemon = start(config, 2, 4);
+    let addr = daemon.addr();
+    let plan = |id: u64, seed: u64| {
+        format!(r#"{{"id":{id},"workload":"chain:8","seed":{seed},"pes":2,"scheduler":"sb-lts"}}"#)
+    };
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+
+    // Phase 1: saturate both workers.
+    a.send(&plan(1, 0));
+    a.send(&plan(2, 1));
+    wait_until("both workers busy", Duration::from_secs(10), || {
+        let s = stats(addr).0;
+        s.in_flight() == 2 && s.queued() == 0
+    });
+    // Phase 2: fill the queue — two requests from each client.
+    a.send(&plan(3, 2));
+    a.send(&plan(4, 3));
+    b.send(&plan(5, 4));
+    b.send(&plan(6, 5));
+    wait_until("queue full", Duration::from_secs(10), || {
+        stats(addr).0.queued() == 4
+    });
+    // Phase 3: a burst of 44 more — every one must be rejected with a
+    // 503 frame (never buffered, never dropped).
+    for i in 0..44u64 {
+        let c = if i % 2 == 0 { &mut a } else { &mut b };
+        c.send(&plan(100 + i, i));
+    }
+
+    // Drain every response; classify by status. Client A expects
+    // 4 results + 22 rejections, client B 2 results + 22 rejections.
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    for (client, expect) in [(&mut a, 26), (&mut b, 24)] {
+        for _ in 0..expect {
+            match parse_response(&client.recv()).expect("frame parses") {
+                Response::Ok(_) => ok += 1,
+                Response::Error(e) => {
+                    assert_eq!(e.code, CODE_OVERLOADED, "{e:?}");
+                    rejected += 1;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+    assert_eq!((ok, rejected), (6, 44));
+
+    // The counters agree, and both interleaved clients made progress.
+    let snap = stats(addr).0;
+    assert_eq!(snap.accepted, 6);
+    assert_eq!(snap.rejected, 44);
+    assert_eq!(snap.completed, 6);
+    let per: BTreeMap<u64, _> = snap.per_client.iter().cloned().collect();
+    let progressed = per.values().filter(|c| c.completed > 0).count();
+    assert_eq!(progressed, 2, "both clients must complete work: {per:?}");
+    for c in per.values() {
+        assert_eq!(c.completed, c.accepted, "{per:?}");
+    }
+    daemon.shutdown();
+    daemon.wait();
+}
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stg-service-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_path_survives_daemon_restart_with_cache_dir() {
+    let dir = temp_cache_dir("warm");
+    let request =
+        r#"{"id":1,"workload":"fft:32","seed":2,"pes":16,"scheduler":"sb-lts","sim":"batched"}"#;
+    let config = || ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+
+    // Cold daemon: first request misses, second hits, bytes identical.
+    let daemon = start(config(), 2, 16);
+    let mut c = Client::connect(daemon.addr());
+    c.send(request);
+    let cold = c.recv();
+    let (_, store) = stats(daemon.addr());
+    assert_eq!((store.hits, store.misses), (0, 1));
+    c.send(request);
+    let warm = c.recv();
+    assert_eq!(cold, warm, "cache hits must be byte-identical");
+    let (_, store) = stats(daemon.addr());
+    assert_eq!((store.hits, store.misses), (1, 1));
+
+    // Graceful shutdown through the protocol.
+    c.send(r#"{"cmd":"shutdown","id":9}"#);
+    match parse_response(&c.recv()).expect("ack parses") {
+        Response::Done(d) => assert_eq!(d.id, 9),
+        other => panic!("unexpected shutdown ack {other:?}"),
+    }
+    daemon.wait();
+
+    // Restarted daemon, same cache dir: the very first request is warm —
+    // no re-scheduling (zero evaluation time recorded), identical bytes.
+    let daemon = start(config(), 2, 16);
+    let mut c = Client::connect(daemon.addr());
+    c.send(request);
+    let restarted = c.recv();
+    assert_eq!(restarted, cold, "disk cache must reproduce the bytes");
+    let (snap, store) = stats(daemon.addr());
+    assert_eq!((store.hits, store.misses), (1, 0));
+    assert_eq!(snap.eval_micros, 0, "warm requests never re-schedule");
+    daemon.shutdown();
+    daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_frames_answer_400_and_keep_the_connection() {
+    let daemon = start(ServiceConfig::default(), 2, 16);
+    let mut c = Client::connect(daemon.addr());
+    for bad in [
+        "garbage",
+        "{\"pes\":4}",
+        "[1,2,3]",
+        "{\"workload\":\"chain:8\",\"pes\":0,\"scheduler\":\"sb-lts\"}",
+    ] {
+        c.send(bad);
+        match parse_response(&c.recv()).expect("error frame parses") {
+            Response::Error(e) => assert_eq!(e.code, CODE_BAD_REQUEST, "{bad:?}"),
+            other => panic!("{bad:?} answered {other:?}"),
+        }
+    }
+    // An oversized line is discarded without buffering and answered too.
+    let huge = format!("{{\"workload\":\"{}\"}}", "x".repeat(80 * 1024));
+    c.send(&huge);
+    match parse_response(&c.recv()).expect("oversize frame parses") {
+        Response::Error(e) => {
+            assert_eq!(e.code, CODE_BAD_REQUEST);
+            assert!(e.error.contains("exceeds"), "{}", e.error);
+        }
+        other => panic!("oversize answered {other:?}"),
+    }
+    // The connection is still alive and serves real work.
+    c.send(r#"{"cmd":"ping","id":5}"#);
+    assert!(matches!(
+        parse_response(&c.recv()).unwrap(),
+        Response::Pong { id: 5 }
+    ));
+    let req = PlanRequest {
+        id: 6,
+        workload: "chain:8".parse().unwrap(),
+        seed: 0,
+        pes: 4,
+        scheduler: SchedulerKind::StreamingLts,
+        sim: "off".parse().unwrap(),
+    };
+    c.send(&req.encode());
+    assert_eq!(c.recv(), direct_engine_frame(&req));
+    assert_eq!(stats(daemon.addr()).0.malformed, 5);
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn sweep_requests_stream_records_over_tcp() {
+    let daemon = start(ServiceConfig::default(), 2, 16);
+    let mut c = Client::connect(daemon.addr());
+    let line = r#"{"id":3,"sweep":{"workloads":[{"workload":"chain:8","pes":[2,4]}],"graphs":1,"seed":0,"schedulers":["sb-lts","sb-rlx"]}}"#;
+    // The same spec through the engine directly.
+    let spec = match parse_request(line).expect("sweep parses") {
+        Request::Sweep(s) => s.spec,
+        other => panic!("not a sweep: {other:?}"),
+    };
+    let direct = spec.run();
+    c.send(line);
+    for run in &direct.runs {
+        match parse_response(&c.recv()).expect("record parses") {
+            Response::Record(r) => {
+                assert_eq!((r.id, r.index), (3, run.case.index));
+                assert_eq!(
+                    r.outcome,
+                    stg_experiments::store::encode_outcome(&run.outcome)
+                );
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+    }
+    match parse_response(&c.recv()).expect("done parses") {
+        Response::Done(d) => assert_eq!((d.cases, d.errors), (direct.runs.len(), 0)),
+        other => panic!("expected done, got {other:?}"),
+    }
+    daemon.shutdown();
+    daemon.wait();
+}
