@@ -1,0 +1,412 @@
+//! The raw-speed trajectory harness: engine-level before/after numbers
+//! for the sweep hot path, emitted as `BENCH_sweep.json`.
+//!
+//! Unlike the criterion micro-benches under `benches/`, this binary
+//! measures the *end-to-end* quantities the ROADMAP's raw-speed item is
+//! judged by, and writes them to a machine-readable trajectory file so
+//! this and future perf PRs carry comparable numbers:
+//!
+//! - **sweep throughput** (cells/s) on a large cold grid, three ways:
+//!   storeless (pure scheduling), cold `--cache-dir` (the disk-store
+//!   *write* path), and a warm rerun (the disk-store *read* path) — with
+//!   the cold/warm CSV byte-identity asserted, not assumed;
+//! - **cross-simulator equivalence** on a validated differential grid
+//!   (`--sim both`), asserting zero divergences;
+//! - **simulator throughput** (beats/s) for the per-beat reference vs the
+//!   beat-batched fast path on steady-state ratio chains — including the
+//!   `11:1` and `13:3` volume ratios whose periods the old fixed
+//!   `m · 2^k` candidate ladder (`m ∈ {1,3,5,7}`) could never leap — plus
+//!   the epoch-leap telemetry proving the general cycle detector fired.
+//!
+//! Wall-clock numbers are informational (they vary with the machine);
+//! the identity/divergence assertions are hard failures. CI runs
+//! `bench_speed --quick` and keeps the numbers as artifacts.
+//!
+//! ```sh
+//! cargo run --release -p stg_bench --bin bench_speed            # full
+//! cargo run --release -p stg_bench --bin bench_speed -- --quick
+//! cargo run --release -p stg_bench --bin bench_speed -- --cells 200000 --out BENCH_sweep.json
+//! ```
+
+use std::time::Instant;
+
+use stg_analysis::{schedule, Partition, Schedule};
+use stg_buffer::{buffer_sizes, BufferPlan, SizingPolicy};
+use stg_core::SchedulerKind;
+use stg_des::{simulate_kind, SimConfig, SimKind};
+use stg_experiments::engine::{SimChoice, WorkloadSpec};
+use stg_experiments::{ResultStore, SweepSpec};
+use stg_model::{Builder, CanonicalGraph};
+
+struct Opts {
+    quick: bool,
+    cells: u64,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        cells: 100_800,
+        out: "BENCH_sweep.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => opts.quick = true,
+            "--cells" => {
+                opts.cells = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--cells expects a number"))
+            }
+            "--out" => opts.out = it.next().unwrap_or_else(|| usage("--out expects a path")),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if opts.quick {
+        opts.cells = opts.cells.min(2_700);
+    }
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("bench_speed: {msg}\nusage: bench_speed [--quick] [--cells N] [--out PATH]");
+    std::process::exit(2);
+}
+
+// ---------------------------------------------------------------------------
+// simulator throughput on steady-state ratio chains
+// ---------------------------------------------------------------------------
+
+/// A three-stage pipeline whose middle task consumes `q` elements per
+/// batch of `p` emissions — volume ratio `q:p`, steady period `q` (one
+/// input beat per cycle). `reps` scales the stream length.
+fn ratio_chain(q: u64, p: u64, reps: u64) -> CanonicalGraph {
+    let mut b = Builder::new();
+    let t0 = b.compute("t0");
+    let t1 = b.compute("t1");
+    let t2 = b.compute("t2");
+    b.edge(t0, t1, q * reps);
+    b.edge(t1, t2, p * reps);
+    b.finish().expect("acyclic chain")
+}
+
+/// A plain element-wise chain: period-1 steady state, the best case for
+/// epoch leaping.
+fn elementwise_chain(tasks: usize, volume: u64) -> CanonicalGraph {
+    let mut b = Builder::new();
+    let t: Vec<_> = (0..tasks).map(|i| b.compute(format!("t{i}"))).collect();
+    b.chain(&t, volume);
+    b.finish().expect("acyclic chain")
+}
+
+struct SimScenario {
+    name: String,
+    g: CanonicalGraph,
+}
+
+fn sim_scenarios(quick: bool) -> Vec<SimScenario> {
+    let reps = if quick { 2_000 } else { 20_000 };
+    let mut out = vec![
+        SimScenario {
+            name: "chain8:1to1".into(),
+            g: elementwise_chain(8, if quick { 4_096 } else { 65_536 }),
+        },
+        SimScenario {
+            name: "ratio5:1".into(),
+            g: ratio_chain(5, 1, reps),
+        },
+        SimScenario {
+            name: "ratio11:1".into(),
+            g: ratio_chain(11, 1, reps),
+        },
+        SimScenario {
+            name: "ratio13:3".into(),
+            g: ratio_chain(13, 3, reps),
+        },
+    ];
+    if !quick {
+        out.push(SimScenario {
+            name: "ratio23:7".into(),
+            g: ratio_chain(23, 7, reps / 4),
+        });
+    }
+    out
+}
+
+struct SimMeasurement {
+    name: String,
+    beats: u64,
+    ref_beats_per_s: f64,
+    batched_beats_per_s: f64,
+    speedup: f64,
+    leaps: u64,
+    leaped_cycles: u64,
+    max_period: u64,
+}
+
+/// Times one simulator on a prepared scenario: median-of-iters seconds.
+fn time_kind(
+    kind: SimKind,
+    g: &CanonicalGraph,
+    s: &Schedule,
+    plan: &BufferPlan,
+    iters: usize,
+) -> f64 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = simulate_kind(kind, g, s, plan, SimConfig::default());
+        samples.push(t0.elapsed().as_secs_f64());
+        assert!(r.completed(), "bench scenario must complete");
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn measure_sims(quick: bool) -> Vec<SimMeasurement> {
+    let iters = if quick { 3 } else { 5 };
+    sim_scenarios(quick)
+        .into_iter()
+        .map(|sc| {
+            let s = schedule(&sc.g, &Partition::single_block(&sc.g)).expect("schedulable");
+            let plan = buffer_sizes(&sc.g, &s, SizingPolicy::Converging, 1);
+            let reference =
+                simulate_kind(SimKind::Reference, &sc.g, &s, &plan, SimConfig::default());
+            stg_des::take_leap_telemetry();
+            let batched = simulate_kind(SimKind::Batched, &sc.g, &s, &plan, SimConfig::default());
+            let leaps = stg_des::take_leap_telemetry();
+            assert_eq!(reference, batched, "{}: simulators diverged", sc.name);
+            assert!(
+                leaps.leaps > 0,
+                "{}: steady phase never leapt — the cycle detector regressed",
+                sc.name
+            );
+            let ref_s = time_kind(SimKind::Reference, &sc.g, &s, &plan, iters);
+            let bat_s = time_kind(SimKind::Batched, &sc.g, &s, &plan, iters);
+            let m = SimMeasurement {
+                name: sc.name,
+                beats: reference.beats,
+                ref_beats_per_s: reference.beats as f64 / ref_s,
+                batched_beats_per_s: reference.beats as f64 / bat_s,
+                speedup: ref_s / bat_s,
+                leaps: leaps.leaps,
+                leaped_cycles: leaps.leaped_cycles,
+                max_period: leaps.max_period,
+            };
+            eprintln!(
+                "sim {:12} beats {:>9}  ref {:>12.0} b/s  batched {:>12.0} b/s  speedup {:>6.1}x  \
+                 leaps {} ({} cycles, max period {})",
+                m.name,
+                m.beats,
+                m.ref_beats_per_s,
+                m.batched_beats_per_s,
+                m.speedup,
+                m.leaps,
+                m.leaped_cycles,
+                m.max_period
+            );
+            m
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// sweep throughput: storeless / cold store / warm store
+// ---------------------------------------------------------------------------
+
+struct SweepMeasurement {
+    cells: u64,
+    nostore_cells_per_s: f64,
+    cold_store_cells_per_s: f64,
+    warm_cells_per_s: f64,
+    byte_identical: bool,
+}
+
+/// The benchmark grid: `chain:8` across three machine sizes and the three
+/// core schedulers — 9 cells per seed, scaled to ~`cells` by the seed
+/// sweep. Scheduling dominated by small-graph churn, the regime where
+/// store IO overhead shows.
+fn bench_spec(cells: u64) -> SweepSpec {
+    let graphs = (cells / 9).max(1);
+    SweepSpec {
+        workloads: vec![WorkloadSpec {
+            workload: "chain:8".parse().expect("registered"),
+            pes: vec![2, 4, 8],
+        }],
+        graphs,
+        seed: 0xBE9C_5EED,
+        schedulers: vec![
+            SchedulerKind::StreamingLts,
+            SchedulerKind::StreamingRlx,
+            SchedulerKind::NonStreaming,
+        ],
+        validate: false,
+        sim: SimChoice::default(),
+        timing: false,
+        threads: None,
+    }
+}
+
+fn measure_sweep(cells: u64) -> SweepMeasurement {
+    let spec = bench_spec(cells);
+    let n = spec.cases().len() as u64;
+    let dir = std::env::temp_dir().join(format!("stg-bench-speed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let t0 = Instant::now();
+    let nostore = spec.run();
+    let nostore_s = t0.elapsed().as_secs_f64();
+    let nostore_csv = nostore.to_csv();
+
+    let store = ResultStore::at_dir(&dir).expect("bench cache dir");
+    let t0 = Instant::now();
+    let cold = spec.run_with(Some(&store));
+    let cold_s = t0.elapsed().as_secs_f64();
+    drop(store);
+
+    // A fresh store over the same directory: the cross-process warm path.
+    let store = ResultStore::at_dir(&dir).expect("bench cache dir");
+    let t0 = Instant::now();
+    let warm = spec.run_with(Some(&store));
+    let warm_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        warm.cell_cache.misses, 0,
+        "warm rerun must serve every cell from the store"
+    );
+
+    let byte_identical = cold.to_csv() == nostore_csv && warm.to_csv() == nostore_csv;
+    assert!(byte_identical, "store must never change sweep bytes");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let m = SweepMeasurement {
+        cells: n,
+        nostore_cells_per_s: n as f64 / nostore_s,
+        cold_store_cells_per_s: n as f64 / cold_s,
+        warm_cells_per_s: n as f64 / warm_s,
+        byte_identical,
+    };
+    eprintln!(
+        "sweep {} cells: storeless {:.0} cells/s  cold-store {:.0} cells/s  warm {:.0} cells/s",
+        m.cells, m.nostore_cells_per_s, m.cold_store_cells_per_s, m.warm_cells_per_s
+    );
+    m
+}
+
+/// The cross-simulator byte-diff: a validated differential grid must
+/// produce zero divergences and identical bytes under every `--sim`
+/// choice.
+fn check_sim_equivalence() -> u64 {
+    let mut spec = bench_spec(54);
+    spec.validate = true;
+    spec.sim = SimChoice::Both;
+    let both = spec.run();
+    let divergences = both.divergences() as u64;
+    let mut reference = spec.clone();
+    reference.sim = SimChoice::Reference;
+    assert_eq!(
+        both.to_csv(),
+        reference.run().to_csv(),
+        "--sim both and --sim reference must emit identical bytes"
+    );
+    assert_eq!(
+        divergences, 0,
+        "simulators diverged on the differential grid"
+    );
+    eprintln!(
+        "differential grid: {} validated cells, {divergences} divergences",
+        both.runs.len()
+    );
+    divergences
+}
+
+// ---------------------------------------------------------------------------
+// trajectory emission
+// ---------------------------------------------------------------------------
+
+/// Baseline numbers measured on this machine at the PR 6 tree (per-cell
+/// disk IO with one fsync per cell, sequential main-thread lookups, the
+/// 44-rung `m · 2^k` candidate ladder), recorded here so the trajectory
+/// file always carries the before/after pair. Wall-clocks are
+/// machine-relative; compare ratios, not absolutes. Notably, the old
+/// ladder made `BatchedSim` *slower* than the reference on the 11:1 and
+/// 13:3 ratio chains: it scanned 44 candidate periods every cycle without
+/// ever leaping (while 5:1, a ladder family, leapt at ~1520x).
+const BASELINE_JSON: &str = concat!(
+    "{\"pr\": 6, \"cells\": 100800, \"nostore_cells_per_s\": 63878.0, ",
+    "\"cold_store_cells_per_s\": 3143.0, \"warm_cells_per_s\": 100199.0, ",
+    "\"ratio5_batched_speedup\": 1520.0, ",
+    "\"ratio11_batched_speedup\": 0.56, \"ratio13_batched_speedup\": 0.39}"
+);
+
+fn f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn emit(
+    opts: &Opts,
+    sweep: &SweepMeasurement,
+    sims: &[SimMeasurement],
+    divergences: u64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if opts.quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!("  \"baseline\": {BASELINE_JSON},\n"));
+    out.push_str(&format!(
+        "  \"sweep\": {{\"cells\": {}, \"nostore_cells_per_s\": {}, \
+         \"cold_store_cells_per_s\": {}, \"warm_cells_per_s\": {}, \
+         \"byte_identical\": {}, \"divergences\": {}}},\n",
+        sweep.cells,
+        f(sweep.nostore_cells_per_s),
+        f(sweep.cold_store_cells_per_s),
+        f(sweep.warm_cells_per_s),
+        sweep.byte_identical,
+        divergences
+    ));
+    out.push_str("  \"sim\": [\n");
+    for (i, m) in sims.iter().enumerate() {
+        let comma = if i + 1 < sims.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"beats\": {}, \"ref_beats_per_s\": {}, \
+             \"batched_beats_per_s\": {}, \"speedup\": {}, \"leaps\": {}, \
+             \"leaped_cycles\": {}, \"max_period\": {}}}{comma}\n",
+            m.name,
+            m.beats,
+            f(m.ref_beats_per_s),
+            f(m.batched_beats_per_s),
+            f(m.speedup),
+            m.leaps,
+            m.leaped_cycles,
+            m.max_period
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let opts = parse_opts();
+    eprintln!(
+        "bench_speed: {} grid, {} target cells",
+        if opts.quick { "quick" } else { "full" },
+        opts.cells
+    );
+    let sims = measure_sims(opts.quick);
+    let divergences = check_sim_equivalence();
+    let sweep = measure_sweep(opts.cells);
+    let json = emit(&opts, &sweep, &sims, divergences);
+    std::fs::write(&opts.out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", opts.out);
+}

@@ -8,17 +8,23 @@
 //! steady-state streaming intervals into **batched epochs**:
 //!
 //! 1. While stepping cycle by cycle, it records an order-independent
-//!    signature of each cycle's committed beats and watches a fixed ladder
-//!    of candidate periods `P` for the signature sequence to repeat.
-//! 2. When the last `P` cycles match the `P` before them, it snapshots the
-//!    state and steps `P` further cycles normally. If no structural
-//!    boundary occurred (memory delivery, buffer-gate opening, task
-//!    completion, block activation) and the resulting state is a *uniform
-//!    shift* of the snapshot — identical FIFO occupancies and batch
-//!    phases, monotone counters advanced by fixed per-period deltas,
-//!    pending batches shifted by exactly `P` cycles — then by determinism
-//!    and time-translation invariance the next periods replay the recorded
-//!    one exactly.
+//!    signature of each cycle's committed beats and runs a **general
+//!    cycle detector** over the signature stream: the last occurrence of
+//!    the current signature and of the current signature *pair* (bigram)
+//!    each propose a candidate period `P` (their occurrence distance),
+//!    and an O(P) ring scan confirms that the last `P` cycles replay the
+//!    `P` before them. Any steady period up to [`MAX_PERIOD`] is
+//!    detected this way — not just the `m · 2^k` family a fixed
+//!    candidate ladder can enumerate.
+//! 2. When a period is confirmed, it snapshots the state into a reused
+//!    struct-of-arrays arena and steps `P` further cycles normally. If no
+//!    structural boundary occurred (memory delivery, buffer-gate opening,
+//!    task completion, block activation) and the resulting state is a
+//!    *uniform shift* of the snapshot — identical FIFO occupancies and
+//!    batch phases, monotone counters advanced by fixed per-period
+//!    deltas, pending batches shifted by exactly `P` cycles — then by
+//!    determinism and time-translation invariance the next periods replay
+//!    the recorded one exactly.
 //! 3. It advances the clock by `n · P` cycles in O(processes + edges),
 //!    where `n` is the largest period count for which every monotone
 //!    counter keeps a safety margin: consume/emit counts stay positive
@@ -28,47 +34,87 @@
 //!    or block boundaries are therefore always executed by per-beat
 //!    stepping — only provably-replaying steady intervals are skipped.
 //!
-//! The epoch leap is exact, not approximate: the differential proptest
-//! suite and the golden-snapshot sweep fixture assert bit-identical
-//! results (makespan, first-out/completion/busy times, beat counts, and
-//! peak FIFO occupancies) against [`crate::ReferenceSim`] across every
-//! registered workload × scheduler cell.
+//! The epoch leap is exact, not approximate: a wrong or non-minimal
+//! proposal is rejected by the ring scan and the uniform-shift
+//! verification, costing time but never exactness, and leaping a
+//! *multiple* of the true period is still a uniform shift. (A steady
+//! state whose signature stream repeats no unigram or bigram at
+//! period distance — possible only for contrived de-Bruijn-like beat
+//! patterns — simply never leaps and runs per-beat.) The differential
+//! proptest suite and the golden-snapshot sweep fixture assert
+//! bit-identical results (makespan, first-out/completion/busy times,
+//! beat counts, and peak FIFO occupancies) against [`crate::ReferenceSim`]
+//! across every registered workload × scheduler cell.
+//!
+//! All working storage — wake buckets, detector ring and occurrence
+//! maps, and the snapshot arena — lives in a thread-local [`Scratch`]
+//! reused across simulations, so sweeping millions of small cells does
+//! not pay a per-simulation allocation storm.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 
 use stg_analysis::Schedule;
 use stg_graph::EdgeId;
 use stg_model::CanonicalGraph;
 
-use crate::sim::{Chan, SimConfig, SimFailure, SimResult, SimState, Simulator, Waker};
+use crate::sim::{mix, Chan, SimConfig, SimFailure, SimResult, SimState, Simulator, Waker};
 use crate::SimKind;
 
 /// The beat-batched simulator: per-cycle work buckets plus steady-state
 /// epoch leaping. Produces bit-identical results to [`crate::ReferenceSim`].
 pub struct BatchedSim;
 
-/// Candidate steady-state periods, ascending. Production rates in lowest
-/// terms are small, so real steady states have periods of the form
-/// `m · 2^k` for a small odd `m`; the ladder covers `m ∈ {1, 3, 5, 7}`
-/// up to 4096 cycles — the `5 · 2^k` / `7 · 2^k` rungs pick up workloads
-/// whose volume ratios carry a factor of 5 or 7 (e.g. 5:1 downsampling
-/// stages), which previously fell back to per-beat stepping for their
-/// whole steady phase. A period outside the ladder is never leaped — the
-/// simulation stays on the (still heap-free) per-beat path, which only
-/// costs time, never exactness.
-const CANDIDATES: [u64; 44] = [
-    1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48, 56, 64, 80, 96, 112, 128, 160,
-    192, 224, 256, 320, 384, 448, 512, 640, 768, 896, 1024, 1280, 1536, 1792, 2048, 2560, 3072,
-    3584, 4096,
-];
+/// Signature ring capacity. A period-`P` confirmation scan reads `2 · P`
+/// trailing entries, so the ring must hold at least `2 · MAX_PERIOD`
+/// live cycles.
+const RING: usize = 16384;
 
-/// Signature ring capacity; must strictly exceed the largest candidate
-/// period (an entry written `P` cycles ago is only overwritten after
-/// `RING` further cycles, so `RING > P` keeps every comparison valid).
-const RING: usize = 8192;
+/// The largest steady period the detector will confirm and leap.
+/// Longer periods fall back to per-beat stepping (which only costs
+/// time, never exactness).
+const MAX_PERIOD: u64 = 8191;
+
+/// Occurrence-map size bound: the signature and bigram maps are cleared
+/// when they outgrow this, so pathological non-repeating workloads
+/// cannot grow them without bound. Clearing only forgets proposal
+/// opportunities — never correctness.
+const MAP_CAP: usize = 32_768;
+
+/// Cumulative epoch-leap telemetry for the current thread, accumulated
+/// across [`BatchedSim`] runs until collected with
+/// [`take_leap_telemetry`]. A pure observability side channel for
+/// benches and tests: it never feeds back into simulation results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LeapStats {
+    /// Successful epoch leaps applied.
+    pub leaps: u64,
+    /// Total simulated cycles skipped by leaping (`Σ n · P`).
+    pub leaped_cycles: u64,
+    /// The largest single period `P` ever leaped.
+    pub max_period: u64,
+}
+
+thread_local! {
+    static TELEMETRY: Cell<LeapStats> = const {
+        Cell::new(LeapStats {
+            leaps: 0,
+            leaped_cycles: 0,
+            max_period: 0,
+        })
+    };
+}
+
+/// Returns and resets this thread's accumulated [`LeapStats`].
+pub fn take_leap_telemetry() -> LeapStats {
+    TELEMETRY.with(|t| t.replace(LeapStats::default()))
+}
 
 /// The two-bucket wake queue: `cur` is drained to the per-cycle cascade
 /// fixpoint (appends during the drain re-attempt processes within the same
 /// cycle), `nxt` seeds the following cycle. Membership flags keep every
-/// process at most once per bucket.
+/// process at most once per bucket. The flat vectors are reused across
+/// simulations via [`Scratch`].
 struct Buckets {
     /// The cycle `cur` belongs to.
     t: u64,
@@ -83,16 +129,30 @@ struct Buckets {
 }
 
 impl Buckets {
-    fn new(n_procs: usize) -> Buckets {
+    fn new() -> Buckets {
         Buckets {
             t: 0,
-            cur: Vec::with_capacity(n_procs),
-            nxt: Vec::with_capacity(n_procs),
-            in_cur: vec![false; n_procs],
-            in_nxt: vec![false; n_procs],
+            cur: Vec::new(),
+            nxt: Vec::new(),
+            in_cur: Vec::new(),
+            in_nxt: Vec::new(),
             head: 0,
             far: std::collections::BinaryHeap::new(),
         }
+    }
+
+    /// Prepares the reused buffers for a fresh simulation of `n_procs`
+    /// processes.
+    fn reset(&mut self, n_procs: usize) {
+        self.t = 0;
+        self.head = 0;
+        self.cur.clear();
+        self.nxt.clear();
+        self.in_cur.clear();
+        self.in_cur.resize(n_procs, false);
+        self.in_nxt.clear();
+        self.in_nxt.resize(n_procs, false);
+        self.far.clear();
     }
 
     fn idle(&self) -> bool {
@@ -150,80 +210,130 @@ impl Waker for Buckets {
     }
 }
 
-struct ProcSnap {
-    to_consume: u64,
-    to_emit: u64,
-    in_batch: u64,
-    last_in: u64,
-    last_out: u64,
-    busy: u64,
-    pending: Vec<(u64, u64)>,
-}
+/// Per-process snapshot field offsets into [`SnapArena::proc`].
+const SP_TO_CONSUME: usize = 0;
+const SP_TO_EMIT: usize = 1;
+const SP_IN_BATCH: usize = 2;
+const SP_LAST_IN: usize = 3;
+const SP_LAST_OUT: usize = 4;
+const SP_BUSY: usize = 5;
+const SP_STRIDE: usize = 6;
 
-struct EdgeSnap {
-    len: u64,
-    popped: u64,
-    pushed: u64,
-}
+/// Per-edge snapshot field offsets into [`SnapArena::edge`].
+const SE_LEN: usize = 0;
+const SE_POPPED: usize = 1;
+const SE_PUSHED: usize = 2;
+const SE_STRIDE: usize = 3;
 
-/// State captured when a candidate period starts verification.
-struct Snapshot {
+/// The verification-window snapshot as flat struct-of-arrays storage,
+/// reused across windows and simulations. One snapshot is live at a
+/// time (the open [`PendingVerify`] window owns it), so taking a new
+/// one simply overwrites the arena — no per-snapshot `Vec<ProcSnap>` /
+/// per-process `pending` clones.
+struct SnapArena {
     t: u64,
     beats: u64,
-    boundaries: u64,
-    procs: Vec<ProcSnap>,
-    edges: Vec<EdgeSnap>,
+    /// Monotone process counters, [`SP_STRIDE`] words per process.
+    proc: Vec<u64>,
+    /// All processes' pending batches, flattened; process `i` owns
+    /// `pending[pending_off[i]..pending_off[i + 1]]`.
+    pending: Vec<(u64, u64)>,
+    pending_off: Vec<u32>,
+    /// Edge occupancy/counter words, [`SE_STRIDE`] words per edge.
+    edge: Vec<u64>,
 }
 
-impl Snapshot {
-    fn take(state: &SimState<'_>, t: u64) -> Snapshot {
-        Snapshot {
-            t,
-            beats: state.beats,
-            boundaries: state.boundaries,
-            procs: state
-                .procs
-                .iter()
-                .map(|p| ProcSnap {
-                    to_consume: p.to_consume,
-                    to_emit: p.to_emit,
-                    in_batch: p.in_batch,
-                    last_in: p.last_in,
-                    last_out: p.last_out,
-                    busy: p.busy,
-                    pending: p.pending.iter().copied().collect(),
-                })
-                .collect(),
-            edges: state
-                .edges
-                .iter()
-                .map(|e| EdgeSnap {
-                    len: e.len,
-                    popped: e.popped,
-                    pushed: e.pushed,
-                })
-                .collect(),
+impl SnapArena {
+    fn new() -> SnapArena {
+        SnapArena {
+            t: 0,
+            beats: 0,
+            proc: Vec::new(),
+            pending: Vec::new(),
+            pending_off: Vec::new(),
+            edge: Vec::new(),
         }
+    }
+
+    /// Overwrites the arena with the current state at cycle `t`.
+    fn take(&mut self, state: &SimState<'_>, t: u64) {
+        self.t = t;
+        self.beats = state.beats;
+        self.proc.clear();
+        self.pending.clear();
+        self.pending_off.clear();
+        self.edge.clear();
+        self.pending_off.push(0);
+        for p in &state.procs {
+            self.proc.extend_from_slice(&[
+                p.to_consume,
+                p.to_emit,
+                p.in_batch,
+                p.last_in,
+                p.last_out,
+                p.busy,
+            ]);
+            self.pending.extend(p.pending.iter().copied());
+            self.pending_off.push(self.pending.len() as u32);
+        }
+        for e in &state.edges {
+            self.edge.extend_from_slice(&[e.len, e.popped, e.pushed]);
+        }
+    }
+
+    #[inline]
+    fn proc_fields(&self, i: usize) -> &[u64] {
+        &self.proc[i * SP_STRIDE..(i + 1) * SP_STRIDE]
+    }
+
+    #[inline]
+    fn proc_pending(&self, i: usize) -> &[(u64, u64)] {
+        &self.pending[self.pending_off[i] as usize..self.pending_off[i + 1] as usize]
+    }
+
+    #[inline]
+    fn edge_fields(&self, i: usize) -> &[u64] {
+        &self.edge[i * SE_STRIDE..(i + 1) * SE_STRIDE]
     }
 }
 
-/// An in-flight verification window for one candidate period.
+/// An in-flight verification window for one confirmed candidate period.
 struct PendingVerify {
-    cand: usize,
+    period: u64,
+    /// Executed-cycle count at which the window opened (the snapshot
+    /// cycle). Any structural boundary after this cycle dirties the
+    /// window.
+    opened: u64,
     /// Executed-cycle count at which the window closes.
     target: u64,
-    /// `match_count[cand]` when the window opened; the window is clean if
-    /// it grew by a full period (every cycle kept matching).
-    match_base: u64,
-    snap: Snapshot,
 }
 
-/// Period detection state: per-cycle signatures and per-candidate match
-/// runs.
+/// General steady-period detection over the per-cycle signature stream.
+///
+/// Candidate periods are *proposed* by occurrence distance — how long
+/// ago the current signature, and the current `(previous, current)`
+/// signature bigram, last occurred — and *confirmed* by an O(P) ring
+/// scan showing the last `P` cycles replay the `P` before them. Bigram
+/// proposals are what make the detector general: in a period-`P` steady
+/// state where every signature value repeats *within* the period (e.g.
+/// the stream `A A B B …` with period 4), unigram distances never equal
+/// `P`, but some bigram occurs exactly once per period and its distance
+/// is exactly `P`.
 struct Detector {
+    /// Trailing signatures, indexed by executed cycle modulo [`RING`].
+    /// Never cleared between runs: every scan is guarded by
+    /// `cycles >= 2 · P`, so it only reads entries written by the
+    /// current run.
     ring: Vec<u64>,
-    match_count: [u64; CANDIDATES.len()],
-    cooldown: [u64; CANDIDATES.len()],
+    /// Executed cycle at which each signature value was last seen.
+    last_seen: HashMap<u64, u64>,
+    /// Executed cycle at which each signature bigram was last seen.
+    last_pair: HashMap<u64, u64>,
+    /// Per-period earliest executed cycle at which it may trigger again.
+    cooldown: HashMap<u64, u64>,
+    prev_sig: u64,
+    /// Most recent executed cycle with a structural boundary.
+    last_boundary: u64,
     pending: Option<PendingVerify>,
 }
 
@@ -231,39 +341,104 @@ impl Detector {
     fn new() -> Detector {
         Detector {
             ring: vec![0; RING],
-            match_count: [0; CANDIDATES.len()],
-            cooldown: [0; CANDIDATES.len()],
+            last_seen: HashMap::new(),
+            last_pair: HashMap::new(),
+            cooldown: HashMap::new(),
+            prev_sig: 0,
+            last_boundary: 0,
             pending: None,
         }
     }
 
-    /// Records cycle `cycles`'s signature and updates the match runs.
-    /// `boundary` marks a structural event (delivery / gate / completion /
-    /// activation), which breaks every candidate run.
-    fn observe(&mut self, cycles: u64, sig: u64, boundary: bool) {
-        self.ring[(cycles % RING as u64) as usize] = sig;
-        if boundary {
-            self.match_count = [0; CANDIDATES.len()];
-            return;
-        }
-        for (i, &p) in CANDIDATES.iter().enumerate() {
-            if cycles > p && self.ring[((cycles - p) % RING as u64) as usize] == sig {
-                self.match_count[i] += 1;
-            } else {
-                self.match_count[i] = 0;
-            }
-        }
+    /// Prepares the detector for a fresh simulation. The occurrence and
+    /// cooldown maps store absolute executed-cycle counts, which restart
+    /// at zero — stale entries would propose nonsense (or underflow), so
+    /// they are cleared; the ring needs no clearing (see [`Self::ring`]).
+    fn reset(&mut self) {
+        self.last_seen.clear();
+        self.last_pair.clear();
+        self.cooldown.clear();
+        self.prev_sig = 0;
+        self.last_boundary = 0;
+        self.pending = None;
     }
 
-    /// The smallest candidate whose last full period matched the one
-    /// before it and whose cooldown has expired.
-    fn trigger(&self, cycles: u64) -> Option<usize> {
-        CANDIDATES
-            .iter()
-            .enumerate()
-            .find(|&(i, &p)| self.match_count[i] >= p && cycles >= self.cooldown[i])
-            .map(|(i, _)| i)
+    /// Records cycle `cycles`'s signature and returns up to two proposed
+    /// candidate periods (unigram and bigram occurrence distances),
+    /// smallest first.
+    fn observe(&mut self, cycles: u64, sig: u64, boundary: bool) -> [Option<u64>; 2] {
+        self.ring[(cycles % RING as u64) as usize] = sig;
+        if boundary {
+            self.last_boundary = cycles;
+        }
+        let mut props = [None, None];
+        if self.last_seen.len() >= MAP_CAP {
+            self.last_seen.clear();
+        }
+        if let Some(last) = self.last_seen.insert(sig, cycles) {
+            let p = cycles - last;
+            if p <= MAX_PERIOD {
+                props[0] = Some(p);
+            }
+        }
+        if cycles > 1 {
+            if self.last_pair.len() >= MAP_CAP {
+                self.last_pair.clear();
+            }
+            let pair = mix(self.prev_sig ^ mix(sig));
+            if let Some(last) = self.last_pair.insert(pair, cycles) {
+                let p = cycles - last;
+                if p <= MAX_PERIOD && props[0] != Some(p) {
+                    props[1] = Some(p);
+                }
+            }
+        }
+        self.prev_sig = sig;
+        if let (Some(a), Some(b)) = (props[0], props[1]) {
+            if b < a {
+                props.swap(0, 1);
+            }
+        }
+        props
     }
+
+    /// True if the `p` cycles ending at `cycles` replay the `p` cycles
+    /// before them. O(p), early exit on the first mismatch.
+    fn periodic(&self, cycles: u64, p: u64) -> bool {
+        debug_assert!(cycles >= 2 * p, "scan would read unwritten ring entries");
+        (0..p).all(|i| {
+            self.ring[((cycles - i) % RING as u64) as usize]
+                == self.ring[((cycles - p - i) % RING as u64) as usize]
+        })
+    }
+
+    /// Whether proposed period `p` is confirmed at `cycles`: in range,
+    /// enough boundary-free history, not cooling down, and the ring scan
+    /// shows a full repeated period.
+    fn confirmed(&self, cycles: u64, p: u64) -> bool {
+        (1..=MAX_PERIOD).contains(&p)
+            && cycles >= 2 * p
+            && self.last_boundary + p <= cycles
+            && self.cooldown.get(&p).is_none_or(|&until| cycles >= until)
+            && self.periodic(cycles, p)
+    }
+}
+
+/// All reusable working storage for one thread's [`BatchedSim`] runs.
+/// The fields are disjoint so the driver can borrow the buckets (as the
+/// [`Waker`]) independently of the detector and the snapshot arena.
+struct Scratch {
+    buckets: Buckets,
+    detector: Detector,
+    snap: SnapArena,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch {
+        buckets: Buckets::new(),
+        detector: Detector::new(),
+        snap: SnapArena::new(),
+    });
 }
 
 impl Simulator for BatchedSim {
@@ -278,77 +453,110 @@ impl Simulator for BatchedSim {
         capacity_of: &dyn Fn(EdgeId) -> Option<u64>,
         config: SimConfig,
     ) -> SimResult {
-        // Build-time wakes (block-0 activation) all target cycle 1.
-        struct Seed(Vec<(u32, u64)>);
-        impl Waker for Seed {
-            fn wake(&mut self, pid: u32, time: u64) {
-                self.0.push((pid, time));
-            }
-        }
-        let mut seed = Seed(Vec::new());
-        let mut state = SimState::build(g, schedule, capacity_of, config, &mut seed);
-        let mut buckets = Buckets::new(state.procs.len());
-        for (pid, time) in seed.0 {
-            buckets.wake(pid, time);
-        }
-
-        let mut detector = Detector::new();
-        let mut cycles = 0u64; // executed (non-leaped) cycles
-        let mut last_event_t = 0u64;
-        while !buckets.idle() {
-            buckets.advance();
-            let t = buckets.t;
-            if t > state.config.max_time {
-                state.end_cycle();
-                return state.finish(last_event_t, Some(SimFailure::TimeLimit));
-            }
-            if buckets.head < buckets.cur.len() {
-                last_event_t = t;
-            }
-            // Drain the cycle to its cascade fixpoint.
-            let boundaries_before = state.boundaries;
-            while buckets.head < buckets.cur.len() {
-                let pid = buckets.cur[buckets.head];
-                buckets.head += 1;
-                buckets.in_cur[pid as usize] = false;
-                if !state.procs[pid as usize].done {
-                    state.step(pid, t, &mut buckets);
-                }
-            }
-            let sig = state.end_cycle();
-            cycles += 1;
-            detector.observe(cycles, sig, state.boundaries != boundaries_before);
-
-            // Close a verification window.
-            if let Some(p) = &detector.pending {
-                if cycles >= p.target {
-                    let pending = detector.pending.take().expect("checked");
-                    let period = CANDIDATES[pending.cand];
-                    let clean = state.boundaries == pending.snap.boundaries
-                        && detector.match_count[pending.cand] >= pending.match_base + period;
-                    let leaped = clean && try_leap(&mut state, &pending.snap, period, &mut buckets);
-                    if leaped {
-                        last_event_t = buckets.t;
-                    }
-                    detector.cooldown[pending.cand] =
-                        if leaped { cycles } else { cycles + 4 * period };
-                }
-            }
-            // Open a verification window.
-            if detector.pending.is_none() {
-                if let Some(cand) = detector.trigger(cycles) {
-                    detector.pending = Some(PendingVerify {
-                        cand,
-                        target: cycles + CANDIDATES[cand],
-                        match_base: detector.match_count[cand],
-                        snap: Snapshot::take(&state, buckets.t),
-                    });
-                }
-            }
-        }
-        let (makespan, failure) = state.final_outcome();
-        state.finish(makespan, failure)
+        // Simulations never nest (nothing below this frame re-enters the
+        // simulator), so the thread-local borrow spans the whole run.
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let Scratch {
+                buckets,
+                detector,
+                snap,
+            } = &mut *scratch;
+            run(g, schedule, capacity_of, config, buckets, detector, snap)
+        })
     }
+}
+
+fn run(
+    g: &CanonicalGraph,
+    schedule: &Schedule,
+    capacity_of: &dyn Fn(EdgeId) -> Option<u64>,
+    config: SimConfig,
+    buckets: &mut Buckets,
+    detector: &mut Detector,
+    snap: &mut SnapArena,
+) -> SimResult {
+    // Build-time wakes (block-0 activation) all target cycle 1.
+    struct Seed(Vec<(u32, u64)>);
+    impl Waker for Seed {
+        fn wake(&mut self, pid: u32, time: u64) {
+            self.0.push((pid, time));
+        }
+    }
+    let mut seed = Seed(Vec::new());
+    let mut state = SimState::build(g, schedule, capacity_of, config, &mut seed);
+    buckets.reset(state.procs.len());
+    detector.reset();
+    for (pid, time) in seed.0 {
+        buckets.wake(pid, time);
+    }
+
+    let mut cycles = 0u64; // executed (non-leaped) cycles
+    let mut last_event_t = 0u64;
+    while !buckets.idle() {
+        buckets.advance();
+        let t = buckets.t;
+        if t > state.config.max_time {
+            state.end_cycle();
+            return state.finish(last_event_t, Some(SimFailure::TimeLimit));
+        }
+        if buckets.head < buckets.cur.len() {
+            last_event_t = t;
+        }
+        // Drain the cycle to its cascade fixpoint.
+        let boundaries_before = state.boundaries;
+        while buckets.head < buckets.cur.len() {
+            let pid = buckets.cur[buckets.head];
+            buckets.head += 1;
+            buckets.in_cur[pid as usize] = false;
+            if !state.procs[pid as usize].done {
+                state.step(pid, t, buckets);
+            }
+        }
+        let sig = state.end_cycle();
+        cycles += 1;
+        let proposals = detector.observe(cycles, sig, state.boundaries != boundaries_before);
+
+        // Close a verification window: the window is clean if no
+        // structural boundary occurred since it opened and the ring scan
+        // still shows a full repeated period (i.e. every window cycle
+        // replayed its counterpart one period back).
+        if let Some(pv) = &detector.pending {
+            if cycles >= pv.target {
+                let pv = detector.pending.take().expect("checked");
+                let clean =
+                    detector.last_boundary <= pv.opened && detector.periodic(cycles, pv.period);
+                let leaped = clean && try_leap(&mut state, snap, pv.period, buckets);
+                if leaped {
+                    last_event_t = buckets.t;
+                }
+                detector.cooldown.insert(
+                    pv.period,
+                    if leaped {
+                        cycles
+                    } else {
+                        cycles + 4 * pv.period
+                    },
+                );
+            }
+        }
+        // Open a verification window on the smallest confirmed proposal.
+        if detector.pending.is_none() {
+            for p in proposals.into_iter().flatten() {
+                if detector.confirmed(cycles, p) {
+                    detector.pending = Some(PendingVerify {
+                        period: p,
+                        opened: cycles,
+                        target: cycles + p,
+                    });
+                    snap.take(&state, buckets.t);
+                    break;
+                }
+            }
+        }
+    }
+    let (makespan, failure) = state.final_outcome();
+    state.finish(makespan, failure)
 }
 
 /// Period bound from a draining consume/emit counter: after `n` periods
@@ -372,9 +580,15 @@ fn push_margin(volume: u64, pushed: u64, delta: u64) -> Option<u64> {
 }
 
 /// Verifies that the state after the verification window is a uniform
-/// shift of `snap` and, if so, applies as many whole periods as the
-/// safety margins allow. Returns true if at least one period was leaped.
-fn try_leap(state: &mut SimState<'_>, snap: &Snapshot, period: u64, buckets: &mut Buckets) -> bool {
+/// shift of the snapshot in `snap` and, if so, applies as many whole
+/// periods as the safety margins allow. Returns true if at least one
+/// period was leaped.
+fn try_leap(
+    state: &mut SimState<'_>,
+    snap: &SnapArena,
+    period: u64,
+    buckets: &mut Buckets,
+) -> bool {
     let t = buckets.t;
     // An idle window (no beats) can never repeat — the engine only
     // re-wakes processes that progressed.
@@ -386,12 +600,14 @@ fn try_leap(state: &mut SimState<'_>, snap: &Snapshot, period: u64, buckets: &mu
     let mut n: u64 = (state.config.max_time - t) / period;
 
     // Per-process shift verification and margin bounds.
-    for (pr, ps) in state.procs.iter().zip(&snap.procs) {
-        if pr.in_batch != ps.in_batch {
+    for (i, pr) in state.procs.iter().enumerate() {
+        let f = snap.proc_fields(i);
+        let sp = snap.proc_pending(i);
+        if pr.in_batch != f[SP_IN_BATCH] {
             return false;
         }
-        let dc = ps.to_consume - pr.to_consume;
-        let de = ps.to_emit - pr.to_emit;
+        let dc = f[SP_TO_CONSUME] - pr.to_consume;
+        let de = f[SP_TO_EMIT] - pr.to_emit;
         // A counter must keep at least one period's margin: hitting zero
         // flips the completion branch, which must run per-beat.
         match consume_margin(pr.to_consume, dc) {
@@ -404,14 +620,14 @@ fn try_leap(state: &mut SimState<'_>, snap: &Snapshot, period: u64, buckets: &mu
         }
         // Last-beat cycles must have shifted with the window (active) or
         // stayed put (idle process).
-        if pr.last_in != ps.last_in && pr.last_in != ps.last_in + period {
+        if pr.last_in != f[SP_LAST_IN] && pr.last_in != f[SP_LAST_IN] + period {
             return false;
         }
-        if pr.last_out != ps.last_out && pr.last_out != ps.last_out + period {
+        if pr.last_out != f[SP_LAST_OUT] && pr.last_out != f[SP_LAST_OUT] + period {
             return false;
         }
         // Pending batches must be isomorphic modulo the time shift.
-        if pr.pending.len() != ps.pending.len() {
+        if pr.pending.len() != sp.len() {
             return false;
         }
         if pr.q == 0 {
@@ -419,14 +635,14 @@ fn try_leap(state: &mut SimState<'_>, snap: &Snapshot, period: u64, buckets: &mu
             // count mirrors `to_emit` (bounded above) and its ready time
             // is fixed in the past.
             if let (Some(&(ready, count)), Some(&(s_ready, s_count))) =
-                (pr.pending.front(), ps.pending.first())
+                (pr.pending.front(), sp.first())
             {
                 if ready != s_ready || ready > snap.t || s_count - count != de {
                     return false;
                 }
             }
         } else {
-            for (&(ready, count), &(s_ready, s_count)) in pr.pending.iter().zip(&ps.pending) {
+            for (&(ready, count), &(s_ready, s_count)) in pr.pending.iter().zip(sp) {
                 if count != s_count {
                     return false;
                 }
@@ -440,14 +656,15 @@ fn try_leap(state: &mut SimState<'_>, snap: &Snapshot, period: u64, buckets: &mu
     }
 
     // Per-edge shift verification and margin bounds.
-    for (es, esn) in state.edges.iter().zip(&snap.edges) {
+    for (i, es) in state.edges.iter().enumerate() {
+        let f = snap.edge_fields(i);
         // Steady state means zero FIFO drift: any accumulation or
         // drain-down is a transient that must run per-beat.
-        if es.len != esn.len {
+        if es.len != f[SE_LEN] {
             return false;
         }
-        let dpop = es.popped - esn.popped;
-        let dpush = es.pushed - esn.pushed;
+        let dpop = es.popped - f[SE_POPPED];
+        let dpush = es.pushed - f[SE_PUSHED];
         match es.kind {
             Chan::Fifo { .. } => {}
             Chan::Gated => {
@@ -475,17 +692,19 @@ fn try_leap(state: &mut SimState<'_>, snap: &Snapshot, period: u64, buckets: &mu
 
     // Apply `n` whole periods in O(processes + edges).
     let period_beats = state.beats - snap.beats;
-    for (pr, ps) in state.procs.iter_mut().zip(&snap.procs) {
-        let dc = ps.to_consume - pr.to_consume;
-        let de = ps.to_emit - pr.to_emit;
-        let dbusy = pr.busy - ps.busy;
+    for (i, pr) in state.procs.iter_mut().enumerate() {
+        let f = &snap.proc[i * SP_STRIDE..(i + 1) * SP_STRIDE];
+        let sp = &snap.pending[snap.pending_off[i] as usize..snap.pending_off[i + 1] as usize];
+        let dc = f[SP_TO_CONSUME] - pr.to_consume;
+        let de = f[SP_TO_EMIT] - pr.to_emit;
+        let dbusy = pr.busy - f[SP_BUSY];
         pr.to_consume -= n * dc;
         pr.to_emit -= n * de;
         pr.busy += n * dbusy;
-        if pr.last_in == ps.last_in + period {
+        if pr.last_in == f[SP_LAST_IN] + period {
             pr.last_in += n * period;
         }
-        if pr.last_out == ps.last_out + period {
+        if pr.last_out == f[SP_LAST_OUT] + period {
             pr.last_out += n * period;
         }
         if pr.q == 0 {
@@ -493,46 +712,135 @@ fn try_leap(state: &mut SimState<'_>, snap: &Snapshot, period: u64, buckets: &mu
                 front.1 -= n * de;
             }
         } else {
-            for ((ready, _), &(s_ready, _)) in pr.pending.iter_mut().zip(&ps.pending) {
+            for ((ready, _), &(s_ready, _)) in pr.pending.iter_mut().zip(sp) {
                 if *ready == s_ready + period {
                     *ready += n * period;
                 }
             }
         }
     }
-    for (es, esn) in state.edges.iter_mut().zip(&snap.edges) {
-        es.popped += n * (es.popped - esn.popped);
-        es.pushed += n * (es.pushed - esn.pushed);
+    for (i, es) in state.edges.iter_mut().enumerate() {
+        let f = &snap.edge[i * SE_STRIDE..(i + 1) * SE_STRIDE];
+        es.popped += n * (es.popped - f[SE_POPPED]);
+        es.pushed += n * (es.pushed - f[SE_PUSHED]);
     }
     state.beats += n * period_beats;
     buckets.leap(n * period);
+    TELEMETRY.with(|tl| {
+        let mut s = tl.get();
+        s.leaps += 1;
+        s.leaped_cycles += n * period;
+        s.max_period = s.max_period.max(period);
+        tl.set(s);
+    });
     true
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{CANDIDATES, RING};
+    use super::{take_leap_telemetry, MAP_CAP, MAX_PERIOD, RING};
+    use crate::{simulate_kind, SimConfig, SimKind};
+    use stg_analysis::{schedule, Partition};
+    use stg_buffer::{buffer_sizes, SizingPolicy};
+    use stg_model::{Builder, CanonicalGraph};
 
-    /// The ladder is exactly `m · 2^k` for `m ∈ {1, 3, 5, 7}` up to 4096,
-    /// strictly ascending (the trigger scan picks the *smallest* matching
-    /// period, so order is semantic), and within the signature ring.
     #[test]
-    fn candidate_ladder_covers_small_odd_multiples_of_powers_of_two() {
-        let mut expected: Vec<u64> = Vec::new();
-        for m in [1u64, 3, 5, 7] {
-            let mut p = m;
-            while p <= 4096 {
-                expected.push(p);
-                p *= 2;
-            }
+    fn ring_holds_two_full_periods() {
+        // A confirmation scan reads 2·P trailing entries, all of which
+        // must still be live in the ring.
+        assert!(2 * MAX_PERIOD < RING as u64);
+        assert!(MAP_CAP > 2 * MAX_PERIOD as usize);
+    }
+
+    /// A three-stage pipeline whose middle task consumes `q` elements
+    /// per batch of `p` emissions — volume ratio `q:p`, steady period
+    /// determined by the `q`-cycle consume run.
+    fn ratio_chain(q: u64, p: u64, reps: u64) -> CanonicalGraph {
+        let mut b = Builder::new();
+        let t0 = b.compute("t0");
+        let t1 = b.compute("t1");
+        let t2 = b.compute("t2");
+        b.edge(t0, t1, q * reps);
+        b.edge(t1, t2, p * reps);
+        b.finish().expect("acyclic chain")
+    }
+
+    /// Simulates `g` on both simulators, asserts bit-identity, and
+    /// returns the number of epoch leaps the batched run applied.
+    fn leaps_with_identity(g: &CanonicalGraph) -> u64 {
+        let s = schedule(g, &Partition::single_block(g)).expect("schedulable");
+        let plan = buffer_sizes(g, &s, SizingPolicy::Converging, 1);
+        let reference = simulate_kind(SimKind::Reference, g, &s, &plan, SimConfig::default());
+        take_leap_telemetry();
+        let batched = simulate_kind(SimKind::Batched, g, &s, &plan, SimConfig::default());
+        let stats = take_leap_telemetry();
+        assert_eq!(reference, batched, "simulators diverged");
+        assert!(reference.completed(), "{:?}", reference.failure);
+        stats.leaps
+    }
+
+    #[test]
+    fn period_one_chains_still_leap() {
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..4).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 4096);
+        let g = b.finish().unwrap();
+        assert!(leaps_with_identity(&g) > 0, "elementwise chain must leap");
+    }
+
+    #[test]
+    fn ladder_family_ratios_still_leap() {
+        // Ratios whose periods the old m·2^k candidate ladder already
+        // covered must keep leaping under proposal-driven detection.
+        for (q, p) in [(2, 1), (5, 1), (7, 1), (8, 1)] {
+            let leaps = leaps_with_identity(&ratio_chain(q, p, 4_000));
+            assert!(leaps > 0, "{q}:{p} chain must leap");
         }
-        expected.sort_unstable();
-        expected.dedup();
-        assert_eq!(CANDIDATES.to_vec(), expected);
-        assert!(CANDIDATES.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Regression for the old detector's worst case: the 44-rung
+    /// `m · 2^k` ladder (`m ∈ {1, 3, 5, 7}`) had no rung for periods
+    /// with prime factors ≥ 11, so e.g. an 11:1 downsampler spent its
+    /// whole steady phase stepping per-beat. General detection must
+    /// leap these.
+    #[test]
+    fn non_ladder_ratios_leap() {
+        for (q, p) in [(11, 1), (13, 3), (17, 1), (23, 7)] {
+            let leaps = leaps_with_identity(&ratio_chain(q, p, 2_000));
+            assert!(
+                leaps > 0,
+                "{q}:{p} chain must leap under general cycle detection"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_reports_periods_and_cycles() {
+        take_leap_telemetry();
+        let g = ratio_chain(11, 1, 2_000);
+        let s = schedule(&g, &Partition::single_block(&g)).unwrap();
+        let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
+        simulate_kind(SimKind::Batched, &g, &s, &plan, SimConfig::default());
+        let stats = take_leap_telemetry();
+        assert!(stats.leaps > 0);
+        assert!(stats.leaped_cycles > 0);
         assert!(
-            *CANDIDATES.last().unwrap() < RING as u64,
-            "ring must strictly exceed the largest candidate period"
+            stats.max_period >= 11,
+            "an 11:1 chain leaps a period divisible by 11, got {}",
+            stats.max_period
         );
+        // Taking the telemetry resets it.
+        assert_eq!(take_leap_telemetry(), super::LeapStats::default());
+    }
+
+    #[test]
+    fn volume_one_chain_never_leaps() {
+        // No steady state to batch: margins are zero, so the detector's
+        // windows must all fail and the telemetry stays empty.
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..5).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 1);
+        let g = b.finish().unwrap();
+        assert_eq!(leaps_with_identity(&g), 0);
     }
 }

@@ -29,7 +29,7 @@
 mod batch;
 mod sim;
 
-pub use batch::BatchedSim;
+pub use batch::{take_leap_telemetry, BatchedSim, LeapStats};
 pub use sim::{
     simulate, simulate_kind, simulate_with, simulate_with_kind, Event, ParseSimKindError,
     ReferenceSim, SimConfig, SimFailure, SimKind, SimResult, Simulator,

@@ -370,7 +370,7 @@ pub(crate) struct SimState<'a> {
 /// SplitMix64 finalizer: decorrelates beat identifiers before they are
 /// combined into the (commutative) per-cycle signature.
 #[inline]
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -19,9 +19,11 @@
 //!   output) reports the hit/miss/invalidation traffic.
 //! - `--shard i/n` evaluates only the i-th of n contiguous slices of the
 //!   case grid and prints a self-describing shard artifact instead of
-//!   CSV/JSON.
-//! - `sweep merge SHARD...` re-assembles a complete artifact set into
-//!   output byte-identical to the unsharded run.
+//!   CSV/JSON; `--bin` switches the artifact to the compact
+//!   length-prefixed binary encoding.
+//! - `sweep merge SHARD...` re-assembles a complete artifact set (text
+//!   and binary shards mix freely) into output byte-identical to the
+//!   unsharded run.
 //!
 //! Graph-cache, cell-cache, and validation-timing statistics go to
 //! stderr, keeping stdout byte-stable; `--sim-timing` additionally
@@ -65,16 +67,23 @@ fn main() {
             std::process::exit(2);
         }
         let result = spec.run_shard(shard, store.as_ref());
-        match result.artifact() {
-            Ok(text) => print!("{text}"),
-            Err(e) => {
-                eprintln!("ERROR: cannot emit shard artifact: {e}");
-                std::process::exit(2);
-            }
+        let emitted = if args.bin {
+            result.artifact_bytes().map(|bytes| {
+                use std::io::Write;
+                std::io::stdout()
+                    .write_all(&bytes)
+                    .expect("write binary artifact to stdout");
+            })
+        } else {
+            result.artifact().map(|text| print!("{text}"))
+        };
+        if let Err(e) = emitted {
+            eprintln!("ERROR: cannot emit shard artifact: {e}");
+            std::process::exit(2);
         }
         eprintln!(
             "shard {shard}: cases {}..{} of {}; graph cache: {} hits, {} misses; \
-             cell cache: {} hits, {} misses, {} invalidations",
+             cell cache: {} hits, {} misses, {} invalidations, {} evicted",
             result.range.start,
             result.range.end,
             result.total,
@@ -82,12 +91,17 @@ fn main() {
             result.cache.misses,
             result.cell_cache.hits,
             result.cell_cache.misses,
-            result.cell_cache.invalidations
+            result.cell_cache.invalidations,
+            result.cell_cache.evicted
         );
         exit_on_failures(result.errors(), result.deadlocks(), result.divergences());
         return;
     }
 
+    if args.bin {
+        eprintln!("--bin selects the binary shard artifact encoding and requires --shard i/n");
+        std::process::exit(2);
+    }
     if args.sim_timing && store.is_some() {
         eprintln!("note: --sim-timing bypasses the cell cache (cached cells cannot report fresh wall-clocks)");
     }
@@ -104,8 +118,11 @@ fn main() {
         sweep.runs.len()
     );
     eprintln!(
-        "cell cache: {} hits, {} misses, {} invalidations",
-        sweep.cell_cache.hits, sweep.cell_cache.misses, sweep.cell_cache.invalidations
+        "cell cache: {} hits, {} misses, {} invalidations, {} evicted",
+        sweep.cell_cache.hits,
+        sweep.cell_cache.misses,
+        sweep.cell_cache.invalidations,
+        sweep.cell_cache.evicted
     );
     if let Some(timing) = sweep.sim_timing_summary() {
         eprint!("{timing}");
@@ -135,16 +152,16 @@ fn merge_main(rest: &[String]) {
         eprintln!("usage: sweep merge SHARD-FILE... [--json]");
         std::process::exit(2);
     }
-    let artifacts: Vec<String> = files
+    let artifacts: Vec<Vec<u8>> = files
         .iter()
         .map(|path| {
-            std::fs::read_to_string(path).unwrap_or_else(|e| {
+            std::fs::read(path).unwrap_or_else(|e| {
                 eprintln!("cannot read shard artifact {path}: {e}");
                 std::process::exit(2);
             })
         })
         .collect();
-    let sweep = SweepSpec::merge_shards(&artifacts).unwrap_or_else(|e| {
+    let sweep = SweepSpec::merge_shard_bytes(&artifacts).unwrap_or_else(|e| {
         eprintln!("ERROR: merge failed: {e}");
         std::process::exit(2);
     });

@@ -408,7 +408,9 @@ impl SweepSpec {
     ) -> (Vec<Run>, CacheStats) {
         let validate = self.validate;
         let sim = self.sim;
-        // Stage key + lookup.
+        // Stage key + prefetch: expand every cacheable case into its cell
+        // key and look the whole batch up in one parallel pass (per-cell
+        // disk reads on a warm directory dominate otherwise).
         let keys: Vec<Option<CellKey>> = match store {
             Some(_) => cases
                 .iter()
@@ -416,14 +418,15 @@ impl SweepSpec {
                 .collect(),
             None => vec![None; cases.len()],
         };
-        let mut slots: Vec<Option<Outcome>> = vec![None; cases.len()];
-        if let Some(store) = store {
-            for (slot, key) in slots.iter_mut().zip(&keys) {
-                if let Some(key) = key {
-                    *slot = store.lookup(key);
-                }
+        let mut slots: Vec<Option<Outcome>> = match store {
+            Some(store) => {
+                let threads = self
+                    .threads
+                    .unwrap_or_else(|| default_threads(keys.len() as u64));
+                store.lookup_many(&keys, threads)
             }
-        }
+            None => vec![None; cases.len()],
+        };
         // Stage evaluate: only the missing cells touch a graph or
         // scheduler (so a fully warm rerun does no instantiation at all).
         let todo: Vec<usize> = (0..cases.len()).filter(|&i| slots[i].is_none()).collect();
@@ -436,15 +439,20 @@ impl SweepSpec {
             (evaluate(case, &g, validate, sim), hit)
         });
         // Stage persist + merge: order-insensitive assembly back into the
-        // byte-stable emission order.
+        // byte-stable emission order. Persisting goes through the batched
+        // segment path — one fsync per FLUSH_THRESHOLD cells instead of
+        // one per cell.
         let mut cache = CacheStats::default();
         for (j, (outcome, hit)) in evaluated.into_iter().enumerate() {
             let i = todo[j];
             cache.record(hit);
             if let (Some(store), Some(key)) = (store, &keys[i]) {
-                store.insert(key, &outcome);
+                store.insert_batched(key, &outcome);
             }
             slots[i] = Some(outcome);
+        }
+        if let Some(store) = store {
+            store.flush();
         }
         let runs = cases
             .into_iter()
@@ -536,16 +544,38 @@ impl SweepSpec {
     /// artifacts from different specs or schema versions, incomplete or
     /// overlapping sets, and malformed payloads.
     pub fn merge_shards(artifacts: &[String]) -> Result<Sweep, String> {
-        if artifacts.is_empty() {
-            return Err("no shard artifacts to merge".to_string());
-        }
-        let mut parsed: Vec<ParsedShard> = artifacts
+        let parsed = artifacts
             .iter()
             .enumerate()
             .map(|(i, text)| {
                 ParsedShard::parse(text).map_err(|e| format!("shard artifact {i}: {e}"))
             })
             .collect::<Result<_, _>>()?;
+        Self::merge_parsed(parsed)
+    }
+
+    /// [`Self::merge_shards`] over raw artifact bytes, auto-detecting the
+    /// format of each: binary artifacts (from `sweep --shard i/n --bin`)
+    /// by their magic prefix, anything else as text. Text and binary
+    /// shards of one sweep mix freely — both decode to the same rows, so
+    /// the merged CSV/JSON stays byte-identical either way.
+    pub fn merge_shard_bytes(artifacts: &[Vec<u8>]) -> Result<Sweep, String> {
+        let parsed = artifacts
+            .iter()
+            .enumerate()
+            .map(|(i, bytes)| {
+                ParsedShard::parse_any(bytes).map_err(|e| format!("shard artifact {i}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        Self::merge_parsed(parsed)
+    }
+
+    /// Cross-artifact consistency checks + reassembly shared by the text
+    /// and binary merge entry points.
+    fn merge_parsed(mut parsed: Vec<ParsedShard>) -> Result<Sweep, String> {
+        if parsed.is_empty() {
+            return Err("no shard artifacts to merge".to_string());
+        }
         parsed.sort_by_key(|p| p.shard.index);
         let first = &parsed[0];
         if parsed.len() != first.shard.of {
@@ -695,11 +725,15 @@ pub struct ShardResult {
     pub cell_cache: StoreStats,
 }
 
-/// First line of every shard artifact; the version ties artifacts to the
-/// engine schema.
+/// First line of every text shard artifact; the version ties artifacts to
+/// the engine schema.
 fn shard_magic() -> String {
     format!("stg-shard v{SCHEMA_VERSION}")
 }
+
+/// Magic prefix of binary shard artifacts (the schema version follows as
+/// a `u32`).
+const BIN_SHARD_MAGIC: &[u8] = b"STGSHRD";
 
 impl ShardResult {
     /// The evaluated runs of this slice, in global case order.
@@ -728,6 +762,36 @@ impl ShardResult {
                 run.case.index,
                 crate::store::encode_outcome(&run.outcome)
             ));
+        }
+        Ok(out)
+    }
+
+    /// The binary shard artifact (`sweep --shard i/n --bin`): same header
+    /// fields and row payloads as [`Self::artifact`], length-prefixed so
+    /// a merge parses it in one forward pass with zero line scanning or
+    /// integer re-parsing of the frame structure.
+    /// [`SweepSpec::merge_shard_bytes`] accepts either format, mixed
+    /// freely, with byte-identical merged output.
+    pub fn artifact_bytes(&self) -> Result<Vec<u8>, String> {
+        use crate::store::{put_u32, put_u64};
+        let spec_block = self.spec.encode_spec()?;
+        let mut out = Vec::with_capacity(64 + spec_block.len() + self.runs.len() * 48);
+        out.extend_from_slice(BIN_SHARD_MAGIC);
+        put_u32(&mut out, SCHEMA_VERSION);
+        put_u32(&mut out, self.shard.index as u32);
+        put_u32(&mut out, self.shard.of as u32);
+        put_u64(&mut out, self.range.start as u64);
+        put_u64(&mut out, self.range.end as u64);
+        put_u64(&mut out, self.total as u64);
+        put_u64(&mut out, self.spec.grid_fingerprint());
+        put_u32(&mut out, spec_block.len() as u32);
+        out.extend_from_slice(spec_block.as_bytes());
+        put_u32(&mut out, self.runs.len() as u32);
+        for run in &self.runs {
+            let payload = crate::store::encode_outcome(&run.outcome);
+            put_u64(&mut out, run.case.index as u64);
+            put_u32(&mut out, payload.len() as u32);
+            out.extend_from_slice(payload.as_bytes());
         }
         Ok(out)
     }
@@ -785,6 +849,76 @@ struct ParsedShard {
 }
 
 impl ParsedShard {
+    /// Parses an artifact of either format, dispatching on the binary
+    /// magic prefix.
+    fn parse_any(bytes: &[u8]) -> Result<ParsedShard, String> {
+        if bytes.starts_with(BIN_SHARD_MAGIC) {
+            return ParsedShard::parse_bytes(bytes);
+        }
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| "artifact is neither a binary shard nor UTF-8 text".to_string())?;
+        ParsedShard::parse(text)
+    }
+
+    /// Parses an [`ShardResult::artifact_bytes`] binary artifact.
+    fn parse_bytes(bytes: &[u8]) -> Result<ParsedShard, String> {
+        use crate::store::{take_str, take_u32, take_u64};
+        let trunc = || "truncated binary shard artifact".to_string();
+        let rest = bytes.strip_prefix(BIN_SHARD_MAGIC).ok_or_else(trunc)?;
+        let (version, rest) = take_u32(rest).ok_or_else(trunc)?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "binary shard artifact v{version} (expected v{SCHEMA_VERSION}; \
+                 regenerate shards after a schema bump)"
+            ));
+        }
+        let (index, rest) = take_u32(rest).ok_or_else(trunc)?;
+        let (of, rest) = take_u32(rest).ok_or_else(trunc)?;
+        let shard = Shard {
+            index: index as usize,
+            of: of as usize,
+        };
+        if shard.of == 0 || shard.index >= shard.of {
+            return Err(format!("invalid shard selector {}/{}", index, of));
+        }
+        let (start, rest) = take_u64(rest).ok_or_else(trunc)?;
+        let (end, rest) = take_u64(rest).ok_or_else(trunc)?;
+        let (total, rest) = take_u64(rest).ok_or_else(trunc)?;
+        if start > end || end > total {
+            return Err(format!("malformed case range {start}..{end} of {total}"));
+        }
+        let (fingerprint, rest) = take_u64(rest).ok_or_else(trunc)?;
+        let (spec_len, rest) = take_u32(rest).ok_or_else(trunc)?;
+        let (spec_block, rest) = take_str(rest, spec_len as usize).ok_or_else(trunc)?;
+        let (row_count, mut rest) = take_u32(rest).ok_or_else(trunc)?;
+        if row_count as u64 != end - start {
+            return Err(format!(
+                "shard {shard} carries {row_count} rows for a {}-case slice",
+                end - start
+            ));
+        }
+        let mut rows = Vec::with_capacity(row_count as usize);
+        for _ in 0..row_count {
+            let (case_index, r) = take_u64(rest).ok_or_else(trunc)?;
+            let (payload_len, r) = take_u32(r).ok_or_else(trunc)?;
+            let (payload, r) = take_str(r, payload_len as usize).ok_or_else(trunc)?;
+            let outcome = crate::store::decode_outcome(payload)
+                .ok_or_else(|| format!("undecodable row payload for case {case_index}"))?;
+            rows.push((case_index as usize, outcome));
+            rest = r;
+        }
+        if !rest.is_empty() {
+            return Err("trailing bytes after binary shard rows".to_string());
+        }
+        Ok(ParsedShard {
+            shard,
+            total: total as usize,
+            fingerprint,
+            spec_block: spec_block.to_string(),
+            rows,
+        })
+    }
+
     fn parse(text: &str) -> Result<ParsedShard, String> {
         let mut lines = text.lines();
         let magic = lines.next().unwrap_or_default();
@@ -1298,12 +1432,14 @@ impl Sweep {
         let cache = if stats {
             format!(
                 "  \"cache\": {{\"graphs\": {{\"hits\": {}, \"misses\": {}}}, \
-                 \"cells\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}}}}},\n",
+                 \"cells\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
+                 \"evicted\": {}}}}},\n",
                 self.cache.hits,
                 self.cache.misses,
                 self.cell_cache.hits,
                 self.cell_cache.misses,
-                self.cell_cache.invalidations
+                self.cell_cache.invalidations,
+                self.cell_cache.evicted
             )
         } else {
             String::new()
@@ -1659,6 +1795,71 @@ mod tests {
             assert_eq!(merged.to_csv(), unsharded.to_csv(), "{of}-way");
             assert_eq!(merged.to_json(), unsharded.to_json(), "{of}-way");
         }
+    }
+
+    #[test]
+    fn binary_and_mixed_artifacts_merge_byte_identically() {
+        let mut spec = smoke_spec();
+        spec.seed = 0x5EED_CE15;
+        let unsharded = spec.run();
+        let of = 3;
+        let results: Vec<ShardResult> = (0..of)
+            .map(|index| spec.run_shard(Shard { index, of }, None))
+            .collect();
+        // All-binary merge.
+        let bins: Vec<Vec<u8>> = results
+            .iter()
+            .map(|r| r.artifact_bytes().expect("binary artifact"))
+            .collect();
+        let merged = SweepSpec::merge_shard_bytes(&bins).expect("binary shard set");
+        assert_eq!(merged.to_csv(), unsharded.to_csv());
+        assert_eq!(merged.to_json(), unsharded.to_json());
+        // Mixed text + binary merge (format is a per-artifact choice).
+        let mixed: Vec<Vec<u8>> = results
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                if i % 2 == 0 {
+                    r.artifact().expect("text artifact").into_bytes()
+                } else {
+                    r.artifact_bytes().expect("binary artifact")
+                }
+            })
+            .collect();
+        let merged = SweepSpec::merge_shard_bytes(&mixed).expect("mixed shard set");
+        assert_eq!(merged.to_csv(), unsharded.to_csv());
+        assert_eq!(merged.to_json(), unsharded.to_json());
+    }
+
+    #[test]
+    fn binary_artifact_corruption_is_rejected_not_panicking() {
+        let mut spec = smoke_spec();
+        spec.seed = 0x5EED_CE16;
+        let r0 = spec.run_shard(Shard { index: 0, of: 2 }, None);
+        let r1 = spec.run_shard(Shard { index: 1, of: 2 }, None);
+        let b0 = r0.artifact_bytes().unwrap();
+        let b1 = r1.artifact_bytes().unwrap();
+        // Truncation at every prefix length parses as an error, never a
+        // panic (exhaustive over the whole artifact — it is small).
+        for len in 0..b1.len() {
+            let truncated = b1[..len].to_vec();
+            assert!(
+                SweepSpec::merge_shard_bytes(&[b0.clone(), truncated]).is_err(),
+                "truncation at {len} must be rejected"
+            );
+        }
+        // A wrong schema version is rejected with the regenerate hint.
+        let mut stale = b1.clone();
+        stale[BIN_SHARD_MAGIC.len()] ^= 0xff;
+        let err = match SweepSpec::merge_shard_bytes(&[b0.clone(), stale]) {
+            Err(e) => e,
+            Ok(_) => panic!("stale version must be rejected"),
+        };
+        assert!(err.contains("regenerate"), "{err}");
+        // Trailing junk is rejected.
+        let mut padded = b1.clone();
+        padded.push(0);
+        assert!(SweepSpec::merge_shard_bytes(&[b0, padded]).is_err());
     }
 
     #[test]

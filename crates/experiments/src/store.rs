@@ -20,10 +20,33 @@
 //! embedded in every cache entry and verified on load, so a hash
 //! collision, a truncated file, or an entry written by an older
 //! [`SCHEMA_VERSION`] is detected, counted in
-//! [`StoreStats::invalidations`], and transparently re-evaluated. Bump
-//! [`SCHEMA_VERSION`] whenever the meaning of a cell changes — new record
-//! fields, changed scheduler/simulator semantics, changed workload
-//! generators — and every old entry misses.
+//! [`StoreStats::invalidations`], and transparently re-evaluated. An
+//! invalid **disk** artifact is additionally *deleted* (counted in
+//! [`StoreStats::evicted`]) so corruption heals instead of re-triggering
+//! an invalidation in every future process. Bump [`SCHEMA_VERSION`]
+//! whenever the meaning of a cell changes — new record fields, changed
+//! scheduler/simulator semantics, changed workload generators — and
+//! every old entry misses.
+//!
+//! ## Disk layout: per-cell files and batched segments
+//!
+//! Two artifact kinds coexist under a `--cache-dir`:
+//!
+//! - `{hash:016x}.cell` — one entry per file (canonical-key line +
+//!   payload line), written by [`ResultStore::insert`]. One `fsync` +
+//!   rename per cell: right for incremental writers like the service
+//!   daemon, far too slow for million-cell sweeps.
+//! - `seg-{hash:016x}.cells` — a length-prefixed binary segment holding
+//!   many entries, written by [`ResultStore::insert_batched`] +
+//!   [`ResultStore::flush`] (the sweep engine's persist path). One
+//!   `fsync` per [`FLUSH_THRESHOLD`] cells. Segments are loaded into the
+//!   in-memory map wholesale on first disk lookup; a segment that fails
+//!   to parse (truncation, stale schema) is deleted as one eviction.
+//!
+//! Both kinds are written atomically (unique temp file + rename), so a
+//! killed sweep never leaves a half-written artifact a later reader
+//! would trip over — at worst an orphaned `*.tmp` that no lookup ever
+//! matches.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -39,7 +62,17 @@ use crate::engine::{Record, SimMicros, SimRecord};
 /// The engine result-schema version, embedded in every [`CellKey`].
 /// Bumping it invalidates every previously cached cell (the canonical key
 /// string changes, so old entries can never verify).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: binary segment files and binary shard artifacts joined the disk
+/// formats, and invalid disk entries are evicted rather than left in
+/// place.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Pending batched inserts are flushed into a segment file once this
+/// many accumulate (and finally on [`ResultStore::flush`]/drop). Each
+/// flush costs one `fsync` + rename — amortized, ~500× fewer syncs than
+/// the per-cell path.
+pub const FLUSH_THRESHOLD: usize = 512;
 
 /// A cell outcome as the engine records it: a scheduling error is data,
 /// not a panic, and caches like any other result.
@@ -106,11 +139,14 @@ impl CellKey {
     }
 }
 
-/// Hit/miss/invalidation counters of a [`ResultStore`].
+/// Hit/miss/invalidation/eviction counters of a [`ResultStore`].
 ///
 /// `misses` counts every lookup that forced an evaluation, including the
 /// `invalidations` subset (entries that existed but failed verification —
-/// canonical-key mismatch, truncation, undecodable payload).
+/// canonical-key mismatch, truncation, undecodable payload). `evicted`
+/// counts disk artifacts *deleted* because they were invalid: corrupt or
+/// truncated per-cell files, and whole segment files that failed to
+/// parse.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Lookups served from the store.
@@ -119,6 +155,9 @@ pub struct StoreStats {
     pub misses: u64,
     /// Entries found but rejected by verification (subset of `misses`).
     pub invalidations: u64,
+    /// Invalid disk artifacts deleted (corrupt cell files, unparseable
+    /// segment files).
+    pub evicted: u64,
 }
 
 impl StoreStats {
@@ -134,6 +173,7 @@ impl StoreStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             invalidations: self.invalidations - earlier.invalidations,
+            evicted: self.evicted - earlier.evicted,
         }
     }
 }
@@ -150,9 +190,15 @@ impl StoreStats {
 pub struct ResultStore {
     mem: Mutex<HashMap<u64, Entry>>,
     dir: Option<PathBuf>,
+    /// Batched inserts awaiting a segment-file flush.
+    pending: Mutex<Vec<(u64, Entry)>>,
+    /// Whether the directory's segment files were folded into `mem` yet
+    /// (done lazily on the first disk lookup).
+    segments_loaded: Mutex<bool>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    evicted: AtomicU64,
     warned_io: AtomicBool,
 }
 
@@ -177,9 +223,12 @@ impl ResultStore {
         ResultStore {
             mem: Mutex::new(HashMap::new()),
             dir: None,
+            pending: Mutex::new(Vec::new()),
+            segments_loaded: Mutex::new(false),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             warned_io: AtomicBool::new(false),
         }
     }
@@ -202,6 +251,7 @@ impl ResultStore {
     /// decoded outcome only if the entry verifies: its embedded canonical
     /// key must equal `key.canonical()` and its payload must decode.
     pub fn lookup(&self, key: &CellKey) -> Option<Outcome> {
+        self.ensure_segments_loaded();
         let mem_entry = {
             let mem = self.mem.lock().expect("result store lock");
             mem.get(&key.hash)
@@ -219,8 +269,9 @@ impl ResultStore {
             }
             DiskEntry::Malformed => {
                 // A file exists but cannot even be split into an entry:
-                // truncation or foreign content. Re-evaluation overwrites
-                // it.
+                // truncation or foreign content. Delete it so the next
+                // process misses cleanly instead of re-invalidating.
+                self.evict_cell_file(key);
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -245,12 +296,17 @@ impl ResultStore {
                     }
                     None => {
                         // Present but unverifiable: collision, truncation,
-                        // or a stale format. Drop it; the evaluation that
-                        // follows re-inserts a fresh entry.
+                        // or a stale format. Drop it from memory and disk;
+                        // the evaluation that follows re-inserts a fresh
+                        // entry. (An unverifiable entry that came in via a
+                        // segment file leaves the segment itself intact —
+                        // only whole-segment parse failures evict
+                        // segments.)
                         self.mem
                             .lock()
                             .expect("result store lock")
                             .remove(&key.hash);
+                        self.evict_cell_file(key);
                         self.invalidations.fetch_add(1, Ordering::Relaxed);
                         self.misses.fetch_add(1, Ordering::Relaxed);
                         None
@@ -260,8 +316,22 @@ impl ResultStore {
         }
     }
 
+    /// Looks up a batch of keys with `threads` workers, in a single
+    /// parallel pass (`None` key slots pass through as `None`). This is
+    /// the sweep engine's prefetch path: per-cell disk reads dominate a
+    /// warm cold-start, and they parallelize perfectly. The result vector
+    /// is index-aligned with `keys` and independent of `threads`.
+    pub fn lookup_many(&self, keys: &[Option<CellKey>], threads: usize) -> Vec<Option<Outcome>> {
+        self.ensure_segments_loaded();
+        crate::harness::par_map_with(keys.len() as u64, threads, |i| {
+            keys[i as usize].as_ref().and_then(|k| self.lookup(k))
+        })
+    }
+
     /// Inserts the outcome of an evaluated cell (memory always, disk when
-    /// configured).
+    /// configured). The disk write is immediate — one fsync'd per-cell
+    /// file — which suits incremental writers like the service daemon.
+    /// Bulk writers should prefer [`ResultStore::insert_batched`].
     pub fn insert(&self, key: &CellKey, outcome: &Outcome) {
         let payload = encode_outcome(outcome);
         self.write_disk(key, &payload);
@@ -274,6 +344,52 @@ impl ResultStore {
         );
     }
 
+    /// Inserts an outcome into memory immediately and queues the disk
+    /// write; queued entries are persisted into one binary segment file
+    /// per [`FLUSH_THRESHOLD`] accumulated cells (and on
+    /// [`ResultStore::flush`]/drop). ~500× fewer fsyncs than
+    /// [`ResultStore::insert`] on large sweeps.
+    pub fn insert_batched(&self, key: &CellKey, outcome: &Outcome) {
+        let payload = encode_outcome(outcome);
+        self.mem.lock().expect("result store lock").insert(
+            key.hash,
+            Entry {
+                canonical: key.canonical().to_string(),
+                payload: payload.clone(),
+            },
+        );
+        if self.dir.is_none() {
+            return;
+        }
+        let flush_now = {
+            let mut pending = self.pending.lock().expect("pending lock");
+            pending.push((
+                key.hash,
+                Entry {
+                    canonical: key.canonical().to_string(),
+                    payload,
+                },
+            ));
+            pending.len() >= FLUSH_THRESHOLD
+        };
+        if flush_now {
+            self.flush();
+        }
+    }
+
+    /// Persists all queued [`ResultStore::insert_batched`] entries into a
+    /// segment file now. Idempotent; called automatically on drop.
+    pub fn flush(&self) {
+        let entries = {
+            let mut pending = self.pending.lock().expect("pending lock");
+            std::mem::take(&mut *pending)
+        };
+        if entries.is_empty() {
+            return;
+        }
+        self.write_segment(&entries);
+    }
+
     /// The counters accumulated over this store's lifetime. Use
     /// [`StoreStats::since`] for per-sweep deltas.
     pub fn stats(&self) -> StoreStats {
@@ -281,6 +397,7 @@ impl ResultStore {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 
@@ -325,14 +442,178 @@ impl ResultStore {
         })();
         if let Err(e) = result {
             let _ = std::fs::remove_file(&tmp);
-            if !self.warned_io.swap(true, Ordering::Relaxed) {
-                eprintln!(
-                    "warning: cell cache writes to {} failing ({e}); continuing uncached",
-                    dir.display()
-                );
+            self.warn_io(dir, &e);
+        }
+    }
+
+    /// Deletes the per-cell disk file for `key`, counting an eviction if a
+    /// file was actually removed. A no-op for in-memory stores and for
+    /// keys that only ever lived in a segment.
+    fn evict_cell_file(&self, key: &CellKey) {
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        if std::fs::remove_file(dir.join(key.file_name())).is_ok() {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds every `seg-*.cells` segment file in the backing directory
+    /// into the in-memory map, once per store. Entries already in memory
+    /// win (they were written by this process and are at least as fresh).
+    /// A segment that fails to parse — truncation, stale schema, foreign
+    /// bytes — is deleted whole and counted as one eviction.
+    fn ensure_segments_loaded(&self) {
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let mut loaded = self.segments_loaded.lock().expect("segments flag");
+        if *loaded {
+            return;
+        }
+        *loaded = true;
+        let Ok(listing) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for dirent in listing.flatten() {
+            let name = dirent.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with("seg-") || !name.ends_with(".cells") {
+                continue;
+            }
+            let path = dirent.path();
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            match parse_segment(&bytes) {
+                Some(entries) => {
+                    let mut mem = self.mem.lock().expect("result store lock");
+                    for (hash, entry) in entries {
+                        mem.entry(hash).or_insert(entry);
+                    }
+                }
+                None => {
+                    if std::fs::remove_file(&path).is_ok() {
+                        self.evicted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
     }
+
+    /// Writes `entries` as one atomic binary segment file. The file name
+    /// is content-derived (FNV-1a over the entry hashes), so concurrent
+    /// shards persisting the same cells race benignly onto the same name
+    /// with identical bytes.
+    fn write_segment(&self, entries: &[(u64, Entry)]) {
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let mut body = Vec::with_capacity(entries.len() * 96);
+        body.extend_from_slice(SEGMENT_MAGIC);
+        put_u32(&mut body, SCHEMA_VERSION);
+        put_u32(&mut body, entries.len() as u32);
+        let mut name_hash = Vec::with_capacity(entries.len() * 8);
+        for (hash, entry) in entries {
+            put_u64(&mut body, *hash);
+            put_u32(&mut body, entry.canonical.len() as u32);
+            put_u32(&mut body, entry.payload.len() as u32);
+            body.extend_from_slice(entry.canonical.as_bytes());
+            body.extend_from_slice(entry.payload.as_bytes());
+            name_hash.extend_from_slice(&hash.to_le_bytes());
+        }
+        let file = format!("seg-{:016x}.cells", fnv1a(&name_hash));
+        let tmp = dir.join(format!(".{file}.{}.tmp", std::process::id()));
+        let result = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&body)?;
+            f.sync_data()?;
+            std::fs::rename(&tmp, dir.join(&file))
+        })();
+        if let Err(e) = result {
+            let _ = std::fs::remove_file(&tmp);
+            self.warn_io(dir, &e);
+        }
+    }
+
+    fn warn_io(&self, dir: &Path, e: &std::io::Error) {
+        if !self.warned_io.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: cell cache writes to {} failing ({e}); continuing uncached",
+                dir.display()
+            );
+        }
+    }
+}
+
+impl Drop for ResultStore {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Magic prefix of binary segment files.
+const SEGMENT_MAGIC: &[u8] = b"STGCELLS";
+
+/// Parses a binary segment file into its entries. `None` on any
+/// malformation — wrong magic, wrong schema version, truncated entry,
+/// non-UTF-8 strings, or trailing bytes.
+fn parse_segment(bytes: &[u8]) -> Option<Vec<(u64, Entry)>> {
+    let rest = bytes.strip_prefix(SEGMENT_MAGIC)?;
+    let (version, rest) = take_u32(rest)?;
+    if version != SCHEMA_VERSION {
+        return None;
+    }
+    let (count, mut rest) = take_u32(rest)?;
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let (hash, r) = take_u64(rest)?;
+        let (clen, r) = take_u32(r)?;
+        let (plen, r) = take_u32(r)?;
+        let (canonical, r) = take_str(r, clen as usize)?;
+        let (payload, r) = take_str(r, plen as usize)?;
+        entries.push((
+            hash,
+            Entry {
+                canonical: canonical.to_string(),
+                payload: payload.to_string(),
+            },
+        ));
+        rest = r;
+    }
+    if !rest.is_empty() {
+        return None;
+    }
+    Some(entries)
+}
+
+/// Little-endian `u32` writer for the binary disk formats (segments here,
+/// shard artifacts in [`crate::engine`]).
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Little-endian `u64` writer for the binary disk formats.
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian `u32` off the front of `bytes`.
+pub(crate) fn take_u32(bytes: &[u8]) -> Option<(u32, &[u8])> {
+    let (head, rest) = bytes.split_at_checked(4)?;
+    Some((u32::from_le_bytes(head.try_into().ok()?), rest))
+}
+
+/// Reads a little-endian `u64` off the front of `bytes`.
+pub(crate) fn take_u64(bytes: &[u8]) -> Option<(u64, &[u8])> {
+    let (head, rest) = bytes.split_at_checked(8)?;
+    Some((u64::from_le_bytes(head.try_into().ok()?), rest))
+}
+
+/// Reads a `len`-byte UTF-8 string off the front of `bytes`.
+pub(crate) fn take_str(bytes: &[u8], len: usize) -> Option<(&str, &[u8])> {
+    let (head, rest) = bytes.split_at_checked(len)?;
+    Some((std::str::from_utf8(head).ok()?, rest))
 }
 
 /// Renders a float so that parsing the text back yields the identical bit
@@ -594,7 +875,8 @@ mod tests {
         let store = ResultStore::at_dir(&dir).expect("open cache dir");
         assert_eq!(store.lookup(&key), Some(Ok(sample_record(false))));
         assert_eq!(store.stats().hits, 1);
-        // Corrupt the payload: the entry invalidates instead of decoding.
+        // Corrupt the payload: the entry invalidates AND the file is
+        // evicted, so the next lookup is a clean miss.
         let store2 = ResultStore::at_dir(&dir).expect("open cache dir");
         std::fs::write(
             dir.join(key.file_name()),
@@ -603,9 +885,13 @@ mod tests {
         .expect("corrupt entry");
         assert_eq!(store2.lookup(&key), None);
         let s = store2.stats();
-        assert_eq!((s.hits, s.misses, s.invalidations), (0, 1, 1));
+        assert_eq!((s.hits, s.misses, s.invalidations, s.evicted), (0, 1, 1, 1));
+        assert!(!dir.join(key.file_name()).exists(), "corrupt file deleted");
+        assert_eq!(store2.lookup(&key), None);
+        let s = store2.stats();
+        assert_eq!((s.misses, s.invalidations, s.evicted), (2, 1, 1));
         // A canonical mismatch (hash collision / stale schema) also
-        // invalidates.
+        // invalidates and evicts.
         let store3 = ResultStore::at_dir(&dir).expect("open cache dir");
         std::fs::write(
             dir.join(key.file_name()),
@@ -616,7 +902,139 @@ mod tests {
         )
         .expect("mismatched entry");
         assert_eq!(store3.lookup(&key), None);
-        assert_eq!(store3.stats().invalidations, 1);
+        let s = store3.stats();
+        assert_eq!((s.invalidations, s.evicted), (1, 1));
+        assert!(!dir.join(key.file_name()).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_inserts_round_trip_through_segment_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "stg-store-unit-{}-{:x}",
+            std::process::id(),
+            fnv1a(b"batched_segments")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let keys: Vec<CellKey> = (0..5)
+            .map(|i| CellKey::new(SCHEMA_VERSION, "chain:8", i, 4, "sb-lts", "off"))
+            .collect();
+        {
+            let store = ResultStore::at_dir(&dir).expect("create cache dir");
+            for k in &keys {
+                store.insert_batched(k, &Ok(sample_record(true)));
+            }
+            // Entries hit in-memory before any flush happened.
+            assert_eq!(store.lookup(&keys[0]), Some(Ok(sample_record(true))));
+            // Drop flushes the pending batch into a segment.
+        }
+        let segs: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .flatten()
+            .filter(|d| d.file_name().to_string_lossy().ends_with(".cells"))
+            .collect();
+        assert_eq!(segs.len(), 1, "one segment file, no per-cell files");
+        assert!(!dir.join(keys[0].file_name()).exists());
+        // A fresh store folds the segment in and serves every key.
+        let store = ResultStore::at_dir(&dir).expect("open cache dir");
+        for k in &keys {
+            assert_eq!(store.lookup(k), Some(Ok(sample_record(true))), "{k:?}");
+        }
+        assert_eq!(store.stats().hits, 5);
+        // lookup_many agrees, preserves alignment, and passes None through.
+        let slots = vec![
+            Some(keys[2].clone()),
+            None,
+            Some(keys[4].clone()),
+            Some(CellKey::new(
+                SCHEMA_VERSION,
+                "absent",
+                0,
+                1,
+                "sb-lts",
+                "off",
+            )),
+        ];
+        let got = store.lookup_many(&slots, 3);
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], Some(Ok(sample_record(true))));
+        assert_eq!(got[1], None);
+        assert_eq!(got[2], Some(Ok(sample_record(true))));
+        assert_eq!(got[3], None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unparseable_segment_is_evicted_whole() {
+        let dir = std::env::temp_dir().join(format!(
+            "stg-store-unit-{}-{:x}",
+            std::process::id(),
+            fnv1a(b"segment_eviction")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // A truncated segment: valid magic, then garbage.
+        std::fs::write(dir.join("seg-00000000deadbeef.cells"), b"STGCELLS\x01").expect("write");
+        // A foreign file that merely shares the extension.
+        std::fs::write(dir.join("seg-0000000000000bad.cells"), b"not a segment").expect("write");
+        let store = ResultStore::at_dir(&dir).expect("open cache dir");
+        let key = CellKey::new(SCHEMA_VERSION, "chain:8", 0, 2, "sb-lts", "off");
+        assert_eq!(store.lookup(&key), None);
+        assert_eq!(store.stats().evicted, 2);
+        assert!(!dir.join("seg-00000000deadbeef.cells").exists());
+        assert!(!dir.join("seg-0000000000000bad.cells").exists());
+        // Stale-schema segments evict the same way: re-encode a valid
+        // segment under a different version.
+        {
+            let writer = ResultStore::at_dir(&dir).expect("open cache dir");
+            writer.insert_batched(&key, &Ok(sample_record(false)));
+            writer.flush();
+        }
+        let seg = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .flatten()
+            .find(|d| d.file_name().to_string_lossy().ends_with(".cells"))
+            .expect("segment written");
+        let mut bytes = std::fs::read(seg.path()).expect("read segment");
+        bytes[SEGMENT_MAGIC.len()] ^= 0xff; // flip the version field
+        std::fs::write(seg.path(), &bytes).expect("rewrite segment");
+        let store = ResultStore::at_dir(&dir).expect("open cache dir");
+        assert_eq!(store.lookup(&key), None);
+        assert_eq!(store.stats().evicted, 1);
+        assert!(!seg.path().exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_leftovers_heal_without_breaking_lookups() {
+        let dir = std::env::temp_dir().join(format!(
+            "stg-store-unit-{}-{:x}",
+            std::process::id(),
+            fnv1a(b"crash_simulation")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let key = CellKey::new(SCHEMA_VERSION, "fft:4", 9, 2, "sb-lts", "off");
+        // Simulate a crash mid-write: an orphaned temp file (never
+        // renamed) plus a truncated per-cell file (as if the rename landed
+        // but an older non-atomic writer died — the worst case the atomic
+        // protocol is designed to rule out).
+        std::fs::write(
+            dir.join(format!(".{}.12345.tmp", key.file_name())),
+            b"half-written",
+        )
+        .expect("orphan tmp");
+        std::fs::write(dir.join(key.file_name()), key.canonical()).expect("truncated cell");
+        let store = ResultStore::at_dir(&dir).expect("open cache dir");
+        // The truncated file is malformed -> invalidated, evicted.
+        assert_eq!(store.lookup(&key), None);
+        let s = store.stats();
+        assert_eq!((s.invalidations, s.evicted), (1, 1));
+        // Re-inserting heals; the orphan tmp never matches any lookup.
+        store.insert(&key, &Ok(sample_record(false)));
+        assert_eq!(store.lookup(&key), Some(Ok(sample_record(false))));
+        let reopened = ResultStore::at_dir(&dir).expect("open cache dir");
+        assert_eq!(reopened.lookup(&key), Some(Ok(sample_record(false))));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

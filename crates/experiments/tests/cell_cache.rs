@@ -136,8 +136,11 @@ fn disk_store_warms_across_instances() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// A corrupted disk entry invalidates (counted), re-evaluates, and heals:
-/// output stays byte-identical and a further rerun is all hits again.
+/// A corrupted disk artifact is evicted (counted), the cells re-evaluate,
+/// and the store heals: output stays byte-identical and a further rerun
+/// is all hits again. The engine persists whole segments, so corrupting
+/// the cache dir evicts segment files — clean misses, not per-cell
+/// invalidations (those are covered by the store's unit tests).
 #[test]
 fn corrupted_disk_entries_invalidate_and_heal() {
     let dir = std::env::temp_dir().join(format!("stg-cell-cache-inv-{}", std::process::id()));
@@ -145,16 +148,23 @@ fn corrupted_disk_entries_invalidate_and_heal() {
     let spec = build_spec(0b0001, 0b001, 0, 2, 0xBAD_F00D, false);
     let store = ResultStore::at_dir(&dir).expect("create cache dir");
     let cold = spec.run_with(Some(&store));
-    // Truncate every cell file on disk and drop the in-memory copies by
+    store.flush();
+    // Corrupt every disk artifact and drop the in-memory copies by
     // reopening the store.
+    let mut artifacts = 0u64;
     for entry in std::fs::read_dir(&dir).expect("cache dir") {
         let path = entry.expect("entry").path();
         std::fs::write(&path, "garbage\n").expect("corrupt");
+        artifacts += 1;
     }
+    assert!(artifacts > 0, "cold run persisted something");
     let store = ResultStore::at_dir(&dir).expect("reopen cache dir");
     let healed = spec.run_with(Some(&store));
     let n = cold.runs.len() as u64;
-    assert_eq!(healed.cell_cache.invalidations, n);
+    assert_eq!(
+        healed.cell_cache.evicted, artifacts,
+        "corrupt artifacts deleted"
+    );
     assert_eq!(healed.cell_cache.misses, n);
     assert_eq!(healed.cell_cache.hits, 0);
     assert_eq!(healed.to_csv(), cold.to_csv());

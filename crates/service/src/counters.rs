@@ -140,7 +140,8 @@ impl Snapshot {
     }
 
     /// Renders the `"stats"` frame, folding in the result-store traffic
-    /// (`hits`/`misses`/`invalidations` of the shared cell cache).
+    /// (`hits`/`misses`/`invalidations`/`evicted` of the shared cell
+    /// cache).
     pub fn frame(&self, id: u64, store: stg_experiments::StoreStats) -> String {
         let clients: Vec<Json> = self
             .per_client
@@ -168,6 +169,7 @@ impl Snapshot {
             ("cache_hits".into(), Json::num(store.hits)),
             ("cache_misses".into(), Json::num(store.misses)),
             ("cache_invalidations".into(), Json::num(store.invalidations)),
+            ("cache_evictions".into(), Json::num(store.evicted)),
             ("clients".into(), Json::Arr(clients)),
         ])
         .to_string()
@@ -210,6 +212,7 @@ impl Snapshot {
                 hits: n("cache_hits")?,
                 misses: n("cache_misses")?,
                 invalidations: n("cache_invalidations")?,
+                evicted: n("cache_evictions")?,
             },
         ))
     }
@@ -251,6 +254,7 @@ mod tests {
             hits: 3,
             misses: 2,
             invalidations: 1,
+            evicted: 4,
         };
         let frame = snap.frame(9, store);
         let v = crate::json::parse(&frame).unwrap();

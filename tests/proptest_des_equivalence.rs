@@ -98,6 +98,41 @@ proptest! {
         }
     }
 
+    /// Ratio chains whose steady periods fall outside the old `m · 2^k`
+    /// candidate ladder (`m ∈ {1,3,5,7}`) must both **leap** (the general
+    /// cycle detector finds the period by occurrence distance — the
+    /// ladder never could) and stay bit-identical to the per-beat
+    /// reference. `11:1` and `13:3` are the exact volume ratios the
+    /// ladder's worst case left un-leapt.
+    #[test]
+    fn non_ladder_steady_periods_leap_bit_identically(
+        q_choice in 0usize..4,
+        p_choice in 0usize..3,
+        reps in 200u64..400,
+    ) {
+        let q = [11u64, 13, 17, 23][q_choice];
+        let p = [1u64, 3, 7][p_choice];
+        let mut b = streaming_sched::model::Builder::new();
+        let t0 = b.compute("t0");
+        let t1 = b.compute("t1");
+        let t2 = b.compute("t2");
+        b.edge(t0, t1, q * reps);
+        b.edge(t1, t2, p * reps);
+        let g = b.finish().expect("acyclic chain");
+        let plan = StreamingScheduler::new(3).run(&g).expect("schedulable");
+        let reference = plan.validate_with(&g, SimKind::Reference);
+        streaming_sched::des::take_leap_telemetry();
+        let batched = plan.validate_with(&g, SimKind::Batched);
+        let leaps = streaming_sched::des::take_leap_telemetry();
+        prop_assert_eq!(reference, batched, "ratio {}:{} diverged", q, p);
+        prop_assert!(
+            leaps.leaps > 0,
+            "ratio {}:{} (reps {}) never leapt — the general detector regressed \
+             to ladder-only coverage",
+            q, p, reps
+        );
+    }
+
     /// Under-buffered capacity-1 channels: deadlocks and bubbles must be
     /// reported identically by both simulators.
     #[test]
