@@ -95,6 +95,18 @@ pub struct LeapStats {
     pub max_period: u64,
 }
 
+impl LeapStats {
+    /// Folds another sample into this one: counters add, the maximum
+    /// period takes the larger value. The sweep engine uses this to
+    /// aggregate per-case telemetry (collected on its worker threads)
+    /// into one per-sweep block.
+    pub fn absorb(&mut self, other: LeapStats) {
+        self.leaps += other.leaps;
+        self.leaped_cycles += other.leaped_cycles;
+        self.max_period = self.max_period.max(other.max_period);
+    }
+}
+
 thread_local! {
     static TELEMETRY: Cell<LeapStats> = const {
         Cell::new(LeapStats {

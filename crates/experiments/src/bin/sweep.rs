@@ -48,6 +48,10 @@ fn main() {
         merge_main(&argv[1..]);
         return;
     }
+    if let Some(pos) = argv.iter().position(|a| a == "--distributed") {
+        distributed_main(argv, pos);
+        return;
+    }
     let args = Args::parse(); // registry listing flags print and exit here
     let store = args.open_store();
     let spec = SweepSpec::paper(args.graphs, args.seed)
@@ -124,10 +128,60 @@ fn main() {
         sweep.cell_cache.invalidations,
         sweep.cell_cache.evicted
     );
+    if sweep.leap.leaps > 0 {
+        eprintln!(
+            "epoch leaps: {} leaps skipped {} cycles (max period {})",
+            sweep.leap.leaps, sweep.leap.leaped_cycles, sweep.leap.max_period
+        );
+    }
     if let Some(timing) = sweep.sim_timing_summary() {
         eprint!("{timing}");
     }
     exit_on_failures(sweep.errors(), sweep.deadlocks(), sweep.divergences());
+}
+
+/// `sweep --distributed N ...`: delegate to `fabric coordinate --workers N`
+/// with the remaining flags. The fabric binary lives next to `sweep` in
+/// the target directory; stdout/stderr are inherited, so the artifact and
+/// exit-code behavior match a local run (see the README's "Distributed
+/// sweeps").
+fn distributed_main(mut argv: Vec<String>, pos: usize) {
+    argv.remove(pos); // --distributed
+    let workers: usize = if pos < argv.len() && !argv[pos].starts_with("--") {
+        argv.remove(pos).parse().unwrap_or_else(|_| {
+            eprintln!("--distributed N needs a worker count of at least 1");
+            std::process::exit(2);
+        })
+    } else {
+        eprintln!("--distributed N needs a worker count of at least 1");
+        std::process::exit(2);
+    };
+    if workers == 0 {
+        eprintln!("--distributed N needs a worker count of at least 1");
+        std::process::exit(2);
+    }
+    if argv.iter().any(|a| a == "--shard" || a == "--bin") {
+        eprintln!("--distributed is incompatible with --shard/--bin: the fabric already partitions the grid");
+        std::process::exit(2);
+    }
+    let fabric = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("fabric")))
+        .unwrap_or_else(|| "fabric".into());
+    let status = std::process::Command::new(&fabric)
+        .arg("coordinate")
+        .arg("--workers")
+        .arg(workers.to_string())
+        .args(&argv)
+        .status()
+        .unwrap_or_else(|e| {
+            eprintln!(
+                "ERROR: cannot launch {} (build the fabric binary alongside sweep): {e}",
+                fabric.display()
+            );
+            std::process::exit(2);
+        });
+    std::process::exit(status.code().unwrap_or(1));
 }
 
 /// `sweep merge SHARD... [--json]`: re-assemble shard artifacts into the

@@ -36,7 +36,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use stg_core::{Scheduler, SchedulerKind};
-use stg_des::{relative_error, SimKind, SimResult};
+use stg_des::{relative_error, take_leap_telemetry, LeapStats, SimKind, SimResult};
 use stg_model::CanonicalGraph;
 use stg_sched::Metrics;
 use stg_workloads::{paper_suite, CacheStats, WorkloadFamily, WorkloadKind};
@@ -261,6 +261,44 @@ impl SweepSpec {
         cases
     }
 
+    /// Case count of the full expanded grid, computed arithmetically —
+    /// no per-case allocation, so coordinators sizing lease queues over
+    /// million-cell grids stay O(workloads).
+    pub fn total_cases(&self) -> usize {
+        self.workloads
+            .iter()
+            .map(|w| w.pes.len() * self.schedulers.len() * self.runs_per_cell(&w.workload) as usize)
+            .sum()
+    }
+
+    /// Materializes only the cases of one contiguous index range of the
+    /// grid — identical (index for index) to `self.cases()[range]`, but
+    /// O(range length + workloads) instead of O(grid). This is what
+    /// fabric workers use to expand a lease without paying for the whole
+    /// grid on every lease.
+    pub fn cases_slice(&self, range: Range<usize>) -> Vec<Case> {
+        let mut out = Vec::with_capacity(range.len());
+        let mut base = 0usize;
+        for w in &self.workloads {
+            let rpc = self.runs_per_cell(&w.workload) as usize;
+            let block = w.pes.len() * self.schedulers.len() * rpc;
+            let lo = range.start.max(base);
+            let hi = range.end.min(base + block);
+            for index in lo..hi {
+                let rel = index - base;
+                out.push(Case {
+                    index,
+                    workload: w.workload.clone(),
+                    pes: w.pes[rel / (self.schedulers.len() * rpc)],
+                    seed: self.seed + (rel % rpc) as u64,
+                    scheduler: self.schedulers[(rel / rpc) % self.schedulers.len()],
+                });
+            }
+            base += block;
+        }
+        out
+    }
+
     /// Evaluates an arbitrary function over every case in parallel,
     /// returning `(case, result)` pairs in case order. This is the
     /// escape hatch for binaries that need more than a [`Record`]
@@ -349,12 +387,32 @@ impl SweepSpec {
     /// embed it so [`Self::merge_shards`] rejects artifacts produced by
     /// different specs (or engine schema versions).
     pub fn grid_fingerprint(&self) -> u64 {
-        let mut text = String::new();
-        for case in self.cases() {
-            text.push_str(self.cell_key(&case).canonical());
-            text.push('\n');
+        // Folded incrementally (identical to hashing the concatenation of
+        // every canonical key + '\n'): the coordinator fingerprints
+        // million-cell grids without materializing O(grid) text.
+        use crate::store::{fnv1a_fold, FNV_BASIS};
+        let sim_mode = self.sim_mode();
+        let mut h = FNV_BASIS;
+        for w in &self.workloads {
+            let spec = w.workload.spec();
+            for &pes in &w.pes {
+                for &scheduler in &self.schedulers {
+                    for i in 0..self.runs_per_cell(&w.workload) {
+                        let key = CellKey::new(
+                            SCHEMA_VERSION,
+                            &spec,
+                            self.seed + i,
+                            pes,
+                            scheduler.alias(),
+                            &sim_mode,
+                        );
+                        h = fnv1a_fold(h, key.canonical().as_bytes());
+                        h = fnv1a_fold(h, b"\n");
+                    }
+                }
+            }
         }
-        crate::store::fnv1a(text.as_bytes())
+        h
     }
 
     /// [`Self::run`] through an optional result store: cells present in
@@ -365,13 +423,14 @@ impl SweepSpec {
     pub fn run_with(&self, store: Option<&ResultStore>) -> Sweep {
         let cases = self.cases();
         let before = store.map(|s| s.stats()).unwrap_or_default();
-        let (runs, cache) = self.evaluate_cases(cases, store);
+        let result = self.run_cases(cases, store);
         let cell_cache = store.map(|s| s.stats().since(&before)).unwrap_or_default();
         Sweep {
             spec: self.clone(),
-            runs,
-            cache,
+            runs: result.runs,
+            cache: result.cache,
             cell_cache,
+            leap: result.leap,
         }
     }
 
@@ -380,32 +439,29 @@ impl SweepSpec {
     /// for artifact emission. An optional result store accelerates the
     /// slice exactly as in [`Self::run_with`].
     pub fn run_shard(&self, shard: Shard, store: Option<&ResultStore>) -> ShardResult {
-        let all = self.cases();
-        let total = all.len();
+        let total = self.total_cases();
         let range = shard.slice(total);
         let before = store.map(|s| s.stats()).unwrap_or_default();
-        let (runs, cache) = self.evaluate_cases(all[range.clone()].to_vec(), store);
+        let result = self.run_cases(self.cases_slice(range.clone()), store);
         let cell_cache = store.map(|s| s.stats().since(&before)).unwrap_or_default();
         ShardResult {
             spec: self.clone(),
             shard,
             range,
             total,
-            runs,
-            cache,
+            runs: result.runs,
+            cache: result.cache,
             cell_cache,
+            leap: result.leap,
         }
     }
 
     /// Stages 3–4 of the pipeline over an arbitrary case list (the full
-    /// grid or one shard slice): look every cacheable case up, evaluate
-    /// the misses in parallel, persist them, and merge the outcomes back
-    /// into the input order.
-    fn evaluate_cases(
-        &self,
-        cases: Vec<Case>,
-        store: Option<&ResultStore>,
-    ) -> (Vec<Run>, CacheStats) {
+    /// grid, one shard slice, or one fabric lease): look every cacheable
+    /// case up, evaluate the misses in parallel, persist them, and merge
+    /// the outcomes back into the input order. Fabric workers call this
+    /// directly with a [`Self::cases_slice`] of their lease range.
+    pub fn run_cases(&self, cases: Vec<Case>, store: Option<&ResultStore>) -> CasesResult {
         let validate = self.validate;
         let sim = self.sim;
         // Stage key + prefetch: expand every cacheable case into its cell
@@ -436,16 +492,23 @@ impl SweepSpec {
         let evaluated = par_map_with(todo.len() as u64, threads, |j| {
             let case = &cases[todo[j as usize]];
             let (g, hit) = case.workload.instantiate_traced(case.seed);
-            (evaluate(case, &g, validate, sim), hit)
+            let outcome = evaluate(case, &g, validate, sim);
+            // Leap telemetry is thread-local and reset-on-take: collect
+            // the delta on the worker thread, per case, so the batched
+            // simulator's epoch leaps aggregate into a per-sweep block
+            // instead of evaporating with the scoped threads.
+            (outcome, hit, take_leap_telemetry())
         });
         // Stage persist + merge: order-insensitive assembly back into the
         // byte-stable emission order. Persisting goes through the batched
         // segment path — one fsync per FLUSH_THRESHOLD cells instead of
         // one per cell.
         let mut cache = CacheStats::default();
-        for (j, (outcome, hit)) in evaluated.into_iter().enumerate() {
+        let mut leap = LeapStats::default();
+        for (j, (outcome, hit, case_leap)) in evaluated.into_iter().enumerate() {
             let i = todo[j];
             cache.record(hit);
+            leap.absorb(case_leap);
             if let (Some(store), Some(key)) = (store, &keys[i]) {
                 store.insert_batched(key, &outcome);
             }
@@ -462,12 +525,13 @@ impl SweepSpec {
                 outcome: outcome.expect("every slot filled by lookup or evaluation"),
             })
             .collect();
-        (runs, cache)
+        CasesResult { runs, cache, leap }
     }
 
-    /// Serializes the spec for embedding in shard artifacts. Fixed
-    /// workloads have no parseable spec string and cannot shard.
-    fn encode_spec(&self) -> Result<String, String> {
+    /// Serializes the spec for embedding in shard artifacts (and the
+    /// fabric `spec` handshake frame). Fixed workloads have no parseable
+    /// spec string and cannot shard or distribute.
+    pub fn encode_spec(&self) -> Result<String, String> {
         let mut out = String::new();
         for w in &self.workloads {
             if matches!(w.workload, WorkloadKind::Fixed(_)) {
@@ -493,8 +557,8 @@ impl SweepSpec {
 
     /// Parses an [`Self::encode_spec`] block back into a spec. Worker
     /// threads default and timing is off — merged sweeps never evaluate
-    /// or time anything.
-    fn decode_spec(block: &str) -> Result<SweepSpec, String> {
+    /// or time anything (fabric workers override `threads` themselves).
+    pub fn decode_spec(block: &str) -> Result<SweepSpec, String> {
         let mut spec = SweepSpec {
             workloads: Vec::new(),
             graphs: 0,
@@ -643,8 +707,23 @@ impl SweepSpec {
             runs,
             cache: CacheStats::default(),
             cell_cache: StoreStats::default(),
+            leap: LeapStats::default(),
         })
     }
+}
+
+/// The outcome of [`SweepSpec::run_cases`] over one case list: the
+/// evaluated runs (in input order) plus the graph-cache traffic and the
+/// aggregated [`BatchedSim`](stg_des::BatchedSim) epoch-leap telemetry
+/// those evaluations produced.
+pub struct CasesResult {
+    /// Evaluated runs, one per input case, in input order.
+    pub runs: Vec<Run>,
+    /// Graph-cache hit/miss counts of the evaluations.
+    pub cache: CacheStats,
+    /// Aggregated epoch-leap telemetry (zero unless the batched
+    /// simulator validated cells).
+    pub leap: LeapStats,
 }
 
 /// One slice selector of a sharded sweep: `--shard i/n` evaluates the
@@ -723,6 +802,8 @@ pub struct ShardResult {
     pub cache: CacheStats,
     /// Result-store traffic of this slice (zero without a store).
     pub cell_cache: StoreStats,
+    /// Aggregated epoch-leap telemetry of this slice's validations.
+    pub leap: LeapStats,
 }
 
 /// First line of every text shard artifact; the version ties artifacts to
@@ -1235,6 +1316,12 @@ pub struct Sweep {
     /// Result-store (cell cache) traffic this sweep incurred: zero when
     /// no store was passed to [`SweepSpec::run_with`].
     pub cell_cache: StoreStats,
+    /// Aggregated [`BatchedSim`](stg_des::BatchedSim) epoch-leap
+    /// telemetry of this sweep's validations. Like the cache counters it
+    /// reflects live evaluation work (a fully warm rerun leaps nothing),
+    /// so it is surfaced via [`Self::to_json_with_stats`] and excluded
+    /// from the byte-stability contract.
+    pub leap: LeapStats,
 }
 
 impl Sweep {
@@ -1343,62 +1430,9 @@ impl Sweep {
     /// columns appear only when the spec's `timing` flag is set and are
     /// excluded from the byte-stability contract.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "workload,tasks,pes,seed,scheduler,status,makespan,speedup,sslr,slr,\
-             utilization,blocks,buffer_elements,sim_completed,sim_makespan,rel_err_pct,sim_beats",
-        );
-        if self.spec.timing {
-            out.push_str(",sim_ref_us,sim_batched_us");
-        }
-        out.push('\n');
-        let na_us = |v: Option<u64>| v.map_or("NA".into(), |v| v.to_string());
+        let mut out = csv_header(self.spec.timing);
         for run in &self.runs {
-            let c = &run.case;
-            let prefix = format!(
-                "{},{},{},{},{}",
-                csv_field(&c.workload.label()),
-                c.workload.task_count(),
-                c.pes,
-                c.seed,
-                c.scheduler
-            );
-            match &run.outcome {
-                Ok(r) => {
-                    let m = &r.metrics;
-                    let mut sim = match r.sim {
-                        Some(s) => format!(
-                            "{},{},{:.6},{}",
-                            s.completed as u8, s.makespan, s.rel_err_pct, s.beats
-                        ),
-                        None => "NA,NA,NA,NA".into(),
-                    };
-                    if self.spec.timing {
-                        let micros = r.sim.map(|s| s.micros).unwrap_or_default();
-                        sim.push_str(&format!(
-                            ",{},{}",
-                            na_us(micros.reference),
-                            na_us(micros.batched)
-                        ));
-                    }
-                    out.push_str(&format!(
-                        "{prefix},ok,{},{:.6},{:.6},{:.6},{:.6},{},{},{sim}\n",
-                        m.makespan,
-                        m.speedup,
-                        m.sslr,
-                        m.slr,
-                        m.utilization,
-                        m.blocks,
-                        r.buffer_elements
-                    ));
-                }
-                Err(e) => {
-                    let tail = if self.spec.timing { ",NA,NA" } else { "" };
-                    out.push_str(&format!(
-                        "{prefix},error:{},NA,NA,NA,NA,NA,NA,NA,NA,NA,NA,NA{tail}\n",
-                        error_code(e)
-                    ));
-                }
-            }
+            out.push_str(&csv_row(&run.case, &run.outcome, self.spec.timing));
         }
         out
     }
@@ -1413,101 +1447,184 @@ impl Sweep {
     }
 
     /// [`Self::to_json`] plus a `"cache"` member reporting the graph-cache
-    /// and cell-cache traffic this sweep incurred. Like the `--sim-timing`
-    /// columns, the cache member reflects live counters (a warm rerun
-    /// reports different traffic than a cold one) and is therefore
-    /// **excluded from the byte-stability contract**; the `"spec"` and
-    /// `"runs"` members remain byte-identical across cache states.
+    /// and cell-cache traffic this sweep incurred and a `"leap"` member
+    /// with the aggregated batched-simulator epoch-leap telemetry. Like
+    /// the `--sim-timing` columns, both reflect live counters (a warm
+    /// rerun reports different traffic than a cold one, and leaps
+    /// nothing) and are therefore **excluded from the byte-stability
+    /// contract**; the `"spec"` and `"runs"` members remain
+    /// byte-identical across cache states.
     pub fn to_json_with_stats(&self) -> String {
         self.render_json(true)
     }
 
     fn render_json(&self, stats: bool) -> String {
-        let schedulers: Vec<String> = self
-            .spec
-            .schedulers
-            .iter()
-            .map(|s| format!("\"{s}\""))
-            .collect();
-        let cache = if stats {
+        let stats_members = if stats {
             format!(
                 "  \"cache\": {{\"graphs\": {{\"hits\": {}, \"misses\": {}}}, \
                  \"cells\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
-                 \"evicted\": {}}}}},\n",
+                 \"evicted\": {}}}}},\n  \"leap\": {{\"leaps\": {}, \
+                 \"leaped_cycles\": {}, \"max_period\": {}}},\n",
                 self.cache.hits,
                 self.cache.misses,
                 self.cell_cache.hits,
                 self.cell_cache.misses,
                 self.cell_cache.invalidations,
-                self.cell_cache.evicted
+                self.cell_cache.evicted,
+                self.leap.leaps,
+                self.leap.leaped_cycles,
+                self.leap.max_period
             )
         } else {
             String::new()
         };
-        let mut out = format!(
-            "{{\n  \"spec\": {{\"graphs\": {}, \"seed\": {}, \"validate\": {}, \
-             \"schedulers\": [{}]}},\n{cache}  \"runs\": [\n",
-            self.spec.graphs,
-            self.spec.seed,
-            self.spec.validate,
-            schedulers.join(", ")
-        );
+        let mut out = json_prelude_with(&self.spec, &stats_members);
         for (i, run) in self.runs.iter().enumerate() {
-            let c = &run.case;
-            let head = format!(
-                "    {{\"workload\": {}, \"tasks\": {}, \"pes\": {}, \"seed\": {}, \
-                 \"scheduler\": \"{}\"",
-                json_string(&c.workload.label()),
-                c.workload.task_count(),
-                c.pes,
-                c.seed,
-                c.scheduler
-            );
-            let body = match &run.outcome {
-                Ok(r) => {
-                    let m = &r.metrics;
-                    let sim = match r.sim {
-                        Some(s) => {
-                            let timing = if self.spec.timing {
-                                let us =
-                                    |v: Option<u64>| v.map_or("null".into(), |v| v.to_string());
-                                format!(
-                                    ", \"ref_us\": {}, \"batched_us\": {}",
-                                    us(s.micros.reference),
-                                    us(s.micros.batched)
-                                )
-                            } else {
-                                String::new()
-                            };
-                            format!(
-                                ", \"sim\": {{\"completed\": {}, \"makespan\": {}, \
-                                 \"rel_err_pct\": {:.6}, \"beats\": {}{timing}}}",
-                                s.completed, s.makespan, s.rel_err_pct, s.beats
-                            )
-                        }
-                        None => String::new(),
-                    };
-                    format!(
-                        ", \"status\": \"ok\", \"makespan\": {}, \"speedup\": {:.6}, \
-                         \"sslr\": {:.6}, \"slr\": {:.6}, \"utilization\": {:.6}, \
-                         \"blocks\": {}, \"buffer_elements\": {}{sim}}}",
-                        m.makespan,
-                        m.speedup,
-                        m.sslr,
-                        m.slr,
-                        m.utilization,
-                        m.blocks,
-                        r.buffer_elements
-                    )
-                }
-                Err(e) => format!(", \"status\": {}}}", json_string(&error_code(e))),
-            };
-            let comma = if i + 1 < self.runs.len() { "," } else { "" };
-            out.push_str(&format!("{head}{body}{comma}\n"));
+            out.push_str(&json_row(
+                &run.case,
+                &run.outcome,
+                self.spec.timing,
+                i + 1 == self.runs.len(),
+            ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str(json_epilogue());
         out
     }
+}
+
+/// The CSV header row (with trailing newline) of [`Sweep::to_csv`] —
+/// public so the fabric stream-merger emits output incrementally while
+/// staying byte-identical to an in-process sweep.
+pub fn csv_header(timing: bool) -> String {
+    let mut out = String::from(
+        "workload,tasks,pes,seed,scheduler,status,makespan,speedup,sslr,slr,\
+         utilization,blocks,buffer_elements,sim_completed,sim_makespan,rel_err_pct,sim_beats",
+    );
+    if timing {
+        out.push_str(",sim_ref_us,sim_batched_us");
+    }
+    out.push('\n');
+    out
+}
+
+/// One CSV row (with trailing newline) for a case and its outcome — the
+/// single definition behind [`Sweep::to_csv`] and the fabric
+/// stream-merger; the two paths must never drift a byte apart.
+pub fn csv_row(c: &Case, outcome: &Outcome, timing: bool) -> String {
+    let na_us = |v: Option<u64>| v.map_or("NA".into(), |v: u64| v.to_string());
+    let prefix = format!(
+        "{},{},{},{},{}",
+        csv_field(&c.workload.label()),
+        c.workload.task_count(),
+        c.pes,
+        c.seed,
+        c.scheduler
+    );
+    match outcome {
+        Ok(r) => {
+            let m = &r.metrics;
+            let mut sim = match r.sim {
+                Some(s) => format!(
+                    "{},{},{:.6},{}",
+                    s.completed as u8, s.makespan, s.rel_err_pct, s.beats
+                ),
+                None => "NA,NA,NA,NA".into(),
+            };
+            if timing {
+                let micros = r.sim.map(|s| s.micros).unwrap_or_default();
+                sim.push_str(&format!(
+                    ",{},{}",
+                    na_us(micros.reference),
+                    na_us(micros.batched)
+                ));
+            }
+            format!(
+                "{prefix},ok,{},{:.6},{:.6},{:.6},{:.6},{},{},{sim}\n",
+                m.makespan, m.speedup, m.sslr, m.slr, m.utilization, m.blocks, r.buffer_elements
+            )
+        }
+        Err(e) => {
+            let tail = if timing { ",NA,NA" } else { "" };
+            format!(
+                "{prefix},error:{},NA,NA,NA,NA,NA,NA,NA,NA,NA,NA,NA{tail}\n",
+                error_code(e)
+            )
+        }
+    }
+}
+
+/// The JSON document prelude of [`Sweep::to_json`]: opening brace, the
+/// `"spec"` member, and the `"runs"` array opener.
+pub fn json_prelude(spec: &SweepSpec) -> String {
+    json_prelude_with(spec, "")
+}
+
+/// [`json_prelude`] with optional pre-rendered members (the live stats
+/// block of [`Sweep::to_json_with_stats`]) between spec and runs.
+fn json_prelude_with(spec: &SweepSpec, members: &str) -> String {
+    let schedulers: Vec<String> = spec.schedulers.iter().map(|s| format!("\"{s}\"")).collect();
+    format!(
+        "{{\n  \"spec\": {{\"graphs\": {}, \"seed\": {}, \"validate\": {}, \
+         \"schedulers\": [{}]}},\n{members}  \"runs\": [\n",
+        spec.graphs,
+        spec.seed,
+        spec.validate,
+        schedulers.join(", ")
+    )
+}
+
+/// One JSON run object line (with trailing newline, and a separating
+/// comma unless `last`) — the single definition behind [`Sweep::to_json`]
+/// and the fabric stream-merger.
+pub fn json_row(c: &Case, outcome: &Outcome, timing: bool, last: bool) -> String {
+    let head = format!(
+        "    {{\"workload\": {}, \"tasks\": {}, \"pes\": {}, \"seed\": {}, \
+         \"scheduler\": \"{}\"",
+        json_string(&c.workload.label()),
+        c.workload.task_count(),
+        c.pes,
+        c.seed,
+        c.scheduler
+    );
+    let body = match outcome {
+        Ok(r) => {
+            let m = &r.metrics;
+            let sim = match r.sim {
+                Some(s) => {
+                    let t = if timing {
+                        let us = |v: Option<u64>| v.map_or("null".into(), |v: u64| v.to_string());
+                        format!(
+                            ", \"ref_us\": {}, \"batched_us\": {}",
+                            us(s.micros.reference),
+                            us(s.micros.batched)
+                        )
+                    } else {
+                        String::new()
+                    };
+                    format!(
+                        ", \"sim\": {{\"completed\": {}, \"makespan\": {}, \
+                         \"rel_err_pct\": {:.6}, \"beats\": {}{t}}}",
+                        s.completed, s.makespan, s.rel_err_pct, s.beats
+                    )
+                }
+                None => String::new(),
+            };
+            format!(
+                ", \"status\": \"ok\", \"makespan\": {}, \"speedup\": {:.6}, \
+                 \"sslr\": {:.6}, \"slr\": {:.6}, \"utilization\": {:.6}, \
+                 \"blocks\": {}, \"buffer_elements\": {}{sim}}}",
+                m.makespan, m.speedup, m.sslr, m.slr, m.utilization, m.blocks, r.buffer_elements
+            )
+        }
+        Err(e) => format!(", \"status\": {}}}", json_string(&error_code(e))),
+    };
+    let comma = if last { "" } else { "," };
+    format!("{head}{body}{comma}\n")
+}
+
+/// The JSON document epilogue closing the `"runs"` array and document.
+pub fn json_epilogue() -> &'static str {
+    "  ]\n}\n"
 }
 
 /// Keeps a free-form field (fixed-workload names) from corrupting CSV
@@ -1704,6 +1821,78 @@ mod tests {
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().all(|c| c.runs.len() == 1));
         assert!(sweep.runs.iter().all(|r| r.record().is_some()));
+    }
+
+    #[test]
+    fn cases_slice_matches_full_expansion() {
+        // Mixed seeded + fixed grid exercises the per-workload
+        // runs_per_cell arithmetic.
+        use stg_model::Builder;
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..3).map(|i| b.compute(format!("t{i}"))).collect();
+        b.chain(&t, 32);
+        let mut spec = SweepSpec::paper(3, 11);
+        spec.workloads.truncate(2);
+        spec.workloads.push(WorkloadSpec {
+            workload: WorkloadKind::fixed("tiny", b.finish().unwrap()),
+            pes: vec![2, 4],
+        });
+        let cases = spec.cases();
+        assert_eq!(spec.total_cases(), cases.len());
+        let same = |a: &Case, b: &Case| {
+            a.index == b.index
+                && a.workload.label() == b.workload.label()
+                && a.pes == b.pes
+                && a.seed == b.seed
+                && a.scheduler == b.scheduler
+        };
+        for range in [
+            0..cases.len(),
+            0..0,
+            0..1,
+            3..17,
+            cases.len() - 1..cases.len(),
+            cases.len()..cases.len() + 5,
+            5..cases.len() + 9,
+        ] {
+            let slice = spec.cases_slice(range.clone());
+            let lo = range.start.min(cases.len());
+            let hi = range.end.min(cases.len());
+            assert_eq!(slice.len(), hi - lo, "{range:?}");
+            for (got, want) in slice.iter().zip(&cases[lo..hi]) {
+                assert!(same(got, want), "case {} of {range:?}", want.index);
+            }
+        }
+    }
+
+    #[test]
+    fn leap_telemetry_aggregates_per_sweep() {
+        // A long steady chain leaps under the batched simulator; the
+        // sweep must collect that telemetry from its scoped worker
+        // threads, invariant to the thread count.
+        let mut spec = SweepSpec {
+            workloads: vec![WorkloadSpec {
+                workload: "chain:64".parse().unwrap(),
+                pes: vec![4],
+            }],
+            graphs: 2,
+            seed: 0x5EED_CE17,
+            schedulers: vec![SchedulerKind::StreamingLts],
+            validate: true,
+            sim: SimChoice::Batched,
+            timing: false,
+            threads: Some(1),
+        };
+        let one = spec.run();
+        assert!(one.leap.leaps > 0, "steady chain must leap");
+        assert!(one.leap.leaped_cycles > 0);
+        assert!(one.leap.max_period > 0);
+        spec.threads = Some(4);
+        let many = spec.run();
+        assert_eq!(one.leap, many.leap, "leap telemetry is deterministic");
+        // The reference simulator never leaps.
+        spec.sim = SimChoice::Reference;
+        assert_eq!(spec.run().leap, LeapStats::default());
     }
 
     #[test]

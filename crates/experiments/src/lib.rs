@@ -31,8 +31,8 @@ pub mod stats;
 pub mod store;
 
 pub use engine::{
-    Case, Cell, Record, Run, Shard, ShardResult, SimChoice, SimMicros, SimRecord, Sweep, SweepSpec,
-    WorkloadSpec,
+    csv_header, csv_row, json_epilogue, json_prelude, json_row, Case, CasesResult, Cell, Record,
+    Run, Shard, ShardResult, SimChoice, SimMicros, SimRecord, Sweep, SweepSpec, WorkloadSpec,
 };
 pub use harness::{
     default_threads, par_map, par_map_with, print_scheduler_registry, print_workload_registry, Args,

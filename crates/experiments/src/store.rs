@@ -83,7 +83,17 @@ pub type Outcome = Result<Record, ScheduleError>;
 /// stable across releases, which would silently invalidate disk caches on
 /// a toolchain upgrade).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_fold(FNV_BASIS, bytes)
+}
+
+/// The FNV-1a offset basis — the starting state of [`fnv1a`].
+pub const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a state `h`: hashing a byte stream
+/// in chunks yields the same value as hashing the concatenation, so
+/// callers (the grid fingerprint) can hash without materializing the
+/// whole input.
+pub fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -587,31 +597,32 @@ fn parse_segment(bytes: &[u8]) -> Option<Vec<(u64, Entry)>> {
     Some(entries)
 }
 
-/// Little-endian `u32` writer for the binary disk formats (segments here,
-/// shard artifacts in [`crate::engine`]).
-pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+/// Little-endian `u32` writer for the binary wire/disk formats (segment
+/// files here, shard artifacts in [`crate::engine`], lease row frames in
+/// the fabric crate).
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Little-endian `u64` writer for the binary disk formats.
-pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Little-endian `u64` writer for the binary wire/disk formats.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Reads a little-endian `u32` off the front of `bytes`.
-pub(crate) fn take_u32(bytes: &[u8]) -> Option<(u32, &[u8])> {
+pub fn take_u32(bytes: &[u8]) -> Option<(u32, &[u8])> {
     let (head, rest) = bytes.split_at_checked(4)?;
     Some((u32::from_le_bytes(head.try_into().ok()?), rest))
 }
 
 /// Reads a little-endian `u64` off the front of `bytes`.
-pub(crate) fn take_u64(bytes: &[u8]) -> Option<(u64, &[u8])> {
+pub fn take_u64(bytes: &[u8]) -> Option<(u64, &[u8])> {
     let (head, rest) = bytes.split_at_checked(8)?;
     Some((u64::from_le_bytes(head.try_into().ok()?), rest))
 }
 
 /// Reads a `len`-byte UTF-8 string off the front of `bytes`.
-pub(crate) fn take_str(bytes: &[u8], len: usize) -> Option<(&str, &[u8])> {
+pub fn take_str(bytes: &[u8], len: usize) -> Option<(&str, &[u8])> {
     let (head, rest) = bytes.split_at_checked(len)?;
     Some((std::str::from_utf8(head).ok()?, rest))
 }

@@ -1,6 +1,7 @@
-//! `--threads` CLI validation for the sweep frontend: zero and junk
-//! values exit with code 2 and a clear message instead of panicking or
-//! silently clamping to one worker.
+//! CLI validation for the sweep frontend: junk `--threads`, out-of-range
+//! `--shard i/n` selectors, and malformed `--distributed` worker counts
+//! all exit with code 2 and a clear usage message up front — instead of
+//! panicking, silently clamping, or burning a full sweep first.
 
 use std::process::Command;
 
@@ -29,6 +30,54 @@ fn sweep_rejects_junk_threads() {
         assert_eq!(code, Some(2), "--threads {junk:?}: {stderr}");
         assert!(stderr.contains("--threads"), "--threads {junk:?}: {stderr}");
     }
+}
+
+#[test]
+fn sweep_rejects_out_of_range_shards_up_front() {
+    // Index at/past the count and zero counts are rejected before any
+    // evaluation, with the usage shape in the message.
+    for bad in ["3/3", "4/3", "0/0", "1/0"] {
+        let (code, stderr) = run(&["--shard", bad]);
+        assert_eq!(code, Some(2), "--shard {bad}: {stderr}");
+        assert!(stderr.contains("--shard"), "--shard {bad}: {stderr}");
+        assert!(stderr.contains("0 <= i < n"), "--shard {bad}: {stderr}");
+    }
+}
+
+#[test]
+fn sweep_rejects_junk_shards() {
+    for junk in ["", "1", "1/", "/2", "a/b", "-1/2", "1.5/3", "1/2/3"] {
+        let (code, stderr) = run(&["--shard", junk]);
+        assert_eq!(code, Some(2), "--shard {junk:?}: {stderr}");
+        assert!(stderr.contains("--shard"), "--shard {junk:?}: {stderr}");
+    }
+}
+
+#[test]
+fn sweep_accepts_valid_shard() {
+    let (code, stderr) = run(&["--shard", "0/2", "--workload", "chain", "--pes", "2"]);
+    assert_eq!(code, Some(0), "{stderr}");
+}
+
+#[test]
+fn sweep_rejects_distributed_without_a_worker_count() {
+    for bad in [
+        vec!["--distributed"],
+        vec!["--distributed", "0"],
+        vec!["--distributed", "two"],
+        vec!["--distributed", "--json"],
+    ] {
+        let (code, stderr) = run(&bad);
+        assert_eq!(code, Some(2), "{bad:?}: {stderr}");
+        assert!(stderr.contains("--distributed"), "{bad:?}: {stderr}");
+    }
+}
+
+#[test]
+fn sweep_rejects_distributed_combined_with_shard() {
+    let (code, stderr) = run(&["--distributed", "2", "--shard", "0/2"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("incompatible"), "{stderr}");
 }
 
 #[test]

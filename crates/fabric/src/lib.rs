@@ -1,0 +1,42 @@
+//! `stg_fabric` — the distributed sweep fabric.
+//!
+//! A coordinator expands a [`stg_experiments::SweepSpec`] into cell-range
+//! **leases** and serves them to workers over newline-JSON loopback TCP
+//! (the same framing as the `stg_service` daemon). The fabric's promise
+//! is the workspace's determinism contract, extended across processes:
+//! the merged artifact is **byte-identical** to an unsharded `sweep` run
+//! of the same spec, regardless of worker count, work-stealing splits,
+//! lease re-queues, or workers killed mid-lease.
+//!
+//! The moving parts:
+//!
+//! - [`protocol`] — the request/response frames (`hello`/`next`/`rows`/
+//!   `ping`/`stats`) and the hex-encoded binary row blob, reusing the
+//!   shard frame's row encoding.
+//! - [`coordinator`] — lease queue, work-stealing splits, deadline and
+//!   connection-drop re-queue, and the drain phase.
+//! - [`worker`] — lease/evaluate/report loop over the shared engine
+//!   ([`stg_experiments::SweepSpec::run_cases`]), honoring steal
+//!   truncation acks.
+//! - [`merge`] — the bounded-memory [`merge::StreamMerger`] folding rows
+//!   into the artifact in case-index order.
+//! - [`counters`] — monotonic fabric counters (`leases_issued`,
+//!   `leases_stolen`, `re_queued`, `worker_deaths`, …) served over the
+//!   `stats` op and printed at exit.
+//!
+//! Entry points: the `fabric` binary (`fabric coordinate` / `fabric work`
+//! / `fabric stats`) and `sweep --distributed N`, which delegates to it.
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod counters;
+pub mod merge;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{Coordinator, FabricConfig, FabricRunReport};
+pub use counters::{FabricCounters, FabricSnapshot};
+pub use merge::{MergeReport, MergeTallies, OutputKind, StreamMerger};
+pub use protocol::{FabricRequest, FabricResponse, MAX_FRAME_BYTES, MAX_ROWS_PER_FRAME};
+pub use worker::{run_worker, WorkerConfig, WorkerReport};

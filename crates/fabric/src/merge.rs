@@ -1,0 +1,297 @@
+//! Bounded-memory stream-merge: folds completed rows into the output
+//! artifact incrementally, in case-index order, never holding the full
+//! result set.
+//!
+//! The merger owns the output writer. The header goes out immediately;
+//! each merged row is rendered through the engine's shared emitters
+//! ([`stg_experiments::csv_row`] / [`stg_experiments::json_row`] — the
+//! same functions behind [`Sweep::to_csv`](stg_experiments::Sweep::to_csv)),
+//! so the streamed artifact is byte-identical to an unsharded in-process
+//! run. Out-of-order arrivals buffer in a [`BTreeMap`] until the next
+//! emission index arrives; because the coordinator issues leases in index
+//! order, the buffer is bounded by the outstanding-lease spread, not the
+//! grid size.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use stg_experiments::store::Outcome;
+use stg_experiments::{csv_header, csv_row, json_epilogue, json_prelude, json_row, SweepSpec};
+
+/// Which artifact the merger streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputKind {
+    /// The `sweep` CSV artifact ([`Sweep::to_csv`](stg_experiments::Sweep::to_csv)).
+    Csv,
+    /// The `sweep --json` artifact ([`Sweep::to_json`](stg_experiments::Sweep::to_json)).
+    Json,
+}
+
+/// Failure-count tallies of the merged rows, mirroring the unsharded
+/// sweep's exit-code inputs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeTallies {
+    /// Rows that failed to schedule.
+    pub errors: usize,
+    /// Validated rows whose simulation did not complete.
+    pub deadlocks: usize,
+    /// Validated rows on which the simulators diverged.
+    pub divergences: usize,
+}
+
+/// The streaming merger: push rows in any order, exactly-once per index
+/// enforced internally, output emitted in index order.
+pub struct StreamMerger<W: Write> {
+    spec: SweepSpec,
+    kind: OutputKind,
+    out: W,
+    total: usize,
+    next_emit: usize,
+    buffered: BTreeMap<usize, Outcome>,
+    merged: Vec<bool>,
+    merged_count: usize,
+    peak_buffered: usize,
+    tallies: MergeTallies,
+}
+
+impl<W: Write> StreamMerger<W> {
+    /// Opens the merger over `out` and writes the artifact header. The
+    /// spec must be the distributed sweep's spec (rows are rendered by
+    /// expanding one case per index from it).
+    pub fn new(spec: SweepSpec, kind: OutputKind, mut out: W) -> std::io::Result<StreamMerger<W>> {
+        let total = spec.total_cases();
+        match kind {
+            OutputKind::Csv => out.write_all(csv_header(spec.timing).as_bytes())?,
+            OutputKind::Json => out.write_all(json_prelude(&spec).as_bytes())?,
+        }
+        Ok(StreamMerger {
+            spec,
+            kind,
+            out,
+            total,
+            next_emit: 0,
+            buffered: BTreeMap::new(),
+            merged: vec![false; total],
+            merged_count: 0,
+            peak_buffered: 0,
+            tallies: MergeTallies::default(),
+        })
+    }
+
+    /// True once `index` has been merged (first writer wins).
+    pub fn is_merged(&self, index: usize) -> bool {
+        self.merged[index]
+    }
+
+    /// Rows merged so far.
+    pub fn merged_count(&self) -> usize {
+        self.merged_count
+    }
+
+    /// True once every cell of the grid is merged.
+    pub fn done(&self) -> bool {
+        self.merged_count == self.total
+    }
+
+    /// High-water mark of rows buffered awaiting in-order emission — the
+    /// bounded-memory tests assert this stays far below the grid size.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Failure counts of the merged rows.
+    pub fn tallies(&self) -> MergeTallies {
+        self.tallies
+    }
+
+    /// Offers one row. Returns `Ok(true)` if it was new (merged), or
+    /// `Ok(false)` if the index was already merged (a duplicate from a
+    /// steal/re-queue overlap — harmless, outcomes are deterministic).
+    /// Out-of-range indices are an error (a corrupt or foreign report).
+    pub fn push(&mut self, index: usize, outcome: Outcome) -> Result<bool, String> {
+        if index >= self.total {
+            return Err(format!(
+                "row index {index} out of range for a {}-cell grid",
+                self.total
+            ));
+        }
+        if self.merged[index] {
+            return Ok(false);
+        }
+        self.merged[index] = true;
+        self.merged_count += 1;
+        self.tally(&outcome);
+        self.buffered.insert(index, outcome);
+        self.peak_buffered = self.peak_buffered.max(self.buffered.len());
+        self.drain().map_err(|e| format!("merge output: {e}"))?;
+        Ok(true)
+    }
+
+    /// Emits the contiguous prefix that is now available.
+    fn drain(&mut self) -> std::io::Result<()> {
+        while let Some(outcome) = self.buffered.remove(&self.next_emit) {
+            let case = self
+                .spec
+                .cases_slice(self.next_emit..self.next_emit + 1)
+                .pop()
+                .expect("index in range");
+            let row = match self.kind {
+                OutputKind::Csv => csv_row(&case, &outcome, self.spec.timing),
+                OutputKind::Json => json_row(
+                    &case,
+                    &outcome,
+                    self.spec.timing,
+                    self.next_emit + 1 == self.total,
+                ),
+            };
+            self.out.write_all(row.as_bytes())?;
+            self.next_emit += 1;
+        }
+        Ok(())
+    }
+
+    /// Writes the artifact epilogue and flushes. Errors unless every cell
+    /// merged — a truncated artifact must never look complete.
+    pub fn finish(mut self) -> Result<MergeReport, String> {
+        if !self.done() {
+            return Err(format!(
+                "merge incomplete: {} of {} cells merged",
+                self.merged_count, self.total
+            ));
+        }
+        let io = |e: std::io::Error| format!("merge output: {e}");
+        if self.kind == OutputKind::Json {
+            self.out.write_all(json_epilogue().as_bytes()).map_err(io)?;
+        }
+        self.out.flush().map_err(io)?;
+        Ok(MergeReport {
+            rows: self.merged_count,
+            peak_buffered: self.peak_buffered,
+            tallies: self.tallies,
+        })
+    }
+
+    fn tally(&mut self, outcome: &Outcome) {
+        match outcome {
+            Err(_) => self.tallies.errors += 1,
+            Ok(r) => {
+                if let Some(s) = r.sim {
+                    if !s.completed {
+                        self.tallies.deadlocks += 1;
+                    }
+                    if s.diverged {
+                        self.tallies.divergences += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// What [`StreamMerger::finish`] reports about a completed merge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Rows merged (always the full grid).
+    pub rows: usize,
+    /// High-water mark of the out-of-order buffer.
+    pub peak_buffered: usize,
+    /// Failure counts for exit-code decisions.
+    pub tallies: MergeTallies,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SweepSpec {
+        let mut spec = SweepSpec::paper(2, 0xFAB_0001);
+        spec.workloads.truncate(2);
+        spec.validate = true;
+        spec.threads = Some(2);
+        spec
+    }
+
+    #[test]
+    fn in_order_stream_matches_sweep_output() {
+        let spec = spec();
+        let sweep = spec.run();
+        for (kind, expected) in [
+            (OutputKind::Csv, sweep.to_csv()),
+            (OutputKind::Json, sweep.to_json()),
+        ] {
+            let out = SharedBuf::default();
+            let mut m = StreamMerger::new(spec.clone(), kind, out.clone()).unwrap();
+            for run in &sweep.runs {
+                assert!(m.push(run.case.index, run.outcome.clone()).unwrap());
+            }
+            assert!(m.done());
+            assert_eq!(m.peak_buffered(), 1, "in-order arrivals never buffer");
+            let report = m.finish().unwrap();
+            assert_eq!(report.rows, sweep.runs.len());
+            assert_eq!(out.take(), expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn shuffled_stream_is_byte_identical_and_duplicate_safe() {
+        let spec = spec();
+        let sweep = spec.run();
+        for (kind, expected) in [
+            (OutputKind::Csv, sweep.to_csv()),
+            (OutputKind::Json, sweep.to_json()),
+        ] {
+            let out = SharedBuf::default();
+            let mut m = StreamMerger::new(spec.clone(), kind, out.clone()).unwrap();
+            // Reverse order maximizes buffering; every row duplicated.
+            for run in sweep.runs.iter().rev() {
+                assert!(m.push(run.case.index, run.outcome.clone()).unwrap());
+                assert!(!m.push(run.case.index, run.outcome.clone()).unwrap());
+            }
+            // The final push (index 0) briefly buffers before draining,
+            // so the high-water mark is the full row count.
+            assert_eq!(m.peak_buffered(), sweep.runs.len());
+            let report = m.finish().unwrap();
+            assert_eq!(report.rows, sweep.runs.len());
+            assert_eq!(report.tallies.errors, 0);
+            assert_eq!(out.take(), expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn incomplete_merge_refuses_to_finish() {
+        let spec = spec();
+        let m = StreamMerger::new(spec, OutputKind::Csv, Vec::new()).unwrap();
+        let err = m.finish().unwrap_err();
+        assert!(err.contains("incomplete"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_rows_are_rejected() {
+        let spec = spec();
+        let sweep = spec.run();
+        let total = sweep.runs.len();
+        let mut m = StreamMerger::new(spec, OutputKind::Csv, Vec::new()).unwrap();
+        let outcome = sweep.runs[0].outcome.clone();
+        assert!(m.push(total, outcome).is_err());
+    }
+
+    /// A cloneable in-memory writer for asserting streamed bytes.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn take(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+}

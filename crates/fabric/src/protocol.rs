@@ -1,0 +1,465 @@
+//! The fabric wire protocol: one JSON object per `\n`-terminated line,
+//! reusing the service crate's [`Json`] codec and frame reader.
+//!
+//! Requests carry an `"op"` member, responses an `"ok"` member:
+//!
+//! | request | response |
+//! |---------|----------|
+//! | `{"op":"hello","name":..}` | `{"ok":"spec","spec":..,"fingerprint":..,"total":..,"cache_dir":..}` |
+//! | `{"op":"next","name":..}` | `{"ok":"lease",..}` \| `{"ok":"wait","ms":..}` \| `{"ok":"drain"}` |
+//! | `{"op":"rows","lease":..,"rows":..,..}` | `{"ok":"ack","end":..}` \| `{"ok":"gone"}` |
+//! | `{"op":"ping","lease":..}` | `{"ok":"ack","end":..}` \| `{"ok":"gone"}` |
+//! | `{"op":"stats"}` | `{"ok":"stats",..}` |
+//!
+//! Any malformed request draws `{"ok":"error","error":..}`. Row payloads
+//! travel as a hex-encoded binary blob (the row section of the `STGSHRD`
+//! artifact format: a `u32` count, then per row a `u64` case index, `u32`
+//! payload length, and the canonical outcome serialization), so one frame
+//! carries a bounded batch of rows without JSON-escaping every payload.
+
+use stg_des::LeapStats;
+use stg_experiments::store::Outcome;
+use stg_experiments::store::{
+    decode_outcome, encode_outcome, put_u32, put_u64, take_str, take_u32, take_u64,
+};
+use stg_service::json::Json;
+
+/// Frame bound for fabric connections: row batches are larger than the
+/// service's request frames, but still bounded (a batch of
+/// [`MAX_ROWS_PER_FRAME`] rows is a few hundred KiB at worst).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Upper bound on rows per `rows` frame; workers chunk larger leases so
+/// partially-reported leases survive a mid-lease death.
+pub const MAX_ROWS_PER_FRAME: usize = 128;
+
+/// A parsed fabric request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FabricRequest {
+    /// Worker handshake; the coordinator answers with the spec frame.
+    Hello {
+        /// Worker name (for logs only).
+        name: String,
+    },
+    /// Lease request.
+    Next {
+        /// Worker name (for logs only).
+        name: String,
+    },
+    /// A batch of evaluated rows for one lease, plus the worker-side
+    /// store and leap telemetry deltas of the batch.
+    Rows {
+        /// Lease id the rows belong to.
+        lease: u64,
+        /// Decoded `(case index, outcome)` rows.
+        rows: Vec<(usize, Outcome)>,
+        /// Worker-side result-store hits while evaluating the batch.
+        hits: u64,
+        /// Worker-side result-store misses while evaluating the batch.
+        misses: u64,
+        /// Batched-simulator epoch-leap telemetry of the batch.
+        leap: LeapStats,
+    },
+    /// Deadline refresh for a long-running lease.
+    Ping {
+        /// Lease id to refresh.
+        lease: u64,
+    },
+    /// Counter snapshot request.
+    Stats,
+}
+
+impl FabricRequest {
+    /// Renders the request frame (no trailing newline).
+    pub fn frame(&self) -> String {
+        match self {
+            FabricRequest::Hello { name } => Json::Obj(vec![
+                ("op".into(), Json::Str("hello".into())),
+                ("name".into(), Json::Str(name.clone())),
+            ]),
+            FabricRequest::Next { name } => Json::Obj(vec![
+                ("op".into(), Json::Str("next".into())),
+                ("name".into(), Json::Str(name.clone())),
+            ]),
+            FabricRequest::Rows {
+                lease,
+                rows,
+                hits,
+                misses,
+                leap,
+            } => Json::Obj(vec![
+                ("op".into(), Json::Str("rows".into())),
+                ("lease".into(), Json::num(*lease)),
+                ("rows".into(), Json::Str(encode_rows(rows))),
+                ("hits".into(), Json::num(*hits)),
+                ("misses".into(), Json::num(*misses)),
+                ("leaps".into(), Json::num(leap.leaps)),
+                ("leaped_cycles".into(), Json::num(leap.leaped_cycles)),
+                ("max_period".into(), Json::num(leap.max_period)),
+            ]),
+            FabricRequest::Ping { lease } => Json::Obj(vec![
+                ("op".into(), Json::Str("ping".into())),
+                ("lease".into(), Json::num(*lease)),
+            ]),
+            FabricRequest::Stats => Json::Obj(vec![("op".into(), Json::Str("stats".into()))]),
+        }
+        .to_string()
+    }
+
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<FabricRequest, String> {
+        let v = stg_service::json::parse(line).map_err(|e| format!("bad frame: {e}"))?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing op".to_string())?;
+        let name = || {
+            v.get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("worker")
+                .to_string()
+        };
+        match op {
+            "hello" => Ok(FabricRequest::Hello { name: name() }),
+            "next" => Ok(FabricRequest::Next { name: name() }),
+            "rows" => {
+                let n = |key: &str| {
+                    v.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("rows frame missing {key}"))
+                };
+                let blob = v
+                    .get("rows")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "rows frame missing rows blob".to_string())?;
+                Ok(FabricRequest::Rows {
+                    lease: n("lease")?,
+                    rows: decode_rows(blob)?,
+                    hits: n("hits")?,
+                    misses: n("misses")?,
+                    leap: LeapStats {
+                        leaps: n("leaps")?,
+                        leaped_cycles: n("leaped_cycles")?,
+                        max_period: n("max_period")?,
+                    },
+                })
+            }
+            "ping" => Ok(FabricRequest::Ping {
+                lease: v
+                    .get("lease")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| "ping frame missing lease".to_string())?,
+            }),
+            "stats" => Ok(FabricRequest::Stats),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// A parsed fabric response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FabricResponse {
+    /// Handshake answer: everything a worker needs to expand leases.
+    Spec {
+        /// The [`SweepSpec::encode_spec`](stg_experiments::SweepSpec::encode_spec) block.
+        spec: String,
+        /// The spec's grid fingerprint (workers verify their expansion).
+        fingerprint: u64,
+        /// Case count of the full grid.
+        total: usize,
+        /// Shared `--cache-dir`, when the coordinator has one.
+        cache_dir: Option<String>,
+    },
+    /// A leased case range.
+    Lease {
+        /// Lease id (quote it back in `rows`/`ping`).
+        lease: u64,
+        /// First case index of the lease.
+        start: usize,
+        /// One past the last case index.
+        end: usize,
+        /// Deadline budget; the coordinator re-queues the lease this long
+        /// after issue (each accepted `rows`/`ping` frame refreshes it).
+        deadline_ms: u64,
+    },
+    /// No lease available right now; retry after `ms`.
+    Wait {
+        /// Suggested retry delay.
+        ms: u64,
+    },
+    /// Every cell is merged; the worker should exit.
+    Drain,
+    /// Rows accepted; the lease now ends at `end` (steals shrink it).
+    Ack {
+        /// Current end of the lease range (`start..end` still owned).
+        end: usize,
+    },
+    /// The lease is no longer outstanding (completed, stolen whole, or
+    /// re-queued); abandon it and request the next one.
+    Gone,
+    /// Counter snapshot (see [`crate::FabricSnapshot::from_json`]).
+    Stats(crate::FabricSnapshot),
+    /// Malformed request.
+    Error {
+        /// Human-readable cause.
+        error: String,
+    },
+}
+
+impl FabricResponse {
+    /// Renders the response frame (no trailing newline).
+    pub fn frame(&self) -> String {
+        match self {
+            FabricResponse::Spec {
+                spec,
+                fingerprint,
+                total,
+                cache_dir,
+            } => Json::Obj(vec![
+                ("ok".into(), Json::Str("spec".into())),
+                ("spec".into(), Json::Str(spec.clone())),
+                (
+                    "fingerprint".into(),
+                    Json::Str(format!("{fingerprint:016x}")),
+                ),
+                ("total".into(), Json::num(*total)),
+                (
+                    "cache_dir".into(),
+                    match cache_dir {
+                        Some(dir) => Json::Str(dir.clone()),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            FabricResponse::Lease {
+                lease,
+                start,
+                end,
+                deadline_ms,
+            } => Json::Obj(vec![
+                ("ok".into(), Json::Str("lease".into())),
+                ("lease".into(), Json::num(*lease)),
+                ("start".into(), Json::num(*start)),
+                ("end".into(), Json::num(*end)),
+                ("deadline_ms".into(), Json::num(*deadline_ms)),
+            ]),
+            FabricResponse::Wait { ms } => Json::Obj(vec![
+                ("ok".into(), Json::Str("wait".into())),
+                ("ms".into(), Json::num(*ms)),
+            ]),
+            FabricResponse::Drain => Json::Obj(vec![("ok".into(), Json::Str("drain".into()))]),
+            FabricResponse::Ack { end } => Json::Obj(vec![
+                ("ok".into(), Json::Str("ack".into())),
+                ("end".into(), Json::num(*end)),
+            ]),
+            FabricResponse::Gone => Json::Obj(vec![("ok".into(), Json::Str("gone".into()))]),
+            FabricResponse::Stats(snap) => return snap.frame(),
+            FabricResponse::Error { error } => Json::Obj(vec![
+                ("ok".into(), Json::Str("error".into())),
+                ("error".into(), Json::Str(error.clone())),
+            ]),
+        }
+        .to_string()
+    }
+
+    /// Parses one response line.
+    pub fn parse(line: &str) -> Result<FabricResponse, String> {
+        let v = stg_service::json::parse(line).map_err(|e| format!("bad frame: {e}"))?;
+        let ok = v
+            .get("ok")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing ok".to_string())?;
+        let n = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{ok} frame missing {key}"))
+        };
+        match ok {
+            "spec" => Ok(FabricResponse::Spec {
+                spec: v
+                    .get("spec")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "spec frame missing spec".to_string())?
+                    .to_string(),
+                fingerprint: v
+                    .get("fingerprint")
+                    .and_then(Json::as_str)
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| "spec frame missing fingerprint".to_string())?,
+                total: n("total")? as usize,
+                cache_dir: v
+                    .get("cache_dir")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+            }),
+            "lease" => Ok(FabricResponse::Lease {
+                lease: n("lease")?,
+                start: n("start")? as usize,
+                end: n("end")? as usize,
+                deadline_ms: n("deadline_ms")?,
+            }),
+            "wait" => Ok(FabricResponse::Wait { ms: n("ms")? }),
+            "drain" => Ok(FabricResponse::Drain),
+            "ack" => Ok(FabricResponse::Ack {
+                end: n("end")? as usize,
+            }),
+            "gone" => Ok(FabricResponse::Gone),
+            "stats" => crate::FabricSnapshot::from_json(&v)
+                .map(FabricResponse::Stats)
+                .ok_or_else(|| "malformed stats frame".to_string()),
+            "error" => Ok(FabricResponse::Error {
+                error: v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+            }),
+            other => Err(format!("unknown response {other:?}")),
+        }
+    }
+}
+
+/// Encodes a row batch as the hex blob of the `rows` frame.
+pub fn encode_rows(rows: &[(usize, Outcome)]) -> String {
+    let mut bytes = Vec::with_capacity(8 + rows.len() * 48);
+    put_u32(&mut bytes, rows.len() as u32);
+    for (index, outcome) in rows {
+        let payload = encode_outcome(outcome);
+        put_u64(&mut bytes, *index as u64);
+        put_u32(&mut bytes, payload.len() as u32);
+        bytes.extend_from_slice(payload.as_bytes());
+    }
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decodes an [`encode_rows`] blob.
+pub fn decode_rows(blob: &str) -> Result<Vec<(usize, Outcome)>, String> {
+    if !blob.len().is_multiple_of(2) || !blob.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err("rows blob is not hex".to_string());
+    }
+    let bytes: Vec<u8> = (0..blob.len() / 2)
+        .map(|i| u8::from_str_radix(&blob[2 * i..2 * i + 2], 16).expect("hex checked"))
+        .collect();
+    let trunc = || "truncated rows blob".to_string();
+    let (count, mut rest) = take_u32(&bytes).ok_or_else(trunc)?;
+    let mut rows = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let (index, r) = take_u64(rest).ok_or_else(trunc)?;
+        let (len, r) = take_u32(r).ok_or_else(trunc)?;
+        let (payload, r) = take_str(r, len as usize).ok_or_else(trunc)?;
+        let outcome = decode_outcome(payload)
+            .ok_or_else(|| format!("undecodable row payload for case {index}"))?;
+        rows.push((index as usize, outcome));
+        rest = r;
+    }
+    if !rest.is_empty() {
+        return Err("trailing bytes after rows".to_string());
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<(usize, Outcome)> {
+        let spec = stg_experiments::SweepSpec::paper(1, 3);
+        let sweep = spec.run();
+        sweep
+            .runs
+            .into_iter()
+            .take(5)
+            .map(|r| (r.case.index, r.outcome))
+            .collect()
+    }
+
+    #[test]
+    fn rows_blob_round_trips() {
+        let rows = sample_rows();
+        let blob = encode_rows(&rows);
+        let back = decode_rows(&blob).unwrap();
+        assert_eq!(back.len(), rows.len());
+        for ((i, a), (j, b)) in rows.iter().zip(&back) {
+            assert_eq!(i, j);
+            assert_eq!(encode_outcome(a), encode_outcome(b));
+        }
+        // Truncations and junk decode to errors, never panics.
+        assert!(decode_rows(&blob[..blob.len() - 2]).is_err());
+        assert!(decode_rows("zz").is_err());
+        assert!(decode_rows("abc").is_err());
+        assert!(decode_rows(&format!("{blob}00")).is_err());
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let rows = sample_rows();
+        for req in [
+            FabricRequest::Hello { name: "w1".into() },
+            FabricRequest::Next { name: "w1".into() },
+            FabricRequest::Rows {
+                lease: 9,
+                rows,
+                hits: 3,
+                misses: 2,
+                leap: stg_des::LeapStats {
+                    leaps: 1,
+                    leaped_cycles: 50,
+                    max_period: 4,
+                },
+            },
+            FabricRequest::Ping { lease: 7 },
+            FabricRequest::Stats,
+        ] {
+            let line = req.frame();
+            let back = FabricRequest::parse(&line).unwrap();
+            // Outcome has no Eq; compare re-rendered frames instead.
+            assert_eq!(back.frame(), line);
+        }
+        assert!(FabricRequest::parse("{}").is_err());
+        assert!(FabricRequest::parse("{\"op\":\"launch\"}").is_err());
+        assert!(FabricRequest::parse("not json").is_err());
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        for resp in [
+            FabricResponse::Spec {
+                spec: "graphs 1\nseed 3\n".into(),
+                fingerprint: 0xdead_beef_0bad_f00d,
+                total: 42,
+                cache_dir: Some("/tmp/cache".into()),
+            },
+            FabricResponse::Spec {
+                spec: String::new(),
+                fingerprint: 1,
+                total: 0,
+                cache_dir: None,
+            },
+            FabricResponse::Lease {
+                lease: 3,
+                start: 10,
+                end: 20,
+                deadline_ms: 30_000,
+            },
+            FabricResponse::Wait { ms: 50 },
+            FabricResponse::Drain,
+            FabricResponse::Ack { end: 15 },
+            FabricResponse::Gone,
+            FabricResponse::Stats(crate::FabricSnapshot {
+                leases_issued: 2,
+                ..Default::default()
+            }),
+            FabricResponse::Error {
+                error: "nope".into(),
+            },
+        ] {
+            let line = resp.frame();
+            assert_eq!(FabricResponse::parse(&line).unwrap(), resp, "{line}");
+        }
+        assert!(FabricResponse::parse("{\"ok\":\"mystery\"}").is_err());
+    }
+}

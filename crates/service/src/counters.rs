@@ -14,6 +14,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use stg_des::LeapStats;
+
 use crate::json::Json;
 
 /// Aggregate and per-client request counters.
@@ -26,6 +28,9 @@ pub struct Counters {
     completed: AtomicU64,
     sched_errors: AtomicU64,
     eval_micros: AtomicU64,
+    leap_leaps: AtomicU64,
+    leap_cycles: AtomicU64,
+    leap_max_period: AtomicU64,
     per_client: Mutex<BTreeMap<u64, ClientCounters>>,
 }
 
@@ -82,6 +87,17 @@ impl Counters {
         self.client(client, |c| c.completed += 1);
     }
 
+    /// Folds one sweep's aggregated [`LeapStats`] into the service-wide
+    /// leap counters, so the batched simulator's epoch-leap behaviour is
+    /// observable from the `stats` frame without the bench harness.
+    pub fn record_leap(&self, leap: LeapStats) {
+        self.leap_leaps.fetch_add(leap.leaps, Ordering::Relaxed);
+        self.leap_cycles
+            .fetch_add(leap.leaped_cycles, Ordering::Relaxed);
+        self.leap_max_period
+            .fetch_max(leap.max_period, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot for the `stats` frame (counters are
     /// independently relaxed-loaded; exact cross-counter consistency is
     /// not promised while requests are in flight).
@@ -101,6 +117,11 @@ impl Counters {
             completed: self.completed.load(Ordering::Relaxed),
             sched_errors: self.sched_errors.load(Ordering::Relaxed),
             eval_micros: self.eval_micros.load(Ordering::Relaxed),
+            leap: LeapStats {
+                leaps: self.leap_leaps.load(Ordering::Relaxed),
+                leaped_cycles: self.leap_cycles.load(Ordering::Relaxed),
+                max_period: self.leap_max_period.load(Ordering::Relaxed),
+            },
             per_client,
         }
     }
@@ -124,6 +145,10 @@ pub struct Snapshot {
     pub sched_errors: u64,
     /// Total evaluation wall-clock spent on cache misses, in microseconds.
     pub eval_micros: u64,
+    /// Aggregated batched-simulator epoch-leap telemetry across every
+    /// sweep this service evaluated (counters add; `max_period` is the
+    /// service-lifetime maximum).
+    pub leap: LeapStats,
     /// Per-client counters, keyed by connection id.
     pub per_client: Vec<(u64, ClientCounters)>,
 }
@@ -170,6 +195,12 @@ impl Snapshot {
             ("cache_misses".into(), Json::num(store.misses)),
             ("cache_invalidations".into(), Json::num(store.invalidations)),
             ("cache_evictions".into(), Json::num(store.evicted)),
+            ("leap_leaps".into(), Json::num(self.leap.leaps)),
+            (
+                "leap_leaped_cycles".into(),
+                Json::num(self.leap.leaped_cycles),
+            ),
+            ("leap_max_period".into(), Json::num(self.leap.max_period)),
             ("clients".into(), Json::Arr(clients)),
         ])
         .to_string()
@@ -206,6 +237,11 @@ impl Snapshot {
                 completed: n("completed")?,
                 sched_errors: n("sched_errors")?,
                 eval_micros: n("eval_micros")?,
+                leap: LeapStats {
+                    leaps: n("leap_leaps")?,
+                    leaped_cycles: n("leap_leaped_cycles")?,
+                    max_period: n("leap_max_period")?,
+                },
                 per_client,
             },
             stg_experiments::StoreStats {
@@ -249,7 +285,25 @@ mod tests {
         c.record_dispatched();
         c.record_completed(7, 55, 1);
         c.record_malformed();
+        c.record_leap(LeapStats {
+            leaps: 5,
+            leaped_cycles: 900,
+            max_period: 12,
+        });
+        c.record_leap(LeapStats {
+            leaps: 1,
+            leaped_cycles: 100,
+            max_period: 7,
+        });
         let snap = c.snapshot();
+        assert_eq!(
+            snap.leap,
+            LeapStats {
+                leaps: 6,
+                leaped_cycles: 1000,
+                max_period: 12,
+            }
+        );
         let store = stg_experiments::StoreStats {
             hits: 3,
             misses: 2,

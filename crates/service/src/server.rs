@@ -144,8 +144,9 @@ impl Daemon {
 
 /// Reads one `\n`-terminated frame with a hard length bound. Oversized
 /// lines are consumed and discarded (never buffered whole) and reported
-/// as `Some(Err(len))`; EOF with no pending bytes is `None`.
-fn read_frame(
+/// as `Some(Err(len))`; EOF with no pending bytes is `None`. Public so
+/// the fabric coordinator/worker loops share the daemon's framing.
+pub fn read_frame(
     reader: &mut impl BufRead,
     max: usize,
 ) -> std::io::Result<Option<Result<String, usize>>> {

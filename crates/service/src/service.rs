@@ -191,6 +191,7 @@ impl Service {
                 let t0 = Instant::now();
                 let sweep = spec.run_with(None);
                 let micros = t0.elapsed().as_micros() as u64;
+                self.counters.record_leap(sweep.leap);
                 let outcome = sweep
                     .runs
                     .into_iter()
@@ -228,6 +229,7 @@ impl Service {
         let t0 = Instant::now();
         let sweep = spec.run_with(Some(&self.store));
         let eval_micros = t0.elapsed().as_micros() as u64;
+        self.counters.record_leap(sweep.leap);
         let errors = sweep.errors() as u64;
         let mut frames = Vec::with_capacity(sweep.runs.len() + 1);
         for run in &sweep.runs {
