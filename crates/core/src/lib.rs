@@ -33,9 +33,12 @@
 
 pub mod pipeline;
 pub mod prelude;
+pub mod repair;
 pub mod scheduler;
 
 pub use pipeline::{
-    NonStreamingPlan, NonStreamingScheduler, Partitioner, StreamingPlan, StreamingScheduler,
+    MultiplexScheduler, NonStreamingPlan, NonStreamingScheduler, Partitioner, StreamingPlan,
+    StreamingScheduler,
 };
+pub use repair::{RepairReuse, Repaired};
 pub use scheduler::{ParseSchedulerError, Plan, PlanDetail, Scheduler, SchedulerKind};

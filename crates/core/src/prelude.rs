@@ -2,8 +2,10 @@
 //! workspace.
 
 pub use crate::pipeline::{
-    NonStreamingPlan, NonStreamingScheduler, Partitioner, StreamingPlan, StreamingScheduler,
+    MultiplexScheduler, NonStreamingPlan, NonStreamingScheduler, Partitioner, StreamingPlan,
+    StreamingScheduler,
 };
+pub use crate::repair::{RepairReuse, Repaired};
 pub use crate::scheduler::{Plan, PlanDetail, Scheduler, SchedulerKind};
 pub use stg_analysis::{
     generalized_levels, non_streaming_depth, schedule, schedule_with, streaming_depth,
@@ -19,6 +21,6 @@ pub use stg_graph::{Dag, EdgeId, NodeId, Ratio};
 pub use stg_model::{Builder, CanonicalGraph, CanonicalNode, NodeClass, NodeKind, Violation};
 pub use stg_sched::{
     assign_pes, downsampler_partition, elementwise_partition, non_streaming_schedule,
-    spatial_block_partition, streaming_schedule, ListSchedule, Metrics, Placement, SbVariant,
-    StreamingResult,
+    spatial_block_partition, streaming_schedule, temporal_multiplex_partition, ListSchedule,
+    Metrics, MultiplexLayout, Placement, SbVariant, StreamingResult,
 };

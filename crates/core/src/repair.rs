@@ -1,0 +1,244 @@
+//! Incremental plan repair: reuse a cached [`Plan`] across small spec
+//! deltas instead of rescheduling from scratch.
+//!
+//! Every scheduler in the workspace is deterministic and name-blind, so
+//! repair can be *exact by construction*: a tier is only taken when the
+//! reused artifacts are provably the ones a from-scratch run would
+//! compute, which makes the repaired plan byte-identical to
+//! `kind.build(pes).schedule(new_g)` — not merely approximately equal.
+//! The tiers, from cheapest to most expensive:
+//!
+//! 1. **Full** — the delta left the scheduling inputs unchanged (e.g. a
+//!    seed change that produced a structurally identical graph, or pure
+//!    renames): clone the cached plan.
+//! 2. **Partition** — same graph, new PE count, and the preset's
+//!    partitioner maps the new PE count to the *same* partition: the
+//!    `ST/FO/LO` schedule and FIFO sizes do not depend on the PE count
+//!    given the partition, so both are reused and only the metrics
+//!    (whose utilization divides by `P`) are recomputed.
+//! 3. **Scratch** — nothing is provably reusable: reschedule.
+
+use stg_analysis::{non_streaming_depth, streaming_depth, Partition, ScheduleError};
+use stg_model::CanonicalGraph;
+use stg_sched::{
+    compute_metrics, downsampler_partition, elementwise_partition, spatial_block_partition,
+    upsampler_partition, SbVariant, StreamingResult,
+};
+
+use crate::pipeline::StreamingPlan;
+use crate::scheduler::{Plan, PlanDetail, SchedulerKind};
+
+/// How much of the cached plan a [`Plan::repair`] call reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairReuse {
+    /// The delta left the plan's inputs unchanged: the cached plan was
+    /// cloned outright.
+    Full,
+    /// The graph was unchanged and the new PE count produced the same
+    /// partition: schedule and buffers were reused, metrics recomputed.
+    Partition,
+    /// Nothing could be provably reused: rescheduled from scratch.
+    Scratch,
+}
+
+/// A repaired plan plus the reuse level achieved.
+#[derive(Clone, Debug)]
+pub struct Repaired {
+    /// The plan for the new spec — byte-identical to scheduling from
+    /// scratch.
+    pub plan: Plan,
+    /// How much of the cached plan was reused.
+    pub reuse: RepairReuse,
+}
+
+impl Plan {
+    /// Repairs `self` — a cached plan previously produced by `kind` for
+    /// `old` — into a plan for `(new_g, pes)`, reusing as much of the
+    /// cached plan as is provably exact.
+    ///
+    /// The output is always byte-identical to
+    /// `kind.build(pes).schedule(new_g)`; the reuse tier only changes how
+    /// much work producing it took. Passing a `kind` that did not produce
+    /// `self` is safe: the name check fails and repair degrades to
+    /// scratch scheduling.
+    pub fn repair(
+        &self,
+        kind: SchedulerKind,
+        old: &CanonicalGraph,
+        new_g: &CanonicalGraph,
+        pes: usize,
+    ) -> Result<Repaired, ScheduleError> {
+        let same_inputs = kind.to_string() == self.scheduler() && new_g.structurally_equal(old);
+        if same_inputs && pes == self.pes() {
+            return Ok(Repaired {
+                plan: self.clone(),
+                reuse: RepairReuse::Full,
+            });
+        }
+        if same_inputs {
+            if let (Some(partition), PlanDetail::Streaming(cached)) =
+                (kind_partition(kind, new_g, pes), self.detail())
+            {
+                if partition == cached.result.partition {
+                    return Ok(Repaired {
+                        plan: rescale(self.scheduler(), cached, partition, new_g, pes)?,
+                        reuse: RepairReuse::Partition,
+                    });
+                }
+            }
+        }
+        kind.build(pes).schedule(new_g).map(|plan| Repaired {
+            plan,
+            reuse: RepairReuse::Scratch,
+        })
+    }
+}
+
+/// Rebuilds a plan around a cached schedule + buffers for a new PE
+/// count. Exact because `schedule_with(g, partition, rule)` does not take
+/// the PE count: given an identical partition the schedule (and hence
+/// the buffer sizing, which reads only graph + schedule) is identical,
+/// and the metrics are recomputed through the same
+/// [`compute_metrics`] call the scratch path runs.
+fn rescale(
+    name: &'static str,
+    cached: &StreamingPlan,
+    partition: Partition,
+    g: &CanonicalGraph,
+    pes: usize,
+) -> Result<Plan, ScheduleError> {
+    let schedule = cached.result.schedule.clone();
+    let metrics = compute_metrics(
+        g,
+        schedule.makespan,
+        schedule.utilization(g, pes),
+        partition.len(),
+        streaming_depth(g)?,
+        non_streaming_depth(g)?,
+    );
+    Ok(Plan::from_streaming(
+        name,
+        StreamingPlan {
+            pes,
+            result: StreamingResult {
+                partition,
+                schedule,
+                metrics,
+            },
+            buffers: cached.buffers.clone(),
+        },
+    ))
+}
+
+/// The partition `kind.build(pes)` would compute, for the presets whose
+/// schedule and buffers depend on the PE count *only* through the
+/// partition. `None` for the buffered baseline (its list schedule packs
+/// onto PEs directly) and the multiplex preset (its metrics carry a
+/// transition cost outside the partition).
+fn kind_partition(kind: SchedulerKind, g: &CanonicalGraph, pes: usize) -> Option<Partition> {
+    match kind {
+        SchedulerKind::StreamingLts
+        | SchedulerKind::StreamingLtsDep
+        | SchedulerKind::StreamingLtsCyclesOnly => {
+            Some(spatial_block_partition(g, pes, SbVariant::Lts))
+        }
+        SchedulerKind::StreamingRlx | SchedulerKind::StreamingRlxDep => {
+            Some(spatial_block_partition(g, pes, SbVariant::Rlx))
+        }
+        SchedulerKind::Elementwise => Some(elementwise_partition(g, pes)),
+        SchedulerKind::Downsampler => Some(downsampler_partition(g, pes)),
+        SchedulerKind::Upsampler => Some(upsampler_partition(g, pes)),
+        SchedulerKind::NonStreaming | SchedulerKind::Multiplex(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg_model::Builder;
+
+    fn chain_named(n: usize, k: u64, prefix: &str) -> CanonicalGraph {
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..n).map(|i| b.compute(format!("{prefix}{i}"))).collect();
+        b.chain(&t, k);
+        b.finish().unwrap()
+    }
+
+    /// Byte-identity proxy: `Debug` renders every field, including the
+    /// exact bits of the f64 metrics.
+    fn render(p: &Plan) -> String {
+        format!("{p:?}")
+    }
+
+    #[test]
+    fn rename_only_delta_is_a_full_reuse() {
+        let kind = SchedulerKind::StreamingRlx;
+        let old = chain_named(6, 64, "t");
+        let new_g = chain_named(6, 64, "renamed");
+        let cached = kind.build(3).schedule(&old).unwrap();
+        let repaired = cached.repair(kind, &old, &new_g, 3).unwrap();
+        assert_eq!(repaired.reuse, RepairReuse::Full);
+        let scratch = kind.build(3).schedule(&new_g).unwrap();
+        assert_eq!(render(&repaired.plan), render(&scratch));
+    }
+
+    #[test]
+    fn pe_delta_with_stable_partition_reuses_the_schedule() {
+        // A 4-task chain fits one block at p=4 and p=5 alike, so the
+        // partition survives the PE delta and only metrics change.
+        let kind = SchedulerKind::StreamingLts;
+        let g = chain_named(4, 128, "t");
+        let cached = kind.build(4).schedule(&g).unwrap();
+        let repaired = cached.repair(kind, &g, &g, 5).unwrap();
+        assert_eq!(repaired.reuse, RepairReuse::Partition);
+        let scratch = kind.build(5).schedule(&g).unwrap();
+        assert_eq!(render(&repaired.plan), render(&scratch));
+        assert_eq!(repaired.plan.pes(), 5);
+    }
+
+    #[test]
+    fn graph_delta_falls_back_to_scratch() {
+        let kind = SchedulerKind::StreamingLts;
+        let old = chain_named(6, 64, "t");
+        let new_g = chain_named(6, 96, "t");
+        let cached = kind.build(3).schedule(&old).unwrap();
+        let repaired = cached.repair(kind, &old, &new_g, 3).unwrap();
+        assert_eq!(repaired.reuse, RepairReuse::Scratch);
+        let scratch = kind.build(3).schedule(&new_g).unwrap();
+        assert_eq!(render(&repaired.plan), render(&scratch));
+    }
+
+    #[test]
+    fn kind_mismatch_never_reuses_the_wrong_plan() {
+        let old = chain_named(6, 64, "t");
+        let cached = SchedulerKind::StreamingLts.build(3).schedule(&old).unwrap();
+        let repaired = cached
+            .repair(SchedulerKind::NonStreaming, &old, &old, 3)
+            .unwrap();
+        assert_eq!(repaired.reuse, RepairReuse::Scratch);
+        assert_eq!(repaired.plan.scheduler(), "NSTR-SCH");
+    }
+
+    #[test]
+    fn multiplex_plans_repair_too() {
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..4).map(|i| b.compute(format!("a{i}"))).collect();
+        b.chain(&t, 64);
+        let u: Vec<_> = (0..4).map(|i| b.compute(format!("b{i}"))).collect();
+        b.chain(&u, 32);
+        let old = b.finish().unwrap();
+        let kind = SchedulerKind::Multiplex(2);
+        let cached = kind.build(4).schedule(&old).unwrap();
+        // Unchanged inputs: full reuse, byte-identical.
+        let repaired = cached.repair(kind, &old, &old, 4).unwrap();
+        assert_eq!(repaired.reuse, RepairReuse::Full);
+        let scratch = kind.build(4).schedule(&old).unwrap();
+        assert_eq!(render(&repaired.plan), render(&scratch));
+        // PE delta: multiplex always reschedules (its blocks are cut by
+        // the PE count and its metrics carry the transition cost).
+        let repaired = cached.repair(kind, &old, &old, 3).unwrap();
+        assert_eq!(repaired.reuse, RepairReuse::Scratch);
+        let scratch = kind.build(3).schedule(&old).unwrap();
+        assert_eq!(render(&repaired.plan), render(&scratch));
+    }
+}

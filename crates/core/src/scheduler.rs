@@ -16,8 +16,32 @@ use stg_model::CanonicalGraph;
 use stg_sched::{assign_pes, Metrics, Placement, SbVariant};
 
 use crate::pipeline::{
-    NonStreamingPlan, NonStreamingScheduler, Partitioner, StreamingPlan, StreamingScheduler,
+    MultiplexScheduler, NonStreamingPlan, NonStreamingScheduler, Partitioner, StreamingPlan,
+    StreamingScheduler,
 };
+
+/// Interns a dynamically formatted preset name so parameterised presets
+/// (like `multiplex:<slots>`) can hand out `&'static str` names exactly
+/// like the fixed presets. The pool is bounded by the number of distinct
+/// slot counts a process ever names, so the leak is finite and
+/// deliberate.
+pub(crate) fn intern_preset(name: String) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("preset intern pool");
+    match pool.get(name.as_str()) {
+        Some(&interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(name.into_boxed_str());
+            pool.insert(leaked);
+            leaked
+        }
+    }
+}
 
 /// A scheduling algorithm for canonical task graphs on a fixed machine
 /// size. Implementations are immutable and thread-safe so one instance
@@ -209,6 +233,20 @@ impl Scheduler for StreamingScheduler {
     }
 }
 
+impl Scheduler for MultiplexScheduler {
+    fn name(&self) -> &'static str {
+        intern_preset(format!("MUX-SCH:{}", self.slots()))
+    }
+
+    fn pes(&self) -> usize {
+        MultiplexScheduler::pes(self)
+    }
+
+    fn schedule(&self, g: &CanonicalGraph) -> Result<Plan, ScheduleError> {
+        self.run(g).map(|p| Plan::from_streaming(self.name(), p))
+    }
+}
+
 impl Scheduler for NonStreamingScheduler {
     fn name(&self) -> &'static str {
         "NSTR-SCH"
@@ -251,11 +289,17 @@ pub enum SchedulerKind {
     Upsampler,
     /// NSTR-SCH: the buffered critical-path list-scheduling baseline.
     NonStreaming,
+    /// MUX-SCH:`<slots>`: temporal multiplexing of several tenants'
+    /// graphs (precedence-DAG components) into the given number of time
+    /// slots, with a per-transition reconfiguration cost.
+    Multiplex(usize),
 }
 
 impl SchedulerKind {
-    /// Every registered preset, in display order.
-    pub const ALL: [SchedulerKind; 9] = [
+    /// Every registered preset, in display order (the multiplex preset is
+    /// represented by its two-slot default; other slot counts parse via
+    /// `multiplex:<slots>`).
+    pub const ALL: [SchedulerKind; 10] = [
         SchedulerKind::StreamingLts,
         SchedulerKind::StreamingRlx,
         SchedulerKind::StreamingLtsDep,
@@ -265,6 +309,7 @@ impl SchedulerKind {
         SchedulerKind::Downsampler,
         SchedulerKind::Upsampler,
         SchedulerKind::NonStreaming,
+        SchedulerKind::Multiplex(2),
     ];
 
     /// Instantiates the preset for a machine with `pes` processing
@@ -298,6 +343,7 @@ impl SchedulerKind {
                 Box::new(StreamingScheduler::new(pes).partitioner(Partitioner::Upsampler))
             }
             SchedulerKind::NonStreaming => Box::new(NonStreamingScheduler::new(pes)),
+            SchedulerKind::Multiplex(slots) => Box::new(MultiplexScheduler::new(pes, *slots)),
         }
     }
 
@@ -320,6 +366,7 @@ impl SchedulerKind {
             SchedulerKind::Downsampler => "downsampler",
             SchedulerKind::Upsampler => "upsampler",
             SchedulerKind::NonStreaming => "nonstreaming",
+            SchedulerKind::Multiplex(slots) => intern_preset(format!("multiplex:{slots}")),
         }
     }
 }
@@ -336,6 +383,7 @@ impl std::fmt::Display for SchedulerKind {
             SchedulerKind::Downsampler => "DSW-SCH",
             SchedulerKind::Upsampler => "USW-SCH",
             SchedulerKind::NonStreaming => "NSTR-SCH",
+            SchedulerKind::Multiplex(slots) => return write!(f, "MUX-SCH:{slots}"),
         };
         f.write_str(name)
     }
@@ -350,7 +398,8 @@ impl std::fmt::Display for ParseSchedulerError {
         write!(
             f,
             "unknown scheduler {:?}; known: sb-lts, sb-rlx, sb-lts-dep, sb-rlx-dep, \
-             sb-lts-cyc, elementwise, downsampler, upsampler, nonstreaming",
+             sb-lts-cyc, elementwise, downsampler, upsampler, nonstreaming, \
+             multiplex:<slots>",
             self.0
         )
     }
@@ -362,10 +411,22 @@ impl FromStr for SchedulerKind {
     type Err = ParseSchedulerError;
 
     /// Parses a preset name, case-insensitive. Accepts the display names
-    /// ("STR-SCH-1", "NSTR-SCH") and the short aliases used on the
-    /// command line ("sb-lts", "rlx", "nstr", ...).
+    /// ("STR-SCH-1", "NSTR-SCH", "MUX-SCH:4") and the short aliases used
+    /// on the command line ("sb-lts", "rlx", "nstr", "multiplex:4",
+    /// "mux:4", ...). Bare "multiplex"/"mux" means two slots.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
+        let lower = s.to_ascii_lowercase();
+        if let Some(slots) = ["multiplex:", "mux-sch:", "mux:"]
+            .iter()
+            .find_map(|prefix| lower.strip_prefix(prefix))
+        {
+            return match slots.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(SchedulerKind::Multiplex(n)),
+                _ => Err(ParseSchedulerError(s.to_string())),
+            };
+        }
+        match lower.as_str() {
+            "multiplex" | "mux" | "mux-sch" => Ok(SchedulerKind::Multiplex(2)),
             "str-sch-1" | "sb-lts" | "lts" => Ok(SchedulerKind::StreamingLts),
             "str-sch-2" | "sb-rlx" | "rlx" => Ok(SchedulerKind::StreamingRlx),
             "str-sch-1*" | "sb-lts-dep" | "lts-dep" => Ok(SchedulerKind::StreamingLtsDep),
@@ -429,6 +490,52 @@ mod tests {
             let placement = plan.placement(&g);
             assert!(placement.pes_used.iter().all(|&u| u <= 3), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn multiplex_preset_parses_slot_counts() {
+        assert_eq!(
+            "multiplex:4".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::Multiplex(4)
+        );
+        assert_eq!(
+            "MUX-SCH:7".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::Multiplex(7)
+        );
+        assert_eq!(
+            "mux".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::Multiplex(2)
+        );
+        assert!("multiplex:0".parse::<SchedulerKind>().is_err());
+        assert!("multiplex:x".parse::<SchedulerKind>().is_err());
+        // Interned names are stable pointers: the same slot count always
+        // hands out the same &'static str.
+        let a = SchedulerKind::Multiplex(3).build(2).name();
+        let b = SchedulerKind::Multiplex(3).build(5).name();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "MUX-SCH:3");
+        assert_eq!(SchedulerKind::Multiplex(3).alias(), "multiplex:3");
+    }
+
+    #[test]
+    fn multiplex_schedules_two_tenants_with_transition_cost() {
+        // Two disjoint chains = two tenants; two slots = one transition.
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..4).map(|i| b.compute(format!("a{i}"))).collect();
+        b.chain(&t, 64);
+        let u: Vec<_> = (0..4).map(|i| b.compute(format!("b{i}"))).collect();
+        b.chain(&u, 32);
+        let g = b.finish().unwrap();
+        let plan = SchedulerKind::Multiplex(2).build(4).schedule(&g).unwrap();
+        assert_eq!(plan.scheduler(), "MUX-SCH:2");
+        let sim = plan.validate(&g);
+        assert!(sim.completed(), "{:?}", sim.failure);
+        // One transition at the default cost separates analytic metrics
+        // from the simulated schedule.
+        assert_eq!(
+            plan.makespan(),
+            sim.makespan + stg_sched::DEFAULT_TRANSITION_COST
+        );
     }
 
     #[test]

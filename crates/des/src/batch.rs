@@ -382,6 +382,10 @@ impl Detector {
         self.ring[(cycles % RING as u64) as usize] = sig;
         if boundary {
             self.last_boundary = cycles;
+            // A boundary changes the execution regime: backoffs earned
+            // against the previous regime are stale and would suppress
+            // detection of the new block's (possibly identical) period.
+            self.cooldown.clear();
         }
         let mut props = [None, None];
         if self.last_seen.len() >= MAP_CAP {
@@ -425,12 +429,16 @@ impl Detector {
     }
 
     /// Whether proposed period `p` is confirmed at `cycles`: in range,
-    /// enough boundary-free history, not cooling down, and the ring scan
-    /// shows a full repeated period.
+    /// enough ring history, not cooling down, and the ring scan shows a
+    /// full repeated period. Structural boundaries do not gate
+    /// confirmation: the signature ring is preserved across them, so a
+    /// block transition costs at most the verification window it
+    /// dirties, never a fresh boundary-free warm-up — and a scan that
+    /// spans a boundary is harmless because [`try_leap`]'s state-shift
+    /// check is the actual safety net.
     fn confirmed(&self, cycles: u64, p: u64) -> bool {
         (1..=MAX_PERIOD).contains(&p)
             && cycles >= 2 * p
-            && self.last_boundary + p <= cycles
             && self.cooldown.get(&p).is_none_or(|&until| cycles >= until)
             && self.periodic(cycles, p)
     }
@@ -536,15 +544,20 @@ fn run(
         if let Some(pv) = &detector.pending {
             if cycles >= pv.target {
                 let pv = detector.pending.take().expect("checked");
-                let clean =
-                    detector.last_boundary <= pv.opened && detector.periodic(cycles, pv.period);
+                let dirty = detector.last_boundary > pv.opened;
+                let clean = !dirty && detector.periodic(cycles, pv.period);
                 let leaped = clean && try_leap(&mut state, snap, pv.period, buckets);
                 if leaped {
                     last_event_t = buckets.t;
                 }
+                // A window dirtied by a structural boundary says nothing
+                // about the period itself — retry as soon as the ring
+                // re-confirms. Only a genuine refutation (a clean scan
+                // that failed, or a leap the margins rejected) pays the
+                // backoff.
                 detector.cooldown.insert(
                     pv.period,
-                    if leaped {
+                    if leaped || dirty {
                         cycles
                     } else {
                         cycles + 4 * pv.period
@@ -843,6 +856,56 @@ mod tests {
         );
         // Taking the telemetry resets it.
         assert_eq!(take_leap_telemetry(), super::LeapStats::default());
+    }
+
+    /// A chain of `blocks` two-task stages: a `1:q` upsampler feeding a
+    /// `q:1` downsampler, so every block streams `~q·reps` cycles at
+    /// steady period `~q` and hands only `reps` elements across each
+    /// block edge.
+    fn alternating_chain(blocks: usize, q: u64, reps: u64) -> (CanonicalGraph, Partition) {
+        let mut b = Builder::new();
+        let t: Vec<_> = (0..2 * blocks)
+            .map(|i| b.compute(format!("t{i}")))
+            .collect();
+        for i in 0..t.len() - 1 {
+            let volume = if i % 2 == 0 { q * reps } else { reps };
+            b.edge(t[i], t[i + 1], volume);
+        }
+        let g = b.finish().expect("acyclic chain");
+        let partition = Partition {
+            blocks: t.chunks(2).map(|c| c.to_vec()).collect(),
+        };
+        (g, partition)
+    }
+
+    /// Regression: the detector used to treat every structural boundary
+    /// as a hard reset — confirmation demanded a full boundary-free
+    /// period before a window could open, and a window the boundary
+    /// dirtied paid the same `4·period` backoff as a genuine
+    /// refutation. On multi-block runs the combined warm-up outlasted a
+    /// short block's steady phase, so each extra block *lost* its leap:
+    /// an 11:1 stage pipeline peaked at `blocks − 1` leaps. Boundaries
+    /// must cost at most the window they dirty: the signature ring is
+    /// preserved across them, so the leap count rises with the block
+    /// count — one steady phase batched per block.
+    #[test]
+    fn every_block_leaps_once_boundaries_stop_resetting_the_detector() {
+        for blocks in [1usize, 2, 3, 4] {
+            let (g, partition) = alternating_chain(blocks, 11, 8);
+            let s = schedule(&g, &partition).expect("schedulable");
+            let plan = buffer_sizes(&g, &s, SizingPolicy::Converging, 1);
+            let reference = simulate_kind(SimKind::Reference, &g, &s, &plan, SimConfig::default());
+            take_leap_telemetry();
+            let batched = simulate_kind(SimKind::Batched, &g, &s, &plan, SimConfig::default());
+            let stats = take_leap_telemetry();
+            assert_eq!(reference, batched, "{blocks}-block simulators diverged");
+            assert!(reference.completed(), "{:?}", reference.failure);
+            assert!(
+                stats.leaps as usize >= blocks,
+                "{blocks}-block run leaped only {} times — a boundary re-reset the detector",
+                stats.leaps
+            );
+        }
     }
 
     #[test]

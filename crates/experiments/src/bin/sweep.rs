@@ -87,7 +87,7 @@ fn main() {
         }
         eprintln!(
             "shard {shard}: cases {}..{} of {}; graph cache: {} hits, {} misses; \
-             cell cache: {} hits, {} misses, {} invalidations, {} evicted",
+             cell cache: {} hits, {} misses, {} invalidations, {} evicted, {} repaired",
             result.range.start,
             result.range.end,
             result.total,
@@ -96,7 +96,8 @@ fn main() {
             result.cell_cache.hits,
             result.cell_cache.misses,
             result.cell_cache.invalidations,
-            result.cell_cache.evicted
+            result.cell_cache.evicted,
+            result.cell_cache.repaired
         );
         exit_on_failures(result.errors(), result.deadlocks(), result.divergences());
         return;
@@ -122,11 +123,12 @@ fn main() {
         sweep.runs.len()
     );
     eprintln!(
-        "cell cache: {} hits, {} misses, {} invalidations, {} evicted",
+        "cell cache: {} hits, {} misses, {} invalidations, {} evicted, {} repaired",
         sweep.cell_cache.hits,
         sweep.cell_cache.misses,
         sweep.cell_cache.invalidations,
-        sweep.cell_cache.evicted
+        sweep.cell_cache.evicted,
+        sweep.cell_cache.repaired
     );
     if sweep.leap.leaps > 0 {
         eprintln!(

@@ -485,32 +485,62 @@ impl SweepSpec {
         };
         // Stage evaluate: only the missing cells touch a graph or
         // scheduler (so a fully warm rerun does no instantiation at all).
+        // Nominal misses get one more chance before paying an evaluation:
+        // a *semantic* probe keyed by the instantiated graph's structural
+        // fingerprint (see [`CellKey::semantic`]), which repairs cells
+        // whose spec delta (e.g. a reseed of a seed-invariant workload)
+        // changed the nominal key but not the graph. Schedulers are
+        // name-blind and deterministic, so a repaired outcome is
+        // byte-identical to evaluating.
+        let sim_mode = self.sim_mode();
         let todo: Vec<usize> = (0..cases.len()).filter(|&i| slots[i].is_none()).collect();
         let threads = self
             .threads
             .unwrap_or_else(|| default_threads(todo.len() as u64));
         let evaluated = par_map_with(todo.len() as u64, threads, |j| {
-            let case = &cases[todo[j as usize]];
+            let i = todo[j as usize];
+            let case = &cases[i];
             let (g, hit) = case.workload.instantiate_traced(case.seed);
+            let semantic = match (store, &keys[i]) {
+                (Some(_), Some(_)) => Some(CellKey::semantic(
+                    SCHEMA_VERSION,
+                    g.fingerprint(),
+                    case.pes,
+                    case.scheduler.alias(),
+                    &sim_mode,
+                )),
+                _ => None,
+            };
+            if let (Some(store), Some(sem)) = (store, &semantic) {
+                if let Some(outcome) = store.lookup_repaired(sem) {
+                    // Repaired: the nominal key is re-inserted by the
+                    // merge stage; the semantic entry already exists.
+                    return (outcome, hit, take_leap_telemetry(), None);
+                }
+            }
             let outcome = evaluate(case, &g, validate, sim);
             // Leap telemetry is thread-local and reset-on-take: collect
             // the delta on the worker thread, per case, so the batched
             // simulator's epoch leaps aggregate into a per-sweep block
             // instead of evaporating with the scoped threads.
-            (outcome, hit, take_leap_telemetry())
+            (outcome, hit, take_leap_telemetry(), semantic)
         });
         // Stage persist + merge: order-insensitive assembly back into the
         // byte-stable emission order. Persisting goes through the batched
         // segment path — one fsync per FLUSH_THRESHOLD cells instead of
-        // one per cell.
+        // one per cell. Evaluated cells persist under both their nominal
+        // and semantic keys so future deltas can repair from them.
         let mut cache = CacheStats::default();
         let mut leap = LeapStats::default();
-        for (j, (outcome, hit, case_leap)) in evaluated.into_iter().enumerate() {
+        for (j, (outcome, hit, case_leap, semantic)) in evaluated.into_iter().enumerate() {
             let i = todo[j];
             cache.record(hit);
             leap.absorb(case_leap);
             if let (Some(store), Some(key)) = (store, &keys[i]) {
                 store.insert_batched(key, &outcome);
+                if let Some(sem) = &semantic {
+                    store.insert_batched(sem, &outcome);
+                }
             }
             slots[i] = Some(outcome);
         }
@@ -1463,7 +1493,7 @@ impl Sweep {
             format!(
                 "  \"cache\": {{\"graphs\": {{\"hits\": {}, \"misses\": {}}}, \
                  \"cells\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
-                 \"evicted\": {}}}}},\n  \"leap\": {{\"leaps\": {}, \
+                 \"evicted\": {}, \"repaired\": {}}}}},\n  \"leap\": {{\"leaps\": {}, \
                  \"leaped_cycles\": {}, \"max_period\": {}}},\n",
                 self.cache.hits,
                 self.cache.misses,
@@ -1471,6 +1501,7 @@ impl Sweep {
                 self.cell_cache.misses,
                 self.cell_cache.invalidations,
                 self.cell_cache.evicted,
+                self.cell_cache.repaired,
                 self.leap.leaps,
                 self.leap.leaped_cycles,
                 self.leap.max_period
@@ -1964,6 +1995,46 @@ mod tests {
         validated.validate = false; // smoke_spec validates; turn it off
         let v = validated.run_with(Some(&store));
         assert_eq!(v.cell_cache.hits, 0, "sim mode is a key component");
+    }
+
+    #[test]
+    fn seed_delta_on_seed_invariant_workload_repairs_semantically() {
+        // `transformer` ignores the seed (the ML graph is fixed), so a
+        // reseeded spec misses every nominal key but finds every cell
+        // under its semantic (fingerprint-based) key: no cell is
+        // re-evaluated, and the outcomes are byte-identical.
+        let mut spec = SweepSpec {
+            workloads: vec![WorkloadSpec {
+                workload: "transformer".parse().unwrap(),
+                pes: vec![2, 4],
+            }],
+            graphs: 1,
+            seed: 0x5EED_CE18,
+            schedulers: vec![SchedulerKind::StreamingLts],
+            validate: false,
+            sim: SimChoice::Batched,
+            timing: false,
+            threads: Some(1),
+        };
+        let store = ResultStore::in_memory();
+        let cold = spec.run_with(Some(&store));
+        let n = cold.runs.len() as u64;
+        assert!(n > 0);
+        assert_eq!(cold.cell_cache.misses, n);
+        assert_eq!(cold.cell_cache.repaired, 0);
+        spec.seed += 1000; // the spec delta: new seed, same graphs
+        let repaired = spec.run_with(Some(&store));
+        assert_eq!(repaired.cell_cache.hits, 0, "nominal keys changed");
+        assert_eq!(repaired.cell_cache.misses, n);
+        assert_eq!(repaired.cell_cache.repaired, n, "all cells repaired");
+        for (a, b) in cold.runs.iter().zip(&repaired.runs) {
+            assert_eq!(a.outcome, b.outcome, "repair is byte-identical");
+        }
+        // The repaired cells were re-inserted under their new nominal
+        // keys, so a rerun of the delta spec is all nominal hits.
+        let warm = spec.run_with(Some(&store));
+        assert_eq!(warm.cell_cache.hits, n);
+        assert_eq!(warm.cell_cache.repaired, 0);
     }
 
     #[test]

@@ -147,6 +147,35 @@ impl CellKey {
     pub fn file_name(&self) -> String {
         format!("{:016x}.cell", self.hash)
     }
+
+    /// A *semantic* cell key: identifies a cell by the structural
+    /// fingerprint of its instantiated graph
+    /// ([`CanonicalGraph::fingerprint`](stg_model::CanonicalGraph::fingerprint))
+    /// instead of the workload-spec/seed pair that produced it. Two specs
+    /// that instantiate structurally identical graphs (e.g. a
+    /// seed-invariant workload under two different seeds) share one
+    /// semantic key, which is what lets the engine *repair* a nominal
+    /// miss from a previously evaluated equivalent cell.
+    ///
+    /// The `sem:` spec prefix cannot collide with a nominal key: no
+    /// registered workload family is named `sem`, and the seed slot is
+    /// pinned to zero.
+    pub fn semantic(
+        version: u32,
+        graph_fingerprint: u64,
+        pes: usize,
+        scheduler: &str,
+        sim_mode: &str,
+    ) -> CellKey {
+        CellKey::new(
+            version,
+            &format!("sem:{graph_fingerprint:016x}"),
+            0,
+            pes,
+            scheduler,
+            sim_mode,
+        )
+    }
 }
 
 /// Hit/miss/invalidation/eviction counters of a [`ResultStore`].
@@ -156,7 +185,10 @@ impl CellKey {
 /// canonical-key mismatch, truncation, undecodable payload). `evicted`
 /// counts disk artifacts *deleted* because they were invalid: corrupt or
 /// truncated per-cell files, and whole segment files that failed to
-/// parse.
+/// parse. `repaired` counts nominal misses subsequently served from a
+/// semantic (fingerprint-keyed) entry via
+/// [`ResultStore::lookup_repaired`] — repaired cells are *not* hits (the
+/// nominal lookup missed) and probing a semantic key never counts a miss.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Lookups served from the store.
@@ -168,10 +200,13 @@ pub struct StoreStats {
     /// Invalid disk artifacts deleted (corrupt cell files, unparseable
     /// segment files).
     pub evicted: u64,
+    /// Nominal misses repaired from a semantic (graph-fingerprint) entry.
+    pub repaired: u64,
 }
 
 impl StoreStats {
-    /// Total lookups observed.
+    /// Total nominal lookups observed (repaired probes are follow-ups to
+    /// counted misses, not extra lookups).
     pub fn total(&self) -> u64 {
         self.hits + self.misses
     }
@@ -184,6 +219,7 @@ impl StoreStats {
             misses: self.misses - earlier.misses,
             invalidations: self.invalidations - earlier.invalidations,
             evicted: self.evicted - earlier.evicted,
+            repaired: self.repaired - earlier.repaired,
         }
     }
 }
@@ -209,6 +245,7 @@ pub struct ResultStore {
     misses: AtomicU64,
     invalidations: AtomicU64,
     evicted: AtomicU64,
+    repaired: AtomicU64,
     warned_io: AtomicBool,
 }
 
@@ -239,6 +276,7 @@ impl ResultStore {
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            repaired: AtomicU64::new(0),
             warned_io: AtomicBool::new(false),
         }
     }
@@ -261,6 +299,36 @@ impl ResultStore {
     /// decoded outcome only if the entry verifies: its embedded canonical
     /// key must equal `key.canonical()` and its payload must decode.
     pub fn lookup(&self, key: &CellKey) -> Option<Outcome> {
+        match self.probe(key) {
+            Some(o) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(o)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Probes a *semantic* key (see [`CellKey::semantic`]) after a
+    /// nominal [`ResultStore::lookup`] missed. A hit counts in
+    /// [`StoreStats::repaired`] — not `hits` — and a probe that finds
+    /// nothing counts nowhere: the forced evaluation was already counted
+    /// by the nominal miss, and repaired cells must stay distinguishable
+    /// from plain warm hits in every stats surface.
+    pub fn lookup_repaired(&self, key: &CellKey) -> Option<Outcome> {
+        let found = self.probe(key);
+        if found.is_some() {
+            self.repaired.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// The lookup mechanics without hit/miss accounting: memory, then
+    /// disk with promotion, verification, and invalidation/eviction of
+    /// unverifiable entries (those structural counters always tick here).
+    fn probe(&self, key: &CellKey) -> Option<Outcome> {
         self.ensure_segments_loaded();
         let mem_entry = {
             let mem = self.mem.lock().expect("result store lock");
@@ -273,17 +341,13 @@ impl ResultStore {
             None => self.read_disk(key),
         };
         match found {
-            DiskEntry::Absent => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+            DiskEntry::Absent => None,
             DiskEntry::Malformed => {
                 // A file exists but cannot even be split into an entry:
                 // truncation or foreign content. Delete it so the next
                 // process misses cleanly instead of re-invalidating.
                 self.evict_cell_file(key);
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
-                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
             DiskEntry::Entry(canonical, payload) => {
@@ -301,7 +365,6 @@ impl ResultStore {
                                 .expect("result store lock")
                                 .insert(key.hash, Entry { canonical, payload });
                         }
-                        self.hits.fetch_add(1, Ordering::Relaxed);
                         Some(o)
                     }
                     None => {
@@ -318,7 +381,6 @@ impl ResultStore {
                             .remove(&key.hash);
                         self.evict_cell_file(key);
                         self.invalidations.fetch_add(1, Ordering::Relaxed);
-                        self.misses.fetch_add(1, Ordering::Relaxed);
                         None
                     }
                 }
@@ -408,6 +470,7 @@ impl ResultStore {
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
+            repaired: self.repaired.load(Ordering::Relaxed),
         }
     }
 
@@ -867,6 +930,34 @@ mod tests {
         let s = store.stats();
         assert_eq!((s.hits, s.misses, s.invalidations), (1, 1, 0));
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn semantic_lookups_count_repaired_not_hits() {
+        let store = ResultStore::in_memory();
+        let sem = CellKey::semantic(SCHEMA_VERSION, 0xfeed_beef, 4, "sb-lts", "off");
+        // A semantic probe that finds nothing counts nowhere.
+        assert_eq!(store.lookup_repaired(&sem), None);
+        assert_eq!(store.stats(), StoreStats::default());
+        store.insert_batched(&sem, &Ok(sample_record(false)));
+        assert_eq!(store.lookup_repaired(&sem), Some(Ok(sample_record(false))));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.repaired), (0, 0, 1));
+        // Nominal lookups never see semantic keys and vice versa: the
+        // `sem:` prefix and pinned seed keep the canonical strings apart.
+        let nominal = CellKey::new(
+            SCHEMA_VERSION,
+            "sem:00000000feedbeef",
+            0,
+            4,
+            "sb-lts",
+            "off",
+        );
+        assert_eq!(nominal.canonical(), sem.canonical());
+        assert_ne!(
+            CellKey::new(SCHEMA_VERSION, "chain:8", 0, 4, "sb-lts", "off").hash(),
+            sem.hash()
+        );
     }
 
     #[test]

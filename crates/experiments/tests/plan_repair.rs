@@ -1,0 +1,79 @@
+//! Plan-repair equivalence: for any cached plan and any spec delta,
+//! [`Plan::repair`] must produce output byte-identical to scheduling the
+//! new spec from scratch — the reuse tier is allowed to change how much
+//! work that took, never a single byte of the result.
+//!
+//! `Debug` rendering is the byte-identity proxy: it prints every field
+//! of the plan, including the exact bits of the f64 metrics.
+
+use proptest::prelude::*;
+use stg_core::{RepairReuse, SchedulerKind};
+use stg_model::{Builder, CanonicalGraph};
+
+/// `chains` disjoint task chains (so the multiplex preset sees several
+/// components), `tasks` long, with per-chain volumes scaled off `volume`.
+/// Node names carry `prefix`, letting a delta rename every node without
+/// touching structure.
+fn build_graph(chains: usize, tasks: usize, volume: u64, prefix: &str) -> CanonicalGraph {
+    let mut b = Builder::new();
+    for c in 0..chains {
+        let t: Vec<_> = (0..tasks)
+            .map(|i| b.compute(format!("{prefix}{c}_{i}")))
+            .collect();
+        b.chain(&t, volume * (c as u64 + 1));
+    }
+    b.finish().expect("disjoint chains are acyclic")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random cached plan (any preset in `SchedulerKind::ALL`), random
+    /// delta (pure rename, PE count, volume resize, structure change, or
+    /// all at once): `repair` and from-scratch agree byte-for-byte —
+    /// including on *whether* the new spec is schedulable at all.
+    #[test]
+    fn repair_matches_scratch_for_any_delta(
+        k in 0usize..SchedulerKind::ALL.len(),
+        chains in 1usize..3,
+        tasks in 2usize..6,
+        volume in 1u64..200,
+        pes in 2usize..6,
+        delta in 0usize..5,
+        new_pes in 2usize..6,
+        new_volume in 1u64..200,
+    ) {
+        let kind = SchedulerKind::ALL[k];
+        let old = build_graph(chains, tasks, volume, "t");
+        let base = kind.build(pes).schedule(&old);
+        prop_assume!(base.is_ok());
+        let cached = base.unwrap();
+
+        let (new_g, new_pes) = match delta {
+            0 => (build_graph(chains, tasks, volume, "renamed"), pes),
+            1 => (old.clone(), new_pes),
+            2 => (build_graph(chains, tasks, new_volume, "t"), pes),
+            3 => (build_graph(chains, tasks + 1, volume, "t"), new_pes),
+            _ => (build_graph(chains, tasks, new_volume, "renamed"), new_pes),
+        };
+
+        let repaired = cached.repair(kind, &old, &new_g, new_pes);
+        let scratch = kind.build(new_pes).schedule(&new_g);
+        match (repaired, scratch) {
+            (Ok(r), Ok(s)) => {
+                prop_assert_eq!(format!("{:?}", r.plan), format!("{s:?}"));
+                if delta == 0 {
+                    // A pure rename never forces a reschedule.
+                    prop_assert_eq!(r.reuse, RepairReuse::Full);
+                }
+            }
+            (Err(r), Err(s)) => prop_assert_eq!(format!("{r:?}"), format!("{s:?}")),
+            (r, s) => prop_assert!(
+                false,
+                "repair and scratch disagree on schedulability: {:?} vs {:?}",
+                r.map(|x| x.reuse),
+                s.map(|p| p.scheduler())
+            ),
+        }
+    }
+}

@@ -253,6 +253,62 @@ impl CanonicalGraph {
         }
     }
 
+    /// A content fingerprint of the graph's scheduling-relevant structure:
+    /// node kinds (in id order) and edge `(src, dst, volume)` triples.
+    /// Node *names* are excluded — every scheduler, analysis, and
+    /// simulator in the workspace is name-blind, so two graphs with equal
+    /// fingerprints produce byte-identical plans and simulation results.
+    ///
+    /// FNV-1a over the little-endian encoding, matching the hashing used
+    /// for experiment cell keys.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_BASIS;
+        let fold = |h: &mut u64, x: u64| {
+            for b in x.to_le_bytes() {
+                *h = (*h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        };
+        fold(&mut h, self.dag.node_count() as u64);
+        fold(&mut h, self.dag.edge_count() as u64);
+        for v in self.dag.node_ids() {
+            let kind = match self.kind(v) {
+                NodeKind::Source => 0,
+                NodeKind::Sink => 1,
+                NodeKind::Buffer => 2,
+                NodeKind::Compute => 3,
+            };
+            fold(&mut h, kind);
+        }
+        for (_, e) in self.dag.edges() {
+            fold(&mut h, e.src.0 as u64);
+            fold(&mut h, e.dst.0 as u64);
+            fold(&mut h, e.weight);
+        }
+        h
+    }
+
+    /// True when `self` and `other` have identical scheduling-relevant
+    /// structure: the same node kinds in id order and the same edge
+    /// `(src, dst, volume)` triples. Names are ignored, exactly as in
+    /// [`Self::fingerprint`] — this is the collision-proof check behind
+    /// fingerprint-based plan reuse.
+    pub fn structurally_equal(&self, other: &CanonicalGraph) -> bool {
+        self.dag.node_count() == other.dag.node_count()
+            && self.dag.edge_count() == other.dag.edge_count()
+            && self
+                .dag
+                .node_ids()
+                .zip(other.dag.node_ids())
+                .all(|(a, b)| self.kind(a) == other.kind(b))
+            && self
+                .dag
+                .edges()
+                .zip(other.dag.edges())
+                .all(|((_, x), (_, y))| (x.src, x.dst, x.weight) == (y.src, y.dst, y.weight))
+    }
+
     /// The Section 4.2.3 placement rule: build the mixed-direction graph
     /// where edges between two non-buffer nodes are undirected and
     /// buffer-incident edges keep their direction, then report every buffer
@@ -346,6 +402,23 @@ mod tests {
         // T1 counts compute nodes only: 16 + 4 + 8.
         assert_eq!(g.sequential_time(), 28);
         assert_eq!(g.compute_count(), 3);
+    }
+
+    #[test]
+    fn fingerprint_is_name_blind_but_volume_sensitive() {
+        let build = |names: [&str; 3], vol: u64| {
+            let mut b = Builder::new();
+            let t: Vec<_> = names.iter().map(|n| b.compute(n.to_string())).collect();
+            b.chain(&t, vol);
+            b.finish().unwrap()
+        };
+        let a = build(["t0", "t1", "t2"], 32);
+        let renamed = build(["alpha", "beta", "gamma"], 32);
+        let resized = build(["t0", "t1", "t2"], 64);
+        assert_eq!(a.fingerprint(), renamed.fingerprint());
+        assert!(a.structurally_equal(&renamed));
+        assert_ne!(a.fingerprint(), resized.fingerprint());
+        assert!(!a.structurally_equal(&resized));
     }
 
     #[test]

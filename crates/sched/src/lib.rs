@@ -13,12 +13,15 @@
 //!   priorities and insertion, all communication buffered;
 //! - [`metrics`] — speedup, (S)SLR, and PE utilization;
 //! - [`precedence`] — the compute-task precedence closure shared by the
-//!   heuristics.
+//!   heuristics;
+//! - [`multiplex`] — temporal multiplexing of several tenants' graphs
+//!   onto one device via LPT time-slot packing.
 
 #![warn(missing_docs)]
 
 pub mod liststr;
 pub mod metrics;
+pub mod multiplex;
 pub mod partition;
 pub mod placement;
 pub mod precedence;
@@ -26,6 +29,9 @@ pub mod streaming;
 
 pub use liststr::{non_streaming_schedule, ListSchedule};
 pub use metrics::{metrics as compute_metrics, Metrics};
+pub use multiplex::{
+    temporal_multiplex_partition, MultiplexLayout, Tenant, DEFAULT_TRANSITION_COST,
+};
 pub use partition::{
     downsampler_partition, elementwise_partition, spatial_block_partition, upsampler_partition,
     SbVariant,

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! loadgen [--addr 127.0.0.1:7171] [--clients N] [--requests N]
-//!         [--passes N] [--seed S] [--min-warm-speedup X]
-//!         [--connect-timeout-ms N]
+//!         [--passes N] [--seed S] [--tenant NAME]
+//!         [--min-warm-speedup X] [--connect-timeout-ms N]
 //! loadgen --check '{"workload":"chain:8","pes":4,"scheduler":"sb-lts"}'
 //! loadgen --shutdown
 //! ```
@@ -26,7 +26,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--passes N] \
-         [--seed S] [--min-warm-speedup X] [--connect-timeout-ms N] \
+         [--seed S] [--tenant NAME] [--min-warm-speedup X] [--connect-timeout-ms N] \
          [--check REQUEST | --shutdown]"
     );
     exit(2);
@@ -65,6 +65,7 @@ fn main() {
                     fail(&format!("--seed needs an unsigned integer, got {v:?}"))
                 });
             }
+            "--tenant" => config.tenant = value("--tenant", &mut it),
             "--min-warm-speedup" => {
                 let v = value("--min-warm-speedup", &mut it);
                 let x: f64 = v.parse().unwrap_or_else(|_| {
@@ -135,7 +136,17 @@ fn main() {
         eprintln!("error: {} requests failed", report.errors());
         exit(1);
     }
-    if let (Some(min), Some(got)) = (min_warm_speedup, report.warm_speedup()) {
+    if let Some(min) = min_warm_speedup {
+        // With `--passes 1` there is no warm pass to rate — a silent
+        // skip here would let CI pass without checking anything.
+        let Some(got) = report.warm_speedup() else {
+            eprintln!(
+                "error: --min-warm-speedup needs at least 2 passes to compare \
+                 (got --passes {}); no warm pass was measured",
+                config.passes
+            );
+            exit(2);
+        };
         if got < min {
             eprintln!("error: warm-cache p50 speedup {got:.1}x is below the {min:.1}x floor");
             exit(1);

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:7171] [--workers N] [--queue-bound N]
-//!       [--cache-dir DIR] [--max-tasks N] [--eval-delay-ms N]
-//!       [--sweep-threads N]
+//!       [--tenant-quota N] [--cache-dir DIR] [--max-tasks N]
+//!       [--eval-delay-ms N] [--sweep-threads N]
 //! ```
 //!
 //! Binds the address (`:0` picks an ephemeral port), prints one
@@ -21,7 +21,8 @@ fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--queue-bound N] \
-         [--cache-dir DIR] [--max-tasks N] [--eval-delay-ms N] [--sweep-threads N]"
+         [--tenant-quota N] [--cache-dir DIR] [--max-tasks N] [--eval-delay-ms N] \
+         [--sweep-threads N]"
     );
     exit(2);
 }
@@ -47,6 +48,7 @@ fn main() {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut workers = 4usize;
     let mut queue_bound = 64usize;
+    let mut tenant_quota: Option<usize> = None;
     let mut config = ServiceConfig::default();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -54,6 +56,7 @@ fn main() {
             "--addr" => addr = value("--addr", &mut it),
             "--workers" => workers = count("--workers", &mut it),
             "--queue-bound" => queue_bound = count("--queue-bound", &mut it),
+            "--tenant-quota" => tenant_quota = Some(count("--tenant-quota", &mut it)),
             "--cache-dir" => config.cache_dir = Some(value("--cache-dir", &mut it).into()),
             "--max-tasks" => config.max_tasks = count("--max-tasks", &mut it),
             "--eval-delay-ms" => {
@@ -76,13 +79,14 @@ fn main() {
             exit(1);
         }
     };
-    let daemon = match Daemon::bind(addr.as_str(), service, workers, queue_bound) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("error: cannot bind {addr}: {e}");
-            exit(1);
-        }
-    };
+    let daemon =
+        match Daemon::bind_with_quota(addr.as_str(), service, workers, queue_bound, tenant_quota) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: cannot bind {addr}: {e}");
+                exit(1);
+            }
+        };
     println!(
         "listening on {} (workers={workers}, queue-bound={queue_bound})",
         daemon.addr()

@@ -32,6 +32,7 @@ pub struct Counters {
     leap_cycles: AtomicU64,
     leap_max_period: AtomicU64,
     per_client: Mutex<BTreeMap<u64, ClientCounters>>,
+    per_tenant: Mutex<BTreeMap<String, ClientCounters>>,
 }
 
 /// Per-client slice of the counters (keyed by connection id).
@@ -56,16 +57,29 @@ impl Counters {
         f(map.entry(client).or_default());
     }
 
+    /// Untagged requests (`tenant == ""`) stay out of the tenant map:
+    /// single-tenant deployments keep an empty `tenants` array instead of
+    /// a synthetic `""` row.
+    fn tenant(&self, tenant: &str, f: impl FnOnce(&mut ClientCounters)) {
+        if tenant.is_empty() {
+            return;
+        }
+        let mut map = self.per_tenant.lock().expect("counter lock");
+        f(map.entry(tenant.to_string()).or_default());
+    }
+
     /// Counts a request admitted past admission control.
-    pub fn record_accepted(&self, client: u64) {
+    pub fn record_accepted(&self, client: u64, tenant: &str) {
         self.accepted.fetch_add(1, Ordering::Relaxed);
         self.client(client, |c| c.accepted += 1);
+        self.tenant(tenant, |t| t.accepted += 1);
     }
 
     /// Counts a request rejected by admission control.
-    pub fn record_rejected(&self, client: u64) {
+    pub fn record_rejected(&self, client: u64, tenant: &str) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
         self.client(client, |c| c.rejected += 1);
+        self.tenant(tenant, |t| t.rejected += 1);
     }
 
     /// Counts a frame that failed to parse (never admitted).
@@ -80,11 +94,12 @@ impl Counters {
 
     /// Counts a finished request: the evaluation wall-clock (0 for cache
     /// hits), how many of its cells failed to schedule.
-    pub fn record_completed(&self, client: u64, eval_micros: u64, sched_errors: u64) {
+    pub fn record_completed(&self, client: u64, tenant: &str, eval_micros: u64, sched_errors: u64) {
         self.eval_micros.fetch_add(eval_micros, Ordering::Relaxed);
         self.sched_errors.fetch_add(sched_errors, Ordering::Relaxed);
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.client(client, |c| c.completed += 1);
+        self.tenant(tenant, |t| t.completed += 1);
     }
 
     /// Folds one sweep's aggregated [`LeapStats`] into the service-wide
@@ -109,6 +124,13 @@ impl Counters {
             .iter()
             .map(|(&id, &c)| (id, c))
             .collect();
+        let per_tenant = self
+            .per_tenant
+            .lock()
+            .expect("counter lock")
+            .iter()
+            .map(|(name, &c)| (name.clone(), c))
+            .collect();
         Snapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -123,6 +145,7 @@ impl Counters {
                 max_period: self.leap_max_period.load(Ordering::Relaxed),
             },
             per_client,
+            per_tenant,
         }
     }
 }
@@ -151,6 +174,9 @@ pub struct Snapshot {
     pub leap: LeapStats,
     /// Per-client counters, keyed by connection id.
     pub per_client: Vec<(u64, ClientCounters)>,
+    /// Per-tenant counters, keyed by the tenant tag of plan requests
+    /// (untagged requests are not listed).
+    pub per_tenant: Vec<(String, ClientCounters)>,
 }
 
 impl Snapshot {
@@ -165,8 +191,8 @@ impl Snapshot {
     }
 
     /// Renders the `"stats"` frame, folding in the result-store traffic
-    /// (`hits`/`misses`/`invalidations`/`evicted` of the shared cell
-    /// cache).
+    /// (`hits`/`misses`/`invalidations`/`evicted`/`repaired` of the
+    /// shared cell cache).
     pub fn frame(&self, id: u64, store: stg_experiments::StoreStats) -> String {
         let clients: Vec<Json> = self
             .per_client
@@ -174,6 +200,18 @@ impl Snapshot {
             .map(|(client, c)| {
                 Json::Obj(vec![
                     ("client".into(), Json::num(*client)),
+                    ("accepted".into(), Json::num(c.accepted)),
+                    ("rejected".into(), Json::num(c.rejected)),
+                    ("completed".into(), Json::num(c.completed)),
+                ])
+            })
+            .collect();
+        let tenants: Vec<Json> = self
+            .per_tenant
+            .iter()
+            .map(|(tenant, c)| {
+                Json::Obj(vec![
+                    ("tenant".into(), Json::Str(tenant.clone())),
                     ("accepted".into(), Json::num(c.accepted)),
                     ("rejected".into(), Json::num(c.rejected)),
                     ("completed".into(), Json::num(c.completed)),
@@ -195,6 +233,7 @@ impl Snapshot {
             ("cache_misses".into(), Json::num(store.misses)),
             ("cache_invalidations".into(), Json::num(store.invalidations)),
             ("cache_evictions".into(), Json::num(store.evicted)),
+            ("cache_repaired".into(), Json::num(store.repaired)),
             ("leap_leaps".into(), Json::num(self.leap.leaps)),
             (
                 "leap_leaped_cycles".into(),
@@ -202,6 +241,7 @@ impl Snapshot {
             ),
             ("leap_max_period".into(), Json::num(self.leap.max_period)),
             ("clients".into(), Json::Arr(clients)),
+            ("tenants".into(), Json::Arr(tenants)),
         ])
         .to_string()
     }
@@ -226,6 +266,18 @@ impl Snapshot {
                 },
             ));
         }
+        let mut per_tenant = Vec::new();
+        for t in v.get("tenants")?.as_array()? {
+            let m = |key: &str| t.get(key).and_then(Json::as_u64);
+            per_tenant.push((
+                t.get("tenant")?.as_str()?.to_string(),
+                ClientCounters {
+                    accepted: m("accepted")?,
+                    rejected: m("rejected")?,
+                    completed: m("completed")?,
+                },
+            ));
+        }
         Some((
             Snapshot {
                 accepted: n("accepted")?,
@@ -243,12 +295,14 @@ impl Snapshot {
                     max_period: n("leap_max_period")?,
                 },
                 per_client,
+                per_tenant,
             },
             stg_experiments::StoreStats {
                 hits: n("cache_hits")?,
                 misses: n("cache_misses")?,
                 invalidations: n("cache_invalidations")?,
                 evicted: n("cache_evictions")?,
+                repaired: n("cache_repaired")?,
             },
         ))
     }
@@ -261,13 +315,13 @@ mod tests {
     #[test]
     fn gauges_derive_from_monotonic_counters() {
         let c = Counters::new();
-        c.record_accepted(1);
-        c.record_accepted(1);
-        c.record_accepted(2);
-        c.record_rejected(2);
+        c.record_accepted(1, "alice");
+        c.record_accepted(1, "bob");
+        c.record_accepted(2, "");
+        c.record_rejected(2, "bob");
         c.record_dispatched();
         c.record_dispatched();
-        c.record_completed(1, 120, 0);
+        c.record_completed(1, "alice", 120, 0);
         let s = c.snapshot();
         assert_eq!((s.accepted, s.rejected, s.completed), (3, 1, 1));
         assert_eq!((s.queued(), s.in_flight()), (1, 1));
@@ -276,14 +330,23 @@ mod tests {
         assert_eq!(map[&1].accepted, 2);
         assert_eq!(map[&1].completed, 1);
         assert_eq!(map[&2].rejected, 1);
+        // Tenants tally independently of connections; untagged requests
+        // never materialize a tenant row.
+        let tenants: std::collections::BTreeMap<_, _> = s.per_tenant.iter().cloned().collect();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(
+            (tenants["alice"].accepted, tenants["alice"].completed),
+            (1, 1)
+        );
+        assert_eq!((tenants["bob"].accepted, tenants["bob"].rejected), (1, 1));
     }
 
     #[test]
     fn stats_frame_round_trips() {
         let c = Counters::new();
-        c.record_accepted(7);
+        c.record_accepted(7, "tenant-a");
         c.record_dispatched();
-        c.record_completed(7, 55, 1);
+        c.record_completed(7, "tenant-a", 55, 1);
         c.record_malformed();
         c.record_leap(LeapStats {
             leaps: 5,
@@ -309,6 +372,7 @@ mod tests {
             misses: 2,
             invalidations: 1,
             evicted: 4,
+            repaired: 6,
         };
         let frame = snap.frame(9, store);
         let v = crate::json::parse(&frame).unwrap();

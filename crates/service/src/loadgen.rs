@@ -32,6 +32,10 @@ pub struct LoadgenConfig {
     pub passes: usize,
     /// Mix seed: same seed, same requests, byte for byte.
     pub seed: u64,
+    /// Tenant tag stamped on every plan request (`""`: untagged). The
+    /// tag changes accounting and admission only, never the mix or the
+    /// cache keys — two tenants replaying the same seed share warm cells.
+    pub tenant: String,
 }
 
 impl Default for LoadgenConfig {
@@ -42,6 +46,7 @@ impl Default for LoadgenConfig {
             requests: 8,
             passes: 2,
             seed: 1,
+            tenant: String::new(),
         }
     }
 }
@@ -65,7 +70,7 @@ const MIX_SCHEDULERS: &[&str] = &["sb-lts", "sb-rlx", "nonstreaming"];
 /// from the mix tables by a generator seeded from `(seed, client)`.
 /// Identical across passes — replaying it is what makes later passes
 /// warm.
-pub fn request_list(seed: u64, client: u64, n: usize) -> Vec<PlanRequest> {
+pub fn request_list(seed: u64, client: u64, n: usize, tenant: &str) -> Vec<PlanRequest> {
     let mut rng = StdRng::seed_from_u64(seed ^ client.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     (0..n)
         .map(|i| {
@@ -78,6 +83,7 @@ pub fn request_list(seed: u64, client: u64, n: usize) -> Vec<PlanRequest> {
                 pes,
                 scheduler: scheduler.parse().expect("mix schedulers are registered"),
                 sim: "batched".parse().expect("batched is a simulator"),
+                tenant: tenant.to_string(),
             }
         })
         .collect()
@@ -129,13 +135,16 @@ impl Report {
     }
 
     /// Cold-p50 over final-warm-p50 latency ratio (`None` with a single
-    /// pass).
+    /// pass). A warm p50 that rounds down to zero — possible on loopback
+    /// with coarse timers — is clamped to a 1µs floor rather than
+    /// dividing by a zero `Duration`, so a measured two-pass run always
+    /// yields a finite ratio.
     pub fn warm_speedup(&self) -> Option<f64> {
-        let cold = self.passes.first()?.p50;
-        let warm = self.passes.last()?.p50;
-        if self.passes.len() < 2 || warm.is_zero() {
+        if self.passes.len() < 2 {
             return None;
         }
+        let cold = self.passes.first()?.p50;
+        let warm = self.passes.last()?.p50.max(Duration::from_micros(1));
         Some(cold.as_secs_f64() / warm.as_secs_f64())
     }
 
@@ -288,7 +297,7 @@ fn run_client(addr: &str, list: &[PlanRequest]) -> Result<(Vec<Duration>, usize)
 pub fn run(config: &LoadgenConfig) -> Result<Report, String> {
     assert!(config.clients >= 1 && config.requests >= 1 && config.passes >= 1);
     let lists: Vec<Vec<PlanRequest>> = (0..config.clients)
-        .map(|c| request_list(config.seed, c as u64 + 1, config.requests))
+        .map(|c| request_list(config.seed, c as u64 + 1, config.requests, &config.tenant))
         .collect();
     let mut passes = Vec::with_capacity(config.passes);
     for _ in 0..config.passes {
@@ -377,15 +386,23 @@ mod tests {
 
     #[test]
     fn request_lists_are_deterministic_and_client_distinct() {
-        let a = request_list(7, 1, 16);
-        let b = request_list(7, 1, 16);
+        let a = request_list(7, 1, 16, "");
+        let b = request_list(7, 1, 16, "");
         assert_eq!(a, b);
-        let c = request_list(7, 2, 16);
+        let c = request_list(7, 2, 16, "");
         assert_ne!(a, c, "different clients draw different mixes");
-        let d = request_list(8, 1, 16);
+        let d = request_list(8, 1, 16, "");
         assert_ne!(a, d, "different seeds draw different mixes");
         for req in &a {
             assert!(req.sim.validates(), "mix requests validate (batched)");
+        }
+        // A tenant tag changes only the tag, never the drawn mix.
+        let tagged = request_list(7, 1, 16, "acme");
+        for (plain, tag) in a.iter().zip(&tagged) {
+            assert_eq!(tag.tenant, "acme");
+            let mut untagged = tag.clone();
+            untagged.tenant.clear();
+            assert_eq!(&untagged, plain);
         }
     }
 
@@ -432,5 +449,31 @@ mod tests {
         assert!(line.contains("errors=0"), "{line}");
         assert!(line.contains("warm_hits=32"), "{line}");
         assert!(line.contains("speedup=10.0"), "{line}");
+    }
+
+    #[test]
+    fn zero_warm_p50_is_clamped_not_divided_by() {
+        let pass = |p50| PassReport {
+            p50,
+            p99: p50,
+            reqs: 1,
+            errors: 0,
+            wall: Duration::from_secs(1),
+            cache_hits: 0,
+        };
+        // A warm p50 of exactly zero (coarse timer on loopback) must
+        // yield the 1µs-floor ratio, not None and not a division by a
+        // zero Duration.
+        let report = Report {
+            passes: vec![pass(Duration::from_millis(2)), pass(Duration::ZERO)],
+        };
+        let speedup = report.warm_speedup().expect("two passes always rate");
+        assert!((speedup - 2000.0).abs() < 1e-6, "{speedup}");
+        assert!(speedup.is_finite());
+        // A single pass still reports no ratio.
+        let single = Report {
+            passes: vec![pass(Duration::from_millis(2))],
+        };
+        assert_eq!(single.warm_speedup(), None);
     }
 }

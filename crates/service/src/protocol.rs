@@ -6,7 +6,9 @@
 //! - **Plan** — one scheduling cell:
 //!   `{"id":1,"workload":"chain:8","seed":7,"pes":4,"scheduler":"sb-lts","sim":"off"}`
 //!   (`id`, `seed` default to 0; `sim` defaults to `"off"`; `workload`,
-//!   `pes`, `scheduler` are required). Answered by one `"ok"` frame whose
+//!   `pes`, `scheduler` are required; an optional `"tenant"` string tags
+//!   the request for per-tenant accounting and admission quotas without
+//!   entering the cell key). Answered by one `"ok"` frame whose
 //!   `outcome` field is the engine's canonical
 //!   [`stg_experiments::store::encode_outcome`] serialization — byte-equal
 //!   to evaluating the same spec through the engine directly.
@@ -105,13 +107,18 @@ pub struct PlanRequest {
     pub scheduler: SchedulerKind,
     /// Validation mode (default off).
     pub sim: SimMode,
+    /// Tenant tag for multi-tenant accounting and admission quotas
+    /// (default `""`: untagged). Does not enter the cell key — tenants
+    /// share the cache.
+    pub tenant: String,
 }
 
 impl PlanRequest {
     /// Renders the canonical request frame (parse of which reproduces
-    /// `self` exactly).
+    /// `self` exactly). Untagged requests omit the `tenant` member, so
+    /// pre-tenant frames stay byte-identical.
     pub fn encode(&self) -> String {
-        Json::Obj(vec![
+        let mut members = vec![
             ("id".into(), Json::num(self.id)),
             ("workload".into(), Json::Str(self.workload.spec())),
             ("seed".into(), Json::num(self.seed)),
@@ -121,8 +128,11 @@ impl PlanRequest {
                 Json::Str(self.scheduler.alias().to_string()),
             ),
             ("sim".into(), Json::Str(self.sim.to_string())),
-        ])
-        .to_string()
+        ];
+        if !self.tenant.is_empty() {
+            members.push(("tenant".into(), Json::Str(self.tenant.clone())));
+        }
+        Json::Obj(members).to_string()
     }
 
     /// The one-cell [`SweepSpec`] this request denotes — the exact spec a
@@ -187,6 +197,15 @@ impl Request {
             Request::Plan(p) => p.id,
             Request::Sweep(s) => s.id,
             Request::Stats { id } | Request::Ping { id } | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// The tenant tag of any request shape (`""` for untagged requests
+    /// and for shapes that carry no tenant).
+    pub fn tenant(&self) -> &str {
+        match self {
+            Request::Plan(p) => &p.tenant,
+            _ => "",
         }
     }
 }
@@ -297,7 +316,15 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     }
     check_fields(
         &v,
-        &["id", "workload", "seed", "pes", "scheduler", "sim"],
+        &[
+            "id",
+            "workload",
+            "seed",
+            "pes",
+            "scheduler",
+            "sim",
+            "tenant",
+        ],
         id,
     )?;
     let workload: WorkloadKind = str_field(&v, "workload", id)?
@@ -324,6 +351,13 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             .parse()
             .map_err(|e: String| ProtoError::bad(id, e))?,
     };
+    let tenant = match v.get("tenant") {
+        None => String::new(),
+        Some(t) => t
+            .as_str()
+            .ok_or_else(|| ProtoError::bad(id, "field \"tenant\" must be a string"))?
+            .to_string(),
+    };
     Ok(Request::Plan(PlanRequest {
         id,
         workload,
@@ -331,6 +365,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         pes,
         scheduler,
         sim,
+        tenant,
     }))
 }
 
@@ -630,18 +665,22 @@ mod tests {
 
     #[test]
     fn plan_request_round_trips() {
-        let req = PlanRequest {
-            id: 3,
-            workload: "stencil2d:16x16".parse().unwrap(),
-            seed: u64::MAX,
-            pes: 32,
-            scheduler: SchedulerKind::StreamingRlx,
-            sim: SimMode::Validate(SimChoice::Batched),
-        };
-        let line = req.encode();
-        match parse_request(&line).unwrap() {
-            Request::Plan(back) => assert_eq!(back, req),
-            other => panic!("not a plan: {other:?}"),
+        for tenant in ["", "acme"] {
+            let req = PlanRequest {
+                id: 3,
+                workload: "stencil2d:16x16".parse().unwrap(),
+                seed: u64::MAX,
+                pes: 32,
+                scheduler: SchedulerKind::StreamingRlx,
+                sim: SimMode::Validate(SimChoice::Batched),
+                tenant: tenant.to_string(),
+            };
+            let line = req.encode();
+            assert_eq!(line.contains("tenant"), !tenant.is_empty());
+            match parse_request(&line).unwrap() {
+                Request::Plan(back) => assert_eq!(back, req),
+                other => panic!("not a plan: {other:?}"),
+            }
         }
     }
 

@@ -1,4 +1,5 @@
-//! Bounded admission queue with per-client round-robin fairness.
+//! Bounded admission queue with per-client round-robin fairness and
+//! optional per-tenant quotas.
 //!
 //! The daemon never buffers without bound: [`Admission::push`] rejects
 //! with [`Reject::Overloaded`] the moment `bound` requests are queued,
@@ -8,8 +9,16 @@
 //! round-robin: a client that floods the queue gets its requests
 //! interleaved with everyone else's, not served as a contiguous burst, so
 //! one heavy client cannot starve the others.
+//!
+//! Round-robin alone is per-*connection*; a tenant can still monopolize
+//! the bounded queue by opening many connections. A quota set with
+//! [`Admission::with_tenant_quota`] adds a second admission axis: at most
+//! `quota` requests of any one tenant tag may be queued at a time
+//! ([`Reject::TenantQuota`] past it), so no tenant can hold more than its
+//! share of the bound regardless of connection count. Untagged work
+//! (`tenant == ""`) is only subject to the global bound.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 
 /// Why a push was not admitted.
@@ -17,6 +26,9 @@ use std::sync::{Condvar, Mutex};
 pub enum Reject {
     /// The queue already holds `bound` requests.
     Overloaded,
+    /// The pushing tenant already holds its per-tenant quota of queued
+    /// requests.
+    TenantQuota,
     /// The queue is draining for shutdown and admits nothing new.
     Draining,
 }
@@ -24,33 +36,49 @@ pub enum Reject {
 struct State<T> {
     /// Per-client FIFO sub-queues, in round-robin rotation order: the
     /// front client is served next, then rotated to the back while it
-    /// still has queued work.
-    clients: VecDeque<(u64, VecDeque<T>)>,
+    /// still has queued work. Each job carries its tenant tag so `pop`
+    /// can release the tenant's quota slot.
+    clients: VecDeque<(u64, VecDeque<(String, T)>)>,
+    /// Currently queued requests per (non-empty) tenant tag.
+    tenants: BTreeMap<String, usize>,
     queued: usize,
     draining: bool,
 }
 
 /// The bounded, fair admission queue ([`Reject`] instead of unbounded
-/// buffering; round-robin across clients instead of global FIFO).
+/// buffering; round-robin across clients instead of global FIFO;
+/// optional per-tenant queue quotas).
 pub struct Admission<T> {
     state: Mutex<State<T>>,
     available: Condvar,
     bound: usize,
+    tenant_quota: Option<usize>,
 }
 
 impl<T> Admission<T> {
-    /// A queue admitting at most `bound` queued requests (`bound >= 1`).
+    /// A queue admitting at most `bound` queued requests (`bound >= 1`),
+    /// with no per-tenant quota.
     pub fn new(bound: usize) -> Admission<T> {
         assert!(bound >= 1, "admission queue bound must be at least 1");
         Admission {
             state: Mutex::new(State {
                 clients: VecDeque::new(),
+                tenants: BTreeMap::new(),
                 queued: 0,
                 draining: false,
             }),
             available: Condvar::new(),
             bound,
+            tenant_quota: None,
         }
+    }
+
+    /// Caps every (non-empty) tenant tag at `quota` queued requests
+    /// (`quota >= 1`).
+    pub fn with_tenant_quota(mut self, quota: usize) -> Admission<T> {
+        assert!(quota >= 1, "tenant quota must be at least 1");
+        self.tenant_quota = Some(quota);
+        self
     }
 
     /// The configured bound.
@@ -58,8 +86,14 @@ impl<T> Admission<T> {
         self.bound
     }
 
-    /// Admits `job` for `client`, or rejects it without queueing.
-    pub fn push(&self, client: u64, job: T) -> Result<(), Reject> {
+    /// The configured per-tenant quota, if any.
+    pub fn tenant_quota(&self) -> Option<usize> {
+        self.tenant_quota
+    }
+
+    /// Admits `job` for `client` under `tenant` (`""`: untagged), or
+    /// rejects it without queueing.
+    pub fn push(&self, client: u64, tenant: &str, job: T) -> Result<(), Reject> {
         let mut state = self.state.lock().expect("admission lock");
         if state.draining {
             return Err(Reject::Draining);
@@ -67,9 +101,18 @@ impl<T> Admission<T> {
         if state.queued >= self.bound {
             return Err(Reject::Overloaded);
         }
+        if let (Some(quota), false) = (self.tenant_quota, tenant.is_empty()) {
+            if state.tenants.get(tenant).copied().unwrap_or(0) >= quota {
+                return Err(Reject::TenantQuota);
+            }
+        }
+        if !tenant.is_empty() {
+            *state.tenants.entry(tenant.to_string()).or_insert(0) += 1;
+        }
+        let entry = (tenant.to_string(), job);
         match state.clients.iter_mut().find(|(id, _)| *id == client) {
-            Some((_, jobs)) => jobs.push_back(job),
-            None => state.clients.push_back((client, VecDeque::from([job]))),
+            Some((_, jobs)) => jobs.push_back(entry),
+            None => state.clients.push_back((client, VecDeque::from([entry]))),
         }
         state.queued += 1;
         drop(state);
@@ -84,9 +127,17 @@ impl<T> Admission<T> {
         let mut state = self.state.lock().expect("admission lock");
         loop {
             if let Some((client, mut jobs)) = state.clients.pop_front() {
-                let job = jobs.pop_front().expect("client sub-queues are non-empty");
+                let (tenant, job) = jobs.pop_front().expect("client sub-queues are non-empty");
                 if !jobs.is_empty() {
                     state.clients.push_back((client, jobs));
+                }
+                if !tenant.is_empty() {
+                    match state.tenants.get_mut(&tenant) {
+                        Some(n) if *n > 1 => *n -= 1,
+                        _ => {
+                            state.tenants.remove(&tenant);
+                        }
+                    }
                 }
                 state.queued -= 1;
                 return Some(job);
@@ -123,7 +174,7 @@ mod tests {
         // A burst of 50 from two interleaved clients with no worker
         // popping: exactly `bound` admitted, the rest rejected.
         for i in 0..50u64 {
-            match q.push(i % 2, i) {
+            match q.push(i % 2, "", i) {
                 Ok(()) => accepted += 1,
                 Err(Reject::Overloaded) => rejected += 1,
                 Err(r) => panic!("unexpected rejection {r:?}"),
@@ -138,10 +189,10 @@ mod tests {
         let q = Admission::new(16);
         // Client 1 floods first; client 2 sends one late request.
         for job in [10, 11, 12] {
-            q.push(1, job).unwrap();
+            q.push(1, "", job).unwrap();
         }
-        q.push(2, 20).unwrap();
-        q.push(3, 30).unwrap();
+        q.push(2, "", 20).unwrap();
+        q.push(3, "", 30).unwrap();
         // Round-robin: one from each client in rotation order, not
         // client 1's whole burst first.
         let order: Vec<i32> = (0..5).map(|_| q.pop().unwrap()).collect();
@@ -149,11 +200,32 @@ mod tests {
     }
 
     #[test]
+    fn tenant_quota_caps_queued_work_across_connections() {
+        let q = Admission::new(16).with_tenant_quota(2);
+        // One tenant pushing through many connections still holds at
+        // most `quota` queue slots.
+        q.push(1, "acme", 1).unwrap();
+        q.push(2, "acme", 2).unwrap();
+        assert_eq!(q.push(3, "acme", 3), Err(Reject::TenantQuota));
+        // Other tenants and untagged work are unaffected.
+        q.push(3, "blue", 4).unwrap();
+        q.push(3, "", 5).unwrap();
+        // Serving a job releases the tenant's slot.
+        assert_eq!(q.pop(), Some(1));
+        q.push(3, "acme", 6).unwrap();
+        assert_eq!(q.push(3, "acme", 7), Err(Reject::TenantQuota));
+        // The global bound still applies on top of quotas.
+        let full = Admission::new(1).with_tenant_quota(5);
+        full.push(1, "acme", 1).unwrap();
+        assert_eq!(full.push(1, "acme", 2), Err(Reject::Overloaded));
+    }
+
+    #[test]
     fn drain_rejects_new_work_and_unblocks_workers() {
         let q = Admission::new(4);
-        q.push(1, 1).unwrap();
+        q.push(1, "", 1).unwrap();
         q.drain();
-        assert_eq!(q.push(1, 2), Err(Reject::Draining));
+        assert_eq!(q.push(1, "", 2), Err(Reject::Draining));
         // Queued work is still served, then workers see the exit signal.
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
@@ -166,7 +238,7 @@ mod tests {
         let q2 = q.clone();
         let popper = std::thread::spawn(move || q2.pop());
         std::thread::sleep(std::time::Duration::from_millis(50));
-        q.push(9, 42).unwrap();
+        q.push(9, "", 42).unwrap();
         assert_eq!(popper.join().unwrap(), Some(42));
     }
 }

@@ -56,10 +56,26 @@ impl Daemon {
         workers: usize,
         queue_bound: usize,
     ) -> std::io::Result<Daemon> {
+        Daemon::bind_with_quota(addr, service, workers, queue_bound, None)
+    }
+
+    /// [`Daemon::bind`] with an additional per-tenant admission quota:
+    /// at most `quota` queued requests per tenant tag, on top of the
+    /// global bound and the per-client round-robin.
+    pub fn bind_with_quota(
+        addr: impl ToSocketAddrs,
+        service: Arc<Service>,
+        workers: usize,
+        queue_bound: usize,
+        tenant_quota: Option<usize>,
+    ) -> std::io::Result<Daemon> {
         assert!(workers >= 1, "daemon needs at least one worker");
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let queue = Arc::new(Admission::<Job>::new(queue_bound));
+        let queue = match tenant_quota {
+            Some(quota) => Arc::new(Admission::<Job>::new(queue_bound).with_tenant_quota(quota)),
+            None => Arc::new(Admission::<Job>::new(queue_bound)),
+        };
         let stopping = Arc::new(AtomicBool::new(false));
 
         let mut pool = Vec::with_capacity(workers);
@@ -276,19 +292,24 @@ fn serve_connection(
             continue;
         }
         let id = request.id();
+        let tenant = request.tenant().to_string();
         let job = Job {
             client,
             request,
             out: tx.clone(),
         };
-        match queue.push(client, job) {
-            Ok(()) => service.counters().record_accepted(client),
+        match queue.push(client, &tenant, job) {
+            Ok(()) => service.counters().record_accepted(client, &tenant),
             Err(reject) => {
-                service.counters().record_rejected(client);
+                service.counters().record_rejected(client, &tenant);
                 let reason = match reject {
                     Reject::Overloaded => {
                         format!("queue full ({} queued); retry later", queue.bound())
                     }
+                    Reject::TenantQuota => format!(
+                        "tenant {tenant:?} already holds its quota of {} queued requests; retry later",
+                        queue.tenant_quota().unwrap_or(0)
+                    ),
                     Reject::Draining => "service is draining for shutdown".to_string(),
                 };
                 if tx.send(ProtoError::overloaded(id, reason).frame()).is_err() {

@@ -9,11 +9,15 @@
 //! full request path in-process through [`Service::handle`] without
 //! sockets.
 //!
-//! Warm requests never re-schedule: a plan request is keyed by the same
-//! content-addressed `CellKey` the sweep engine uses, looked up in the
-//! store, and only evaluated (then persisted) on a miss. Responses are
-//! byte-identical either way — the `outcome` payload is the engine's
-//! canonical serialization, which stores no wall-clocks.
+//! Warm requests never re-schedule: a plan request runs as a one-cell
+//! engine sweep over the shared store, keyed by the same
+//! content-addressed `CellKey` the sweep engine uses. On a nominal miss
+//! the engine falls back to the semantic (graph-fingerprint) key, so a
+//! spec delta that leaves the graph unchanged — e.g. a seed change on a
+//! seed-invariant workload — is repaired from cache instead of
+//! re-evaluated (`cache_repaired` in the stats frame counts these).
+//! Responses are byte-identical either way — the `outcome` payload is
+//! the engine's canonical serialization, which stores no wall-clocks.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -149,7 +153,7 @@ impl Service {
             other => (vec![self.control(other).expect("control request")], 0, 0),
         };
         self.counters
-            .record_completed(client, eval_micros, sched_errors);
+            .record_completed(client, request.tenant(), eval_micros, sched_errors);
         frames
     }
 
@@ -165,12 +169,16 @@ impl Service {
         if let Some(frame) = self.control(&request) {
             return vec![frame];
         }
-        self.counters.record_accepted(client);
+        self.counters.record_accepted(client, request.tenant());
         self.dispatch(client, &request)
     }
 
-    /// Evaluates one plan request: cache lookup → (on miss) one-cell
-    /// engine evaluation → persist. Returns (frames, eval_micros,
+    /// Evaluates one plan request as a one-cell engine run over the
+    /// shared store: the engine does the cache lookup, falls back to the
+    /// semantic (fingerprint-keyed) entry for plan-repair reuse on a
+    /// nominal miss, evaluates only when both miss, and persists through
+    /// the batched insert + flush path — never the per-cell fsync'd
+    /// [`ResultStore::insert`] files. Returns (frames, eval_micros,
     /// sched_errors).
     fn plan(&self, req: &PlanRequest) -> (Vec<String>, u64, u64) {
         if !self.config.eval_delay.is_zero() {
@@ -184,24 +192,20 @@ impl Service {
             .cases()
             .pop()
             .expect("a plan request expands to exactly one case");
-        let key = spec.cell_key(&case);
-        let (outcome, eval_micros) = match self.store.lookup(&key) {
-            Some(outcome) => (outcome, 0),
-            None => {
-                let t0 = Instant::now();
-                let sweep = spec.run_with(None);
-                let micros = t0.elapsed().as_micros() as u64;
-                self.counters.record_leap(sweep.leap);
-                let outcome = sweep
-                    .runs
-                    .into_iter()
-                    .next()
-                    .expect("one-cell sweep has one run")
-                    .outcome;
-                self.store.insert(&key, &outcome);
-                (outcome, micros)
-            }
-        };
+        let t0 = Instant::now();
+        let sweep = spec.run_with(Some(&self.store));
+        let micros = t0.elapsed().as_micros() as u64;
+        self.counters.record_leap(sweep.leap);
+        // Warm cells — nominal hits and semantic repairs alike — never
+        // re-schedule, so they report no evaluation wall-clock.
+        let warm = sweep.cell_cache.hits > 0 || sweep.cell_cache.repaired > 0;
+        let eval_micros = if warm { 0 } else { micros };
+        let outcome = sweep
+            .runs
+            .into_iter()
+            .next()
+            .expect("one-cell sweep has one run")
+            .outcome;
         let sched_errors = u64::from(outcome.is_err());
         let response = PlanResponse {
             id: req.id,
@@ -382,6 +386,109 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn plan_misses_persist_through_segments_never_per_cell_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "stg-service-unit-{}-batched-plan",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Service::new(ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        for seed in 0..3 {
+            let line =
+                format!(r#"{{"workload":"chain:8","seed":{seed},"pes":2,"scheduler":"sb-lts"}}"#);
+            s.handle(1, &line);
+        }
+        assert_eq!(s.store_stats().misses, 3);
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("cache dir exists")
+            .flatten()
+            .map(|d| d.file_name().to_string_lossy().into_owned())
+            .collect();
+        // The plan path persists through the engine's batched insert +
+        // flush: segment files only, never the per-cell fsync'd format.
+        assert!(
+            names.iter().all(|n| !n.ends_with(".cell")),
+            "per-cell files written: {names:?}"
+        );
+        assert!(
+            names
+                .iter()
+                .any(|n| n.starts_with("seg-") && n.ends_with(".cells")),
+            "no segment files written: {names:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_delta_on_seed_invariant_workload_repairs_from_cache() {
+        let s = service();
+        let cold = s.handle(
+            1,
+            r#"{"workload":"transformer","seed":1,"pes":4,"scheduler":"sb-lts"}"#,
+        );
+        let stats = s.store_stats();
+        assert_eq!((stats.misses, stats.repaired), (1, 0));
+        // The spec delta: a new seed. `transformer` ignores it, so the
+        // nominal key misses but the semantic (fingerprint) key repairs.
+        let warm = s.handle(
+            1,
+            r#"{"workload":"transformer","seed":2,"pes":4,"scheduler":"sb-lts"}"#,
+        );
+        let stats = s.store_stats();
+        assert_eq!((stats.hits, stats.misses, stats.repaired), (0, 2, 1));
+        let outcome = |frames: &[String]| match parse_response(&frames[0]).unwrap() {
+            Response::Ok(r) => r.outcome,
+            other => panic!("not ok: {other:?}"),
+        };
+        assert_eq!(outcome(&cold), outcome(&warm), "repair is byte-identical");
+        // Warm requests (repaired ones included) report no eval time.
+        assert!(s.counters().snapshot().eval_micros > 0);
+        let before = s.counters().snapshot().eval_micros;
+        s.handle(
+            1,
+            r#"{"workload":"transformer","seed":3,"pes":4,"scheduler":"sb-lts"}"#,
+        );
+        assert_eq!(s.counters().snapshot().eval_micros, before);
+    }
+
+    #[test]
+    fn tenant_tags_tally_per_tenant_counters() {
+        let s = service();
+        for (tenant, seed) in [("acme", 1), ("acme", 2), ("blue", 1)] {
+            let line = format!(
+                r#"{{"workload":"chain:8","seed":{seed},"pes":2,"scheduler":"sb-lts","tenant":"{tenant}"}}"#
+            );
+            s.handle(1, &line);
+        }
+        // Untagged traffic never materializes a tenant row.
+        s.handle(
+            1,
+            r#"{"workload":"chain:8","seed":1,"pes":2,"scheduler":"sb-lts"}"#,
+        );
+        let snap = s.counters().snapshot();
+        assert_eq!(snap.accepted, 4);
+        let tenants: std::collections::BTreeMap<_, _> = snap.per_tenant.iter().cloned().collect();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(
+            (tenants["acme"].accepted, tenants["acme"].completed),
+            (2, 2)
+        );
+        assert_eq!(
+            (tenants["blue"].accepted, tenants["blue"].completed),
+            (1, 1)
+        );
+        // And the stats frame carries them.
+        let frames = s.handle(1, r#"{"cmd":"stats","id":1}"#);
+        let v = crate::json::parse(&frames[0]).unwrap();
+        let (back, _) = crate::counters::Snapshot::from_json(&v).unwrap();
+        assert_eq!(back.per_tenant, snap.per_tenant);
     }
 
     #[test]

@@ -19,7 +19,7 @@ fn sim_modes() -> [SimMode; 4] {
 }
 
 /// Exhaustive, not sampled: the full registry cross-product is only
-/// 10 workloads × 9 schedulers × 4 sim modes.
+/// 10 workloads × 10 schedulers × 4 sim modes.
 #[test]
 fn every_registered_combination_round_trips() {
     for workload in WorkloadKind::registered() {
@@ -32,6 +32,7 @@ fn every_registered_combination_round_trips() {
                     pes: 4,
                     scheduler,
                     sim,
+                    tenant: String::new(),
                 };
                 let line = req.encode();
                 match parse_request(&line) {
@@ -70,8 +71,9 @@ proptest! {
         seed in any::<u64>(),
         pes in 1usize..4096,
         w in 0usize..10,
-        s in 0usize..9,
+        s in 0usize..10,
         m in 0usize..4,
+        t in 0usize..3,
     ) {
         let req = PlanRequest {
             id,
@@ -80,6 +82,7 @@ proptest! {
             workload: WorkloadKind::registered()[w].clone(),
             scheduler: SchedulerKind::ALL[s],
             sim: sim_modes()[m],
+            tenant: ["", "acme", "tenant b"][t].to_string(),
         };
         let line = req.encode();
         match parse_request(&line) {
@@ -96,7 +99,7 @@ proptest! {
         seed in any::<u64>(),
         pes in 1usize..4096,
         w in 0usize..10,
-        s in 0usize..9,
+        s in 0usize..10,
         err in any::<bool>(),
     ) {
         let resp = Response::Ok(PlanResponse {
@@ -144,7 +147,7 @@ proptest! {
     #[test]
     fn mutated_valid_frames_never_panic(
         w in 0usize..10,
-        s in 0usize..9,
+        s in 0usize..10,
         pos_seed in any::<u64>(),
         byte in any::<u8>(),
         truncate in any::<bool>(),
@@ -156,6 +159,7 @@ proptest! {
             pes: 8,
             scheduler: SchedulerKind::ALL[s],
             sim: SimMode::Off,
+            tenant: String::new(),
         };
         let mut line = req.encode().into_bytes();
         let pos = (pos_seed % line.len() as u64) as usize;

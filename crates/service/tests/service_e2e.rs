@@ -21,6 +21,17 @@ fn start(config: ServiceConfig, workers: usize, queue_bound: usize) -> Daemon {
     Daemon::bind("127.0.0.1:0", service, workers, queue_bound).expect("daemon binds")
 }
 
+fn start_with_quota(
+    config: ServiceConfig,
+    workers: usize,
+    queue_bound: usize,
+    quota: usize,
+) -> Daemon {
+    let service = Arc::new(Service::new(config).expect("service opens"));
+    Daemon::bind_with_quota("127.0.0.1:0", service, workers, queue_bound, Some(quota))
+        .expect("daemon binds")
+}
+
 struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
@@ -125,6 +136,7 @@ fn concurrent_clients_get_byte_identical_engine_output() {
                             pes,
                             scheduler: scheduler.parse().unwrap(),
                             sim: sim.parse().unwrap(),
+                            tenant: String::new(),
                         };
                         client.send(&req.encode());
                         let line = client.recv();
@@ -211,6 +223,88 @@ fn overload_is_bounded_and_interleaved_clients_progress() {
     for c in per.values() {
         assert_eq!(c.completed, c.accepted, "{per:?}");
     }
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn tenant_quota_caps_a_burst_without_starving_the_other_tenant() {
+    // Two workers, a long artificial service time, a roomy global queue
+    // (bound 16 — never the limiter here), and a per-tenant quota of 2:
+    // a tenant bursting ahead is capped at the quota while the other
+    // tenant and untagged clients keep landing work.
+    let config = ServiceConfig {
+        eval_delay: Duration::from_millis(800),
+        ..ServiceConfig::default()
+    };
+    let daemon = start_with_quota(config, 2, 16, 2);
+    let addr = daemon.addr();
+    let plan = |id: u64, seed: u64, tenant: &str| {
+        format!(
+            r#"{{"id":{id},"workload":"chain:8","seed":{seed},"pes":2,"scheduler":"sb-lts","tenant":"{tenant}"}}"#
+        )
+    };
+
+    // Phase 1: an untagged client occupies both workers (quota-exempt).
+    let mut untagged = Client::connect(addr);
+    untagged.send(&plan(1, 0, ""));
+    untagged.send(&plan(2, 1, ""));
+    wait_until("both workers busy", Duration::from_secs(10), || {
+        let s = stats(addr).0;
+        s.in_flight() == 2 && s.queued() == 0
+    });
+
+    // Phase 2: tenant "acme" fills its quota from one connection...
+    let mut acme_a = Client::connect(addr);
+    acme_a.send(&plan(3, 2, "acme"));
+    acme_a.send(&plan(4, 3, "acme"));
+    wait_until("acme quota filled", Duration::from_secs(10), || {
+        stats(addr).0.queued() == 2
+    });
+    // ...and bursts past it from a *second* connection: the quota spans
+    // connections, so both are rejected while the queue has 14 free slots.
+    let mut acme_b = Client::connect(addr);
+    acme_b.send(&plan(5, 4, "acme"));
+    acme_b.send(&plan(6, 5, "acme"));
+    for _ in 0..2 {
+        match parse_response(&acme_b.recv()).expect("frame parses") {
+            Response::Error(e) => {
+                assert_eq!(e.code, CODE_OVERLOADED, "{e:?}");
+                assert!(e.error.contains("quota"), "{}", e.error);
+                assert!(e.error.contains("acme"), "{}", e.error);
+            }
+            other => panic!("expected a quota rejection, got {other:?}"),
+        }
+    }
+
+    // Phase 3: tenant "blue" is unaffected by acme's burst.
+    let mut blue = Client::connect(addr);
+    blue.send(&plan(7, 6, "blue"));
+    blue.send(&plan(8, 7, "blue"));
+    wait_until("blue admitted", Duration::from_secs(10), || {
+        stats(addr).0.queued() == 4
+    });
+
+    // Every admitted request completes.
+    for client in [&mut untagged, &mut acme_a, &mut blue] {
+        for _ in 0..2 {
+            match parse_response(&client.recv()).expect("frame parses") {
+                Response::Ok(_) => {}
+                other => panic!("expected a result, got {other:?}"),
+            }
+        }
+    }
+
+    // Per-tenant counters reconcile: acme capped but served, blue clean,
+    // the untagged client never materializes a tenant row.
+    let snap = stats(addr).0;
+    assert_eq!((snap.accepted, snap.rejected, snap.completed), (6, 2, 6));
+    let tenants: BTreeMap<String, _> = snap.per_tenant.iter().cloned().collect();
+    assert_eq!(tenants.len(), 2, "{tenants:?}");
+    let acme = &tenants["acme"];
+    assert_eq!((acme.accepted, acme.rejected, acme.completed), (2, 2, 2));
+    let blue = &tenants["blue"];
+    assert_eq!((blue.accepted, blue.rejected, blue.completed), (2, 0, 2));
     daemon.shutdown();
     daemon.wait();
 }
@@ -306,6 +400,7 @@ fn malformed_frames_answer_400_and_keep_the_connection() {
         pes: 4,
         scheduler: SchedulerKind::StreamingLts,
         sim: "off".parse().unwrap(),
+        tenant: String::new(),
     };
     c.send(&req.encode());
     assert_eq!(c.recv(), direct_engine_frame(&req));
