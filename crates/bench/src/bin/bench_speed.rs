@@ -20,12 +20,17 @@
 //!
 //! Wall-clock numbers are informational (they vary with the machine);
 //! the identity/divergence assertions are hard failures. CI runs
-//! `bench_speed --quick` and keeps the numbers as artifacts.
+//! `bench_speed --quick` and keeps the numbers as artifacts. With
+//! `--gate BASELINE.json`, the run also fails when the measured
+//! cold-store/storeless throughput *ratio* drops more than 20% below the
+//! committed trajectory's — ratios transfer across machines, absolutes
+//! don't.
 //!
 //! ```sh
 //! cargo run --release -p stg_bench --bin bench_speed            # full
 //! cargo run --release -p stg_bench --bin bench_speed -- --quick
 //! cargo run --release -p stg_bench --bin bench_speed -- --cells 200000 --out BENCH_sweep.json
+//! cargo run --release -p stg_bench --bin bench_speed -- --quick --gate BENCH_sweep.json
 //! ```
 
 use std::time::Instant;
@@ -42,6 +47,7 @@ struct Opts {
     quick: bool,
     cells: u64,
     out: String,
+    gate: Option<String>,
 }
 
 fn parse_opts() -> Opts {
@@ -49,6 +55,7 @@ fn parse_opts() -> Opts {
         quick: false,
         cells: 100_800,
         out: "BENCH_sweep.json".to_string(),
+        gate: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,6 +68,9 @@ fn parse_opts() -> Opts {
                     .unwrap_or_else(|| usage("--cells expects a number"))
             }
             "--out" => opts.out = it.next().unwrap_or_else(|| usage("--out expects a path")),
+            "--gate" => {
+                opts.gate = Some(it.next().unwrap_or_else(|| usage("--gate expects a path")))
+            }
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -71,7 +81,10 @@ fn parse_opts() -> Opts {
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("bench_speed: {msg}\nusage: bench_speed [--quick] [--cells N] [--out PATH]");
+    eprintln!(
+        "bench_speed: {msg}\n\
+         usage: bench_speed [--quick] [--cells N] [--out PATH] [--gate BASELINE.json]"
+    );
     std::process::exit(2);
 }
 
@@ -348,6 +361,56 @@ fn f(v: f64) -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// the regression gate
+// ---------------------------------------------------------------------------
+
+/// Extracts the number following `"key":` in `json`, searching only after
+/// the first occurrence of `anchor` (enough structure for the trajectory
+/// file this binary itself emits; no JSON parser in the workspace).
+fn number_after(json: &str, anchor: &str, key: &str) -> Option<f64> {
+    let tail = &json[json.find(anchor)?..];
+    let rest = &tail[tail.find(&format!("\"{key}\""))?..];
+    let rest = rest[rest.find(':')? + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Fails the run when the measured cold-store/storeless throughput
+/// *ratio* regresses more than 20% below the committed trajectory's. The
+/// gate compares ratios, not absolutes — wall-clocks vary wildly across
+/// machines, but how much the store write path costs relative to pure
+/// scheduling on the same machine transfers.
+fn enforce_gate(path: &str, sweep: &SweepMeasurement) {
+    let committed = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_speed: cannot read gate baseline {path}: {e}");
+        std::process::exit(1);
+    });
+    let (cold, nostore) = match (
+        number_after(&committed, "\"sweep\"", "cold_store_cells_per_s"),
+        number_after(&committed, "\"sweep\"", "nostore_cells_per_s"),
+    ) {
+        (Some(c), Some(n)) if c > 0.0 && n > 0.0 => (c, n),
+        _ => {
+            eprintln!("bench_speed: gate baseline {path} has no usable sweep block");
+            std::process::exit(1);
+        }
+    };
+    let committed_ratio = cold / nostore;
+    let measured_ratio = sweep.cold_store_cells_per_s / sweep.nostore_cells_per_s;
+    let floor = 0.8 * committed_ratio;
+    eprintln!(
+        "gate: cold/storeless ratio {measured_ratio:.3} vs committed {committed_ratio:.3} \
+         (floor {floor:.3})"
+    );
+    if measured_ratio < floor {
+        eprintln!("bench_speed: cold-store throughput regressed past the 20% gate");
+        std::process::exit(1);
+    }
+}
+
 fn emit(
     opts: &Opts,
     sweep: &SweepMeasurement,
@@ -403,6 +466,9 @@ fn main() {
     let sims = measure_sims(opts.quick);
     let divergences = check_sim_equivalence();
     let sweep = measure_sweep(opts.cells);
+    if let Some(gate) = &opts.gate {
+        enforce_gate(gate, &sweep);
+    }
     let json = emit(&opts, &sweep, &sims, divergences);
     std::fs::write(&opts.out, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", opts.out);

@@ -464,16 +464,38 @@ impl SweepSpec {
     pub fn run_cases(&self, cases: Vec<Case>, store: Option<&ResultStore>) -> CasesResult {
         let validate = self.validate;
         let sim = self.sim;
+        let sim_mode = self.sim_mode();
         // Stage key + prefetch: expand every cacheable case into its cell
         // key and look the whole batch up in one parallel pass (per-cell
-        // disk reads on a warm directory dominate otherwise).
-        let keys: Vec<Option<CellKey>> = match store {
-            Some(_) => cases
-                .iter()
-                .map(|c| self.cacheable(c).then(|| self.cell_key(c)))
-                .collect(),
-            None => vec![None; cases.len()],
-        };
+        // disk reads on a warm directory dominate otherwise). The grid is
+        // workload-major, so the spec string is rendered once per run of
+        // cases sharing a workload, not once per cell.
+        let mut keys: Vec<Option<CellKey>> = Vec::with_capacity(cases.len());
+        match store {
+            Some(_) => {
+                let mut spec = String::new();
+                let mut spec_for: Option<&WorkloadKind> = None;
+                for c in &cases {
+                    if !self.cacheable(c) {
+                        keys.push(None);
+                        continue;
+                    }
+                    if spec_for != Some(&c.workload) {
+                        spec = c.workload.spec();
+                        spec_for = Some(&c.workload);
+                    }
+                    keys.push(Some(CellKey::new(
+                        SCHEMA_VERSION,
+                        &spec,
+                        c.seed,
+                        c.pes,
+                        c.scheduler.alias(),
+                        &sim_mode,
+                    )));
+                }
+            }
+            None => keys.resize_with(cases.len(), || None),
+        }
         let mut slots: Vec<Option<Outcome>> = match store {
             Some(store) => {
                 let threads = self
@@ -492,7 +514,6 @@ impl SweepSpec {
         // changed the nominal key but not the graph. Schedulers are
         // name-blind and deterministic, so a repaired outcome is
         // byte-identical to evaluating.
-        let sim_mode = self.sim_mode();
         let todo: Vec<usize> = (0..cases.len()).filter(|&i| slots[i].is_none()).collect();
         let threads = self
             .threads
@@ -502,13 +523,16 @@ impl SweepSpec {
             let case = &cases[i];
             let (g, hit) = case.workload.instantiate_traced(case.seed);
             let semantic = match (store, &keys[i]) {
-                (Some(_), Some(_)) => Some(CellKey::semantic(
-                    SCHEMA_VERSION,
-                    g.fingerprint(),
-                    case.pes,
-                    case.scheduler.alias(),
-                    &sim_mode,
-                )),
+                (Some(_), Some(_)) => Some(CELL_SCRATCH.with(|cell| {
+                    CellKey::semantic_with(
+                        &mut cell.borrow_mut().spec_buf,
+                        SCHEMA_VERSION,
+                        g.fingerprint(),
+                        case.pes,
+                        case.scheduler.alias(),
+                        &sim_mode,
+                    )
+                })),
                 _ => None,
             };
             if let (Some(store), Some(sem)) = (store, &semantic) {
@@ -1230,16 +1254,59 @@ impl Run {
     }
 }
 
+/// Reusable per-worker evaluation storage: instantiated schedulers keyed
+/// by preset × machine size (the trait contract makes one instance safe
+/// to reuse across scenarios), the validation result pair, and the
+/// semantic-key spec buffer. One instance lives per thread, so
+/// steady-state cell evaluation allocates none of these per cell.
+struct CellScratch {
+    schedulers: std::collections::HashMap<(SchedulerKind, usize), Box<dyn Scheduler>>,
+    sim_results: Vec<SimResult>,
+    spec_buf: String,
+}
+
+thread_local! {
+    static CELL_SCRATCH: std::cell::RefCell<CellScratch> =
+        std::cell::RefCell::new(CellScratch {
+            schedulers: std::collections::HashMap::new(),
+            sim_results: Vec::new(),
+            spec_buf: String::new(),
+        });
+}
+
 fn evaluate(
     case: &Case,
     g: &CanonicalGraph,
     validate: bool,
     choice: SimChoice,
 ) -> Result<Record, stg_analysis::ScheduleError> {
-    let plan = case.build_scheduler().schedule(g)?;
+    // Evaluations never nest, so the thread-local borrow spans the call.
+    CELL_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        evaluate_with(case, g, validate, choice, &mut scratch)
+    })
+}
+
+fn evaluate_with(
+    case: &Case,
+    g: &CanonicalGraph,
+    validate: bool,
+    choice: SimChoice,
+    scratch: &mut CellScratch,
+) -> Result<Record, stg_analysis::ScheduleError> {
+    let CellScratch {
+        schedulers,
+        sim_results,
+        ..
+    } = scratch;
+    let plan = schedulers
+        .entry((case.scheduler, case.pes))
+        .or_insert_with(|| case.build_scheduler())
+        .schedule(g)?;
     let sim = validate.then(|| {
         let mut micros = SimMicros::default();
-        let mut results: Vec<SimResult> = Vec::with_capacity(2);
+        sim_results.clear();
+        let results = sim_results;
         for &kind in choice.kinds() {
             let t0 = Instant::now();
             let r = plan.validate_with(g, kind);

@@ -1,5 +1,5 @@
-//! Shared experiment plumbing: argument parsing and a scoped-thread
-//! parallel map (`std::thread::scope`) for sweeping the 100-graph samples.
+//! Shared experiment plumbing: argument parsing and a parallel map over
+//! a persistent worker pool for sweeping the 100-graph samples.
 
 use std::str::FromStr;
 
@@ -285,8 +285,8 @@ pub fn default_threads(n: u64) -> usize {
         .min(n.max(1) as usize)
 }
 
-/// Applies `f` to `0..n` in parallel with scoped worker threads, returning
-/// results in index order. The closure receives the job index.
+/// Applies `f` to `0..n` in parallel on the persistent worker pool,
+/// returning results in index order. The closure receives the job index.
 pub fn par_map<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
     par_map_with(n, default_threads(n), f)
 }
@@ -294,9 +294,25 @@ pub fn par_map<T: Send>(n: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
 /// [`par_map`] with an explicit worker count. The output is a pure
 /// function of `n` and `f` — the thread count only affects wall-clock
 /// time, never results or their order.
+///
+/// Work runs on a process-wide persistent pool (see [`pool_threads`]):
+/// the calling thread drains chunks alongside at most `threads - 1` pool
+/// workers, so per-call concurrency never exceeds `threads` and no call
+/// ever spawns a fresh OS thread. The sweep engine's prefetch and
+/// evaluate stages — and the fabric worker's 32-cell chunk loop, which
+/// used to pay a thread-spawn per chunk — all route through here.
 pub fn par_map_with<T: Send>(n: u64, threads: usize, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
     let threads = threads.max(1).min(n.max(1) as usize);
     let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if threads <= 1 {
+        for (i, slot) in results.iter_mut().enumerate() {
+            *slot = Some(f(i as u64));
+        }
+        return results
+            .into_iter()
+            .map(|r| r.expect("all jobs completed"))
+            .collect();
+    }
     // Split the output into contiguous chunks handed to workers whole
     // (disjoint `&mut` slices — no per-slot locking). Several chunks per
     // worker keep dynamic load balancing for skewed job costs.
@@ -312,24 +328,210 @@ pub fn par_map_with<T: Send>(n: u64, threads: usize, f: impl Fn(u64) -> T + Sync
         rest = tail;
     }
     chunks.reverse(); // pop() hands out low indices first
-    let queue = std::sync::Mutex::new(chunks);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let Some((start, slice)) = queue.lock().expect("chunk queue").pop() else {
-                    break;
-                };
-                for (j, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(f(start + j as u64));
-                }
-            });
-        }
-    });
-    drop(queue);
+    pool::run_chunked(chunks, threads - 1, &f);
     results
         .into_iter()
         .map(|r| r.expect("all jobs completed"))
         .collect()
+}
+
+/// The persistent worker-pool size (available parallelism, fixed at first
+/// use). [`par_map_with`] borrows at most `threads - 1` of these per call;
+/// the pool is shared by every concurrent caller in the process.
+pub fn pool_threads() -> usize {
+    pool::global().workers
+}
+
+/// Total worker OS threads the pool has ever spawned — stays at
+/// [`pool_threads`] for the process lifetime; tests pin that repeated
+/// [`par_map_with`] calls do not spawn fresh threads.
+pub fn pool_threads_spawned() -> usize {
+    pool::threads_spawned()
+}
+
+/// The persistent worker pool behind [`par_map_with`].
+///
+/// Spawning `threads` scoped OS threads per call was fine for one sweep
+/// per process, but the fabric worker calls the engine once per 32-cell
+/// chunk and `lookup_many` prefetches once per sweep stage — thousands of
+/// short-lived thread spawns per run. The pool spawns `available_parallelism`
+/// detached workers once, and each `par_map_with` call enqueues a helper
+/// job per borrowed worker; the calling thread always participates, so a
+/// busy pool degrades to inline execution instead of deadlocking.
+mod pool {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+
+    /// A type-erased "help drain this call's chunk queue" handle. `run`
+    /// returns once the queue is empty; several workers may run the same
+    /// task concurrently.
+    trait TaskRun: Send + Sync {
+        fn run(&self);
+    }
+
+    struct PoolState {
+        /// Queued helper jobs, tagged by task id so an owner can cancel
+        /// its not-yet-started helpers when it finishes draining first.
+        queue: VecDeque<(u64, Arc<dyn TaskRun>)>,
+        next_task: u64,
+    }
+
+    pub(super) struct WorkerPool {
+        state: Mutex<PoolState>,
+        work_ready: Condvar,
+        pub(super) workers: usize,
+    }
+
+    static SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+    pub(super) fn threads_spawned() -> usize {
+        SPAWNED.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        static START: Once = Once::new();
+        let pool = POOL.get_or_init(|| WorkerPool {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                next_task: 0,
+            }),
+            work_ready: Condvar::new(),
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+        });
+        START.call_once(|| {
+            for i in 0..pool.workers {
+                SPAWNED.fetch_add(1, Ordering::Relaxed);
+                std::thread::Builder::new()
+                    .name(format!("stg-pool-{i}"))
+                    .spawn(move || pool.worker_loop())
+                    .expect("spawn pool worker");
+            }
+        });
+        pool
+    }
+
+    impl WorkerPool {
+        fn worker_loop(&self) {
+            loop {
+                let job = {
+                    let mut st = self.state.lock().expect("pool state");
+                    loop {
+                        if let Some((_, task)) = st.queue.pop_front() {
+                            break task;
+                        }
+                        st = self.work_ready.wait(st).expect("pool state");
+                    }
+                };
+                job.run();
+            }
+        }
+
+        /// Enqueues `copies` helper jobs for `task`; returns the task id
+        /// for [`WorkerPool::cancel`].
+        fn submit(&self, task: Arc<dyn TaskRun>, copies: usize) -> u64 {
+            let id = {
+                let mut st = self.state.lock().expect("pool state");
+                let id = st.next_task;
+                st.next_task += 1;
+                for _ in 0..copies {
+                    st.queue.push_back((id, Arc::clone(&task)));
+                }
+                id
+            };
+            if copies == 1 {
+                self.work_ready.notify_one();
+            } else {
+                self.work_ready.notify_all();
+            }
+            id
+        }
+
+        /// Removes every not-yet-started helper job of `id`, returning how
+        /// many were cancelled. A job a worker already popped is committed
+        /// and will report completion itself.
+        fn cancel(&self, id: u64) -> usize {
+            let mut st = self.state.lock().expect("pool state");
+            let before = st.queue.len();
+            st.queue.retain(|(tid, _)| *tid != id);
+            before - st.queue.len()
+        }
+    }
+
+    /// A queue of (start index, output slice) chunks awaiting a worker.
+    type ChunkQueue<'a, T> = Vec<(u64, &'a mut [Option<T>])>;
+
+    /// One `par_map_with` call's shared state: the chunk queue, the job
+    /// closure, and a completion latch for the helper jobs.
+    struct MapTask<'a, T: Send, F: Fn(u64) -> T + Sync> {
+        chunks: Mutex<ChunkQueue<'a, T>>,
+        f: &'a F,
+        done: Mutex<usize>,
+        all_done: Condvar,
+    }
+
+    impl<T: Send, F: Fn(u64) -> T + Sync> TaskRun for MapTask<'_, T, F> {
+        fn run(&self) {
+            loop {
+                let Some((start, slice)) = self.chunks.lock().expect("chunk queue").pop() else {
+                    break;
+                };
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some((self.f)(start + j as u64));
+                }
+            }
+            let mut done = self.done.lock().expect("done latch");
+            *done += 1;
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Drains `chunks` with the calling thread plus up to `helpers` pool
+    /// workers. Returns only after every chunk ran and every helper job
+    /// that started has finished — the borrows inside `chunks`/`f` stay
+    /// valid for as long as any worker can touch them.
+    pub(super) fn run_chunked<T: Send, F: Fn(u64) -> T + Sync>(
+        chunks: Vec<(u64, &mut [Option<T>])>,
+        helpers: usize,
+        f: &F,
+    ) {
+        let task = Arc::new(MapTask {
+            chunks: Mutex::new(chunks),
+            f,
+            done: Mutex::new(0),
+            all_done: Condvar::new(),
+        });
+        let pool = global();
+        let helpers = helpers.min(pool.workers);
+        let erased: Arc<dyn TaskRun + '_> = task.clone();
+        // SAFETY: the erased handle borrows `chunks` and `f` for the
+        // caller's lifetime, not 'static. Before this function returns we
+        // (a) cancel every helper job no worker has started, (b) wait for
+        // every started helper to report completion, and (c) spin until
+        // the last worker drops its Arc clone — so no borrow is ever
+        // touched (or even held) past this call.
+        let erased: Arc<dyn TaskRun + 'static> = unsafe { std::mem::transmute(erased) };
+        let id = pool.submit(erased, helpers);
+        // The caller is always one of the drainers: if the pool is busy
+        // with other callers' work, this call still makes progress.
+        task.run();
+        let cancelled = pool.cancel(id);
+        let expect = 1 + helpers - cancelled;
+        let mut done = task.done.lock().expect("done latch");
+        while *done < expect {
+            done = task.all_done.wait(done).expect("done latch");
+        }
+        drop(done);
+        // A worker that just reported may still hold its Arc clone for an
+        // instant; wait it out so the allocation (whose type carries the
+        // caller's lifetimes) is dropped strictly inside this scope.
+        while Arc::strong_count(&task) != 1 {
+            std::thread::yield_now();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +560,36 @@ mod tests {
             let out = par_map_with(101, threads, |i| i * 3 + 1);
             assert_eq!(out, expect, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn repeated_calls_reuse_the_persistent_pool() {
+        // Warm the pool, snapshot the spawn counter, then hammer it: no
+        // call may spawn a fresh OS thread (the old implementation
+        // spawned `threads` scoped threads per call).
+        let _ = par_map_with(16, 4, |i| i);
+        let spawned = pool_threads_spawned();
+        assert_eq!(spawned, pool_threads());
+        for round in 0..32 {
+            let out = par_map_with(64, 4, |i| i + round);
+            assert_eq!(out.len(), 64);
+            assert_eq!(out[0], round);
+        }
+        assert_eq!(pool_threads_spawned(), spawned, "no fresh threads");
+    }
+
+    #[test]
+    fn nested_and_concurrent_par_maps_complete() {
+        // Concurrent callers share the pool; each caller drains its own
+        // chunks, so a saturated pool cannot deadlock a call.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    let out = par_map_with(200, 8, |i| i * t);
+                    assert_eq!(out[199], 199 * t);
+                });
+            }
+        });
     }
 
     #[test]

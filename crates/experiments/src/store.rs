@@ -39,20 +39,26 @@
 //! - `seg-{hash:016x}.cells` — a length-prefixed binary segment holding
 //!   many entries, written by [`ResultStore::insert_batched`] +
 //!   [`ResultStore::flush`] (the sweep engine's persist path). One
-//!   `fsync` per [`FLUSH_THRESHOLD`] cells. Segments are loaded into the
-//!   in-memory map wholesale on first disk lookup; a segment that fails
-//!   to parse (truncation, stale schema) is deleted as one eviction.
+//!   `fsync` per [`FLUSH_THRESHOLD`] cells. On the first disk lookup the
+//!   store memory-maps every segment and builds a per-entry *offset
+//!   index* — entries are **not** copied into the in-memory map; lookups
+//!   verify the embedded canonical key and decode the payload straight
+//!   out of the mapped bytes. A segment that fails to parse (truncation,
+//!   stale schema) is deleted as one eviction. Setting `STG_STORE_MMAP=0`
+//!   (or running on a platform without `mmap`) falls back to reading each
+//!   segment into an owned buffer; the index, verification, and every
+//!   observable byte and counter are identical on both paths.
 //!
 //! Both kinds are written atomically (unique temp file + rename), so a
 //! killed sweep never leaves a half-written artifact a later reader
 //! would trip over — at worst an orphaned `*.tmp` that no lookup ever
 //! matches.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use stg_analysis::ScheduleError;
 use stg_graph::NodeId;
@@ -70,9 +76,10 @@ pub const SCHEMA_VERSION: u32 = 2;
 
 /// Pending batched inserts are flushed into a segment file once this
 /// many accumulate (and finally on [`ResultStore::flush`]/drop). Each
-/// flush costs one `fsync` + rename — amortized, ~500× fewer syncs than
-/// the per-cell path.
-pub const FLUSH_THRESHOLD: usize = 512;
+/// flush costs one `fsync` + rename — amortized, ~4000× fewer syncs than
+/// the per-cell path. Pending entries are a few hundred bytes each, so
+/// the queue tops out well under a megabyte before flushing.
+pub const FLUSH_THRESHOLD: usize = 4096;
 
 /// A cell outcome as the engine records it: a scheduling error is data,
 /// not a panic, and caches like any other result.
@@ -167,14 +174,33 @@ impl CellKey {
         scheduler: &str,
         sim_mode: &str,
     ) -> CellKey {
-        CellKey::new(
+        Self::semantic_with(
+            &mut String::new(),
             version,
-            &format!("sem:{graph_fingerprint:016x}"),
-            0,
+            graph_fingerprint,
             pes,
             scheduler,
             sim_mode,
         )
+    }
+
+    /// [`CellKey::semantic`] with a caller-provided scratch buffer for
+    /// the rendered spec component — the engine's hot path reuses one
+    /// buffer per worker thread instead of allocating a spec string per
+    /// evaluated cell. The produced key is identical to
+    /// [`CellKey::semantic`]'s.
+    pub fn semantic_with(
+        buf: &mut String,
+        version: u32,
+        graph_fingerprint: u64,
+        pes: usize,
+        scheduler: &str,
+        sim_mode: &str,
+    ) -> CellKey {
+        use std::fmt::Write as _;
+        buf.clear();
+        write!(buf, "sem:{graph_fingerprint:016x}").expect("write to String");
+        CellKey::new(version, buf, 0, pes, scheduler, sim_mode)
     }
 }
 
@@ -234,13 +260,16 @@ impl StoreStats {
 /// warning) rather than failing the sweep: the cache is an accelerator,
 /// never a correctness dependency.
 pub struct ResultStore {
-    mem: Mutex<HashMap<u64, Entry>>,
+    mem: Mutex<HashMap<u64, Arc<Entry>>>,
     dir: Option<PathBuf>,
     /// Batched inserts awaiting a segment-file flush.
-    pending: Mutex<Vec<(u64, Entry)>>,
-    /// Whether the directory's segment files were folded into `mem` yet
-    /// (done lazily on the first disk lookup).
-    segments_loaded: Mutex<bool>,
+    pending: Mutex<Vec<(u64, Arc<Entry>)>>,
+    /// The lazily built zero-copy index over the directory's `seg-*.cells`
+    /// files (built once, on the first disk lookup).
+    segments: OnceLock<SegmentIndex>,
+    /// Whether segment files are memory-mapped (`STG_STORE_MMAP` gate,
+    /// resolved at construction; overridable for tests).
+    use_mmap: bool,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
@@ -264,6 +293,182 @@ enum DiskEntry {
     Entry(String, String),
 }
 
+/// A read-only view of one segment file's bytes: memory-mapped when the
+/// platform supports it and `STG_STORE_MMAP` is not `0`, otherwise an
+/// owned buffer read in whole. Both variants expose the identical byte
+/// slice, so every parse/verify path downstream is shared.
+enum Mapping {
+    /// The copying fallback (and the only variant off Linux).
+    Owned(Vec<u8>),
+    /// A `PROT_READ`/`MAP_PRIVATE` file mapping, unmapped on drop.
+    #[cfg(target_os = "linux")]
+    Mapped { ptr: *const u8, len: usize },
+}
+
+// SAFETY: the mapped pages are read-only for the mapping's lifetime; the
+// raw pointer is only ever turned into an immutable byte slice.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Opens `path` for reading, mapping it when `use_mmap` allows.
+    /// A failed map silently degrades to the owned read — the two are
+    /// byte-identical.
+    fn open(path: &Path, use_mmap: bool) -> std::io::Result<Mapping> {
+        #[cfg(target_os = "linux")]
+        if use_mmap {
+            if let Ok(m) = Mapping::map_file(path) {
+                return Ok(m);
+            }
+        }
+        let _ = use_mmap;
+        Ok(Mapping::Owned(std::fs::read(path)?))
+    }
+
+    #[cfg(target_os = "linux")]
+    fn map_file(path: &Path) -> std::io::Result<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        // Raw mmap(2) via the C ABI — the workspace is dependency-free by
+        // policy, so no `libc` crate; the two constants are stable parts
+        // of the Linux ABI.
+        const PROT_READ: i32 = 1;
+        const MAP_PRIVATE: i32 = 2;
+        extern "C" {
+            fn mmap(
+                addr: *mut u8,
+                len: usize,
+                prot: i32,
+                flags: i32,
+                fd: i32,
+                offset: i64,
+            ) -> *mut u8;
+        }
+        let f = std::fs::File::open(path)?;
+        let len = f.metadata()?.len() as usize;
+        if len == 0 {
+            // Zero-length mappings are EINVAL; an empty segment cannot
+            // parse anyway, so hand back an empty buffer.
+            return Ok(Mapping::Owned(Vec::new()));
+        }
+        // SAFETY: a fresh read-only private mapping of a file we own a
+        // handle to; the result is checked for MAP_FAILED below. The file
+        // descriptor may close after mmap returns — POSIX keeps the
+        // mapping alive.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                f.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Mapping::Mapped { ptr, len })
+    }
+
+    /// The segment bytes, whichever variant backs them.
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Mapping::Owned(v) => v,
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until this value drops.
+            #[cfg(target_os = "linux")]
+            Mapping::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        extern "C" {
+            fn munmap(addr: *mut u8, len: usize) -> i32;
+        }
+        if let Mapping::Mapped { ptr, len } = *self {
+            // SAFETY: unmapping the exact region mmap returned, once.
+            unsafe { munmap(ptr as *mut u8, len) };
+        }
+    }
+}
+
+/// Where one entry's strings live inside a mapped segment: byte ranges,
+/// not copies. UTF-8 validity was checked once at index build, and the
+/// canonical key + payload decode are re-verified on every probe — the
+/// same verification the copying path performs.
+struct SegRef {
+    seg: u32,
+    canonical: (u32, u32),
+    payload: (u32, u32),
+    /// Set when a probe found the entry unverifiable (hash collision);
+    /// later probes then miss cleanly instead of re-invalidating.
+    dead: AtomicBool,
+}
+
+/// The zero-copy index over every parseable `seg-*.cells` file: one
+/// [`Mapping`] per segment plus a hash → [`SegRef`] table. Built once per
+/// store on the first disk lookup; unparseable segments are deleted
+/// (whole-file eviction) during the build.
+struct SegmentIndex {
+    maps: Vec<Mapping>,
+    refs: HashMap<u64, SegRef>,
+    /// Negative cache over per-cell `{hash:016x}.cell` files: the hashes
+    /// whose files existed when the directory was scanned, kept current
+    /// with this process's own writes and evictions. Lets a cold sweep
+    /// skip one failed `open(2)` per missing cell. `None` when the scan
+    /// failed — then every probe falls through to the filesystem.
+    cell_files: Option<Mutex<HashSet<u64>>>,
+}
+
+impl SegmentIndex {
+    fn empty() -> SegmentIndex {
+        SegmentIndex {
+            maps: Vec::new(),
+            refs: HashMap::new(),
+            cell_files: None,
+        }
+    }
+
+    /// Records that a per-cell file for `hash` now exists (a
+    /// [`ResultStore::insert`] write landed after the scan).
+    fn note_cell_file(&self, hash: u64) {
+        if let Some(files) = &self.cell_files {
+            files.lock().expect("cell file set").insert(hash);
+        }
+    }
+
+    /// Records that the per-cell file for `hash` is gone (evicted).
+    fn forget_cell_file(&self, hash: u64) {
+        if let Some(files) = &self.cell_files {
+            files.lock().expect("cell file set").remove(&hash);
+        }
+    }
+
+    /// Whether a per-cell file for `hash` may exist on disk. `true` when
+    /// the negative cache is disabled (failed scan) — absence can only be
+    /// trusted from a complete scan.
+    fn may_have_cell_file(&self, hash: u64) -> bool {
+        match &self.cell_files {
+            Some(files) => files.lock().expect("cell file set").contains(&hash),
+            None => true,
+        }
+    }
+
+    /// The (canonical, payload) string views of `r`. The slices were
+    /// UTF-8-checked when the index was built.
+    fn strings(&self, r: &SegRef) -> (&str, &str) {
+        let bytes = self.maps[r.seg as usize].bytes();
+        let take = |(off, len): (u32, u32)| {
+            std::str::from_utf8(&bytes[off as usize..(off + len) as usize])
+                .expect("segment strings were UTF-8 validated at index build")
+        };
+        (take(r.canonical), take(r.payload))
+    }
+}
+
 impl ResultStore {
     /// A purely in-memory store (process lifetime only).
     pub fn in_memory() -> ResultStore {
@@ -271,7 +476,8 @@ impl ResultStore {
             mem: Mutex::new(HashMap::new()),
             dir: None,
             pending: Mutex::new(Vec::new()),
-            segments_loaded: Mutex::new(false),
+            segments: OnceLock::new(),
+            use_mmap: mmap_enabled(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
@@ -282,11 +488,21 @@ impl ResultStore {
     }
 
     /// A store persisting under `dir` (created if absent), as `--cache-dir`
-    /// opens it.
+    /// opens it. Segment files are memory-mapped unless the
+    /// `STG_STORE_MMAP=0` escape hatch (or a non-Linux platform) selects
+    /// the byte-identical copying fallback.
     pub fn at_dir(dir: impl AsRef<Path>) -> std::io::Result<ResultStore> {
+        ResultStore::at_dir_with_mmap(dir, mmap_enabled())
+    }
+
+    /// As [`ResultStore::at_dir`], but pinning the segment-mapping mode
+    /// explicitly instead of consulting `STG_STORE_MMAP` — lets tests
+    /// compare the mapped and copying paths within one process.
+    pub fn at_dir_with_mmap(dir: impl AsRef<Path>, use_mmap: bool) -> std::io::Result<ResultStore> {
         std::fs::create_dir_all(dir.as_ref())?;
         let mut store = ResultStore::in_memory();
         store.dir = Some(dir.as_ref().to_path_buf());
+        store.use_mmap = use_mmap;
         Ok(store)
     }
 
@@ -325,22 +541,59 @@ impl ResultStore {
         found
     }
 
-    /// The lookup mechanics without hit/miss accounting: memory, then
-    /// disk with promotion, verification, and invalidation/eviction of
-    /// unverifiable entries (those structural counters always tick here).
+    /// The lookup mechanics without hit/miss accounting: memory, then the
+    /// zero-copy segment index, then per-cell files with promotion —
+    /// verification and invalidation/eviction of unverifiable entries
+    /// happen at every layer (those structural counters always tick
+    /// here).
     fn probe(&self, key: &CellKey) -> Option<Outcome> {
-        self.ensure_segments_loaded();
+        // 1. In-memory entries: this process's inserts and promoted
+        //    per-cell files. An `Arc` clone, not a string copy.
         let mem_entry = {
             let mem = self.mem.lock().expect("result store lock");
-            mem.get(&key.hash)
-                .map(|e| (e.canonical.clone(), e.payload.clone()))
+            mem.get(&key.hash).cloned()
         };
-        let from_disk = mem_entry.is_none();
-        let found = match mem_entry {
-            Some(e) => DiskEntry::Entry(e.0, e.1),
-            None => self.read_disk(key),
-        };
-        match found {
+        if let Some(e) = mem_entry {
+            if e.canonical == key.canonical() {
+                if let Some(o) = decode_outcome(&e.payload) {
+                    return Some(o);
+                }
+            }
+            // Present but unverifiable: collision or a stale format. Drop
+            // it from memory and disk; the evaluation that follows
+            // re-inserts a fresh entry.
+            self.mem
+                .lock()
+                .expect("result store lock")
+                .remove(&key.hash);
+            self.evict_cell_file(key);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // 2. Borrowed, verified views into the mapped segment files —
+        //    nothing is promoted or copied; re-probes re-verify the same
+        //    bytes in place.
+        let segs = self.segment_index();
+        if let Some(r) = segs.refs.get(&key.hash) {
+            if !r.dead.load(Ordering::Relaxed) {
+                let (canonical, payload) = segs.strings(r);
+                if canonical == key.canonical() {
+                    if let Some(o) = decode_outcome(payload) {
+                        return Some(o);
+                    }
+                }
+                // Unverifiable segment entry (hash collision): tombstone
+                // it so later probes miss cleanly. The segment file itself
+                // stays — only whole-segment parse failures evict
+                // segments.
+                r.dead.store(true, Ordering::Relaxed);
+                self.evict_cell_file(key);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        // 3. Per-cell files (the service daemon's incremental artifacts).
+        match self.read_disk(key) {
             DiskEntry::Absent => None,
             DiskEntry::Malformed => {
                 // A file exists but cannot even be split into an entry:
@@ -356,29 +609,15 @@ impl ResultStore {
                     .flatten();
                 match outcome {
                     Some(o) => {
-                        if from_disk {
-                            // Promote verified disk hits into memory so
-                            // repeat lookups of the same cell skip the
-                            // file re-read.
-                            self.mem
-                                .lock()
-                                .expect("result store lock")
-                                .insert(key.hash, Entry { canonical, payload });
-                        }
-                        Some(o)
-                    }
-                    None => {
-                        // Present but unverifiable: collision, truncation,
-                        // or a stale format. Drop it from memory and disk;
-                        // the evaluation that follows re-inserts a fresh
-                        // entry. (An unverifiable entry that came in via a
-                        // segment file leaves the segment itself intact —
-                        // only whole-segment parse failures evict
-                        // segments.)
+                        // Promote verified per-cell disk hits into memory
+                        // so repeat lookups skip the file re-read.
                         self.mem
                             .lock()
                             .expect("result store lock")
-                            .remove(&key.hash);
+                            .insert(key.hash, Arc::new(Entry { canonical, payload }));
+                        Some(o)
+                    }
+                    None => {
                         self.evict_cell_file(key);
                         self.invalidations.fetch_add(1, Ordering::Relaxed);
                         None
@@ -389,12 +628,16 @@ impl ResultStore {
     }
 
     /// Looks up a batch of keys with `threads` workers, in a single
-    /// parallel pass (`None` key slots pass through as `None`). This is
-    /// the sweep engine's prefetch path: per-cell disk reads dominate a
-    /// warm cold-start, and they parallelize perfectly. The result vector
-    /// is index-aligned with `keys` and independent of `threads`.
+    /// parallel pass (`None` key slots pass through as `None`) over the
+    /// persistent worker pool. This is the sweep engine's prefetch path:
+    /// per-cell disk reads dominate a warm cold-start, and they
+    /// parallelize perfectly. The result vector is index-aligned with
+    /// `keys` and independent of `threads`.
     pub fn lookup_many(&self, keys: &[Option<CellKey>], threads: usize) -> Vec<Option<Outcome>> {
-        self.ensure_segments_loaded();
+        // Build the segment index before fanning out, so the workers
+        // start on a ready index instead of serializing behind its
+        // one-time construction.
+        self.segment_index();
         crate::harness::par_map_with(keys.len() as u64, threads, |i| {
             keys[i as usize].as_ref().and_then(|k| self.lookup(k))
         })
@@ -409,10 +652,10 @@ impl ResultStore {
         self.write_disk(key, &payload);
         self.mem.lock().expect("result store lock").insert(
             key.hash,
-            Entry {
+            Arc::new(Entry {
                 canonical: key.canonical().to_string(),
                 payload,
-            },
+            }),
         );
     }
 
@@ -422,26 +665,22 @@ impl ResultStore {
     /// [`ResultStore::flush`]/drop). ~500× fewer fsyncs than
     /// [`ResultStore::insert`] on large sweeps.
     pub fn insert_batched(&self, key: &CellKey, outcome: &Outcome) {
-        let payload = encode_outcome(outcome);
-        self.mem.lock().expect("result store lock").insert(
-            key.hash,
-            Entry {
-                canonical: key.canonical().to_string(),
-                payload: payload.clone(),
-            },
-        );
+        // One shared entry feeds both the in-memory map and the pending
+        // segment queue — a single allocation of each string per insert.
+        let entry = Arc::new(Entry {
+            canonical: key.canonical().to_string(),
+            payload: encode_outcome(outcome),
+        });
+        self.mem
+            .lock()
+            .expect("result store lock")
+            .insert(key.hash, Arc::clone(&entry));
         if self.dir.is_none() {
             return;
         }
         let flush_now = {
             let mut pending = self.pending.lock().expect("pending lock");
-            pending.push((
-                key.hash,
-                Entry {
-                    canonical: key.canonical().to_string(),
-                    payload,
-                },
-            ));
+            pending.push((key.hash, entry));
             pending.len() >= FLUSH_THRESHOLD
         };
         if flush_now {
@@ -488,6 +727,11 @@ impl ResultStore {
         let Some(dir) = self.dir.as_ref() else {
             return DiskEntry::Absent;
         };
+        // The scan-time snapshot answers "no such file" without a syscall
+        // — the common case for every cell of a cold sweep.
+        if !self.segment_index().may_have_cell_file(key.hash) {
+            return DiskEntry::Absent;
+        }
         let Ok(text) = std::fs::read_to_string(dir.join(key.file_name())) else {
             return DiskEntry::Absent;
         };
@@ -513,9 +757,18 @@ impl ResultStore {
             f.sync_data()?;
             std::fs::rename(&tmp, dir.join(key.file_name()))
         })();
-        if let Err(e) = result {
-            let _ = std::fs::remove_file(&tmp);
-            self.warn_io(dir, &e);
+        match result {
+            Ok(()) => {
+                // Keep the negative cache current when the file lands
+                // after the directory scan already ran.
+                if let Some(index) = self.segments.get() {
+                    index.note_cell_file(key.hash);
+                }
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                self.warn_io(dir, &e);
+            }
         }
     }
 
@@ -529,56 +782,77 @@ impl ResultStore {
         if std::fs::remove_file(dir.join(key.file_name())).is_ok() {
             self.evicted.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(index) = self.segments.get() {
+            index.forget_cell_file(key.hash);
+        }
     }
 
-    /// Folds every `seg-*.cells` segment file in the backing directory
-    /// into the in-memory map, once per store. Entries already in memory
-    /// win (they were written by this process and are at least as fresh).
-    /// A segment that fails to parse — truncation, stale schema, foreign
-    /// bytes — is deleted whole and counted as one eviction.
-    fn ensure_segments_loaded(&self) {
-        let Some(dir) = self.dir.as_ref() else {
-            return;
-        };
-        let mut loaded = self.segments_loaded.lock().expect("segments flag");
-        if *loaded {
-            return;
-        }
-        *loaded = true;
-        let Ok(listing) = std::fs::read_dir(dir) else {
-            return;
-        };
-        for dirent in listing.flatten() {
-            let name = dirent.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if !name.starts_with("seg-") || !name.ends_with(".cells") {
-                continue;
-            }
-            let path = dirent.path();
-            let Ok(bytes) = std::fs::read(&path) else {
-                continue;
+    /// The zero-copy segment index, built on first use: every
+    /// `seg-*.cells` file in the backing directory is mapped (or read, on
+    /// the fallback path) and indexed by entry hash — entry bytes are
+    /// never copied into the in-memory map. A segment that fails to parse
+    /// — truncation, stale schema, foreign bytes — is deleted whole and
+    /// counted as one eviction during the build. The same scan snapshots
+    /// the existing per-cell `*.cell` files into a negative cache, so
+    /// lookups of never-persisted keys skip the filesystem.
+    fn segment_index(&self) -> &SegmentIndex {
+        self.segments.get_or_init(|| {
+            let Some(dir) = self.dir.as_ref() else {
+                return SegmentIndex::empty();
             };
-            match parse_segment(&bytes) {
-                Some(entries) => {
-                    let mut mem = self.mem.lock().expect("result store lock");
-                    for (hash, entry) in entries {
-                        mem.entry(hash).or_insert(entry);
+            let Ok(listing) = std::fs::read_dir(dir) else {
+                return SegmentIndex::empty();
+            };
+            let mut index = SegmentIndex::empty();
+            // The same scan snapshots which per-cell files exist, so cold
+            // misses can skip the per-key filesystem probe entirely.
+            let mut cell_files = HashSet::new();
+            for dirent in listing.flatten() {
+                let name = dirent.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if !name.starts_with("seg-") || !name.ends_with(".cells") {
+                    if let Some(stem) = name.strip_suffix(".cell") {
+                        if stem.len() == 16 {
+                            if let Ok(hash) = u64::from_str_radix(stem, 16) {
+                                cell_files.insert(hash);
+                            }
+                        }
                     }
+                    continue;
                 }
-                None => {
-                    if std::fs::remove_file(&path).is_ok() {
-                        self.evicted.fetch_add(1, Ordering::Relaxed);
+                let path = dirent.path();
+                let Ok(map) = Mapping::open(&path, self.use_mmap) else {
+                    continue;
+                };
+                let seg = index.maps.len() as u32;
+                match index_segment(map.bytes(), seg) {
+                    Some(refs) => {
+                        index.maps.push(map);
+                        for (hash, r) in refs {
+                            // First segment read wins on duplicate hashes
+                            // (identical content, written by racing
+                            // shards).
+                            index.refs.entry(hash).or_insert(r);
+                        }
+                    }
+                    None => {
+                        drop(map);
+                        if std::fs::remove_file(&path).is_ok() {
+                            self.evicted.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             }
-        }
+            index.cell_files = Some(Mutex::new(cell_files));
+            index
+        })
     }
 
     /// Writes `entries` as one atomic binary segment file. The file name
     /// is content-derived (FNV-1a over the entry hashes), so concurrent
     /// shards persisting the same cells race benignly onto the same name
     /// with identical bytes.
-    fn write_segment(&self, entries: &[(u64, Entry)]) {
+    fn write_segment(&self, entries: &[(u64, Arc<Entry>)]) {
         let Some(dir) = self.dir.as_ref() else {
             return;
         };
@@ -628,10 +902,21 @@ impl Drop for ResultStore {
 /// Magic prefix of binary segment files.
 const SEGMENT_MAGIC: &[u8] = b"STGCELLS";
 
-/// Parses a binary segment file into its entries. `None` on any
+/// Whether segment mapping is enabled for new stores: the
+/// `STG_STORE_MMAP=0` escape hatch selects the copying fallback, any
+/// other value (or its absence) keeps mmap on. Resolved per store at
+/// construction, so a long-lived process honors the environment it was
+/// launched with.
+fn mmap_enabled() -> bool {
+    !matches!(std::env::var("STG_STORE_MMAP").as_deref(), Ok("0"))
+}
+
+/// Walks a binary segment file and records every entry's byte ranges —
+/// the zero-copy analogue of parsing it into owned entries. `None` on any
 /// malformation — wrong magic, wrong schema version, truncated entry,
-/// non-UTF-8 strings, or trailing bytes.
-fn parse_segment(bytes: &[u8]) -> Option<Vec<(u64, Entry)>> {
+/// non-UTF-8 strings, or trailing bytes. `seg` is the index the mapping
+/// will occupy in [`SegmentIndex::maps`].
+fn index_segment(bytes: &[u8], seg: u32) -> Option<Vec<(u64, SegRef)>> {
     let rest = bytes.strip_prefix(SEGMENT_MAGIC)?;
     let (version, rest) = take_u32(rest)?;
     if version != SCHEMA_VERSION {
@@ -639,17 +924,22 @@ fn parse_segment(bytes: &[u8]) -> Option<Vec<(u64, Entry)>> {
     }
     let (count, mut rest) = take_u32(rest)?;
     let mut entries = Vec::with_capacity(count as usize);
+    let offset_of = |slice: &[u8]| (slice.as_ptr() as usize - bytes.as_ptr() as usize) as u32;
     for _ in 0..count {
         let (hash, r) = take_u64(rest)?;
         let (clen, r) = take_u32(r)?;
         let (plen, r) = take_u32(r)?;
-        let (canonical, r) = take_str(r, clen as usize)?;
-        let (payload, r) = take_str(r, plen as usize)?;
+        let c_off = offset_of(r);
+        let (_canonical, r) = take_str(r, clen as usize)?;
+        let p_off = offset_of(r);
+        let (_payload, r) = take_str(r, plen as usize)?;
         entries.push((
             hash,
-            Entry {
-                canonical: canonical.to_string(),
-                payload: payload.to_string(),
+            SegRef {
+                seg,
+                canonical: (c_off, clen),
+                payload: (p_off, plen),
+                dead: AtomicBool::new(false),
             },
         ));
         rest = r;
@@ -690,42 +980,47 @@ pub fn take_str(bytes: &[u8], len: usize) -> Option<(&str, &[u8])> {
     Some((std::str::from_utf8(head).ok()?, rest))
 }
 
-/// Renders a float so that parsing the text back yields the identical bit
-/// pattern (Rust's `{:?}` emits the shortest round-trip representation).
-fn f64_field(v: f64) -> String {
-    format!("{v:?}")
-}
+// Floats are rendered with `{:?}` (the shortest round-trip
+// representation), so parsing the text back yields the identical bit
+// pattern.
 
 /// Serializes an outcome as one whitespace-separated line. The format is
 /// versioned implicitly through [`SCHEMA_VERSION`] in the cell key: any
 /// field change here must bump the version.
 pub fn encode_outcome(outcome: &Outcome) -> String {
+    let mut out = String::new();
+    encode_outcome_into(&mut out, outcome);
+    out
+}
+
+/// [`encode_outcome`] appending into a caller-provided buffer (not
+/// cleared first) — batch encoders reuse one buffer across rows instead
+/// of allocating a line per cell. The appended bytes are identical to
+/// [`encode_outcome`]'s.
+pub fn encode_outcome_into(out: &mut String, outcome: &Outcome) {
+    use std::fmt::Write as _;
     match outcome {
         Ok(r) => {
             let m = &r.metrics;
-            let sim = match &r.sim {
-                Some(s) => format!(
-                    "sim {} {} {} {} {}",
-                    s.completed as u8,
-                    s.makespan,
-                    f64_field(s.rel_err_pct),
-                    s.beats,
-                    s.diverged as u8
-                ),
-                None => "nosim".to_string(),
-            };
-            format!(
-                "ok {} {} {} {} {} {} {} {sim}",
-                m.makespan,
-                f64_field(m.speedup),
-                f64_field(m.sslr),
-                f64_field(m.slr),
-                f64_field(m.utilization),
-                m.blocks,
-                r.buffer_elements
+            write!(
+                out,
+                "ok {} {:?} {:?} {:?} {:?} {} {}",
+                m.makespan, m.speedup, m.sslr, m.slr, m.utilization, m.blocks, r.buffer_elements
             )
+            .expect("write to String");
+            match &r.sim {
+                Some(s) => write!(
+                    out,
+                    " sim {} {} {:?} {} {}",
+                    s.completed as u8, s.makespan, s.rel_err_pct, s.beats, s.diverged as u8
+                )
+                .expect("write to String"),
+                None => out.push_str(" nosim"),
+            }
         }
-        Err(e) => format!("err {}", error_code(e)),
+        Err(e) => {
+            write!(out, "err {}", error_code(e)).expect("write to String");
+        }
     }
 }
 

@@ -113,6 +113,43 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The arena-backed graph cache is invisible to consumers: for every
+    /// registered workload family, the cached (CSR-compacted) graph is
+    /// fingerprint-identical and structurally equal to a freshly built
+    /// one, and a repeat instantiation is a pointer-equal cache hit.
+    #[test]
+    fn cached_arena_graphs_match_fresh_builds(seed in any::<u64>()) {
+        use std::sync::Arc;
+        use stg_workloads::{WorkloadFamily, WorkloadKind};
+        for kind in WorkloadKind::registered() {
+            let (cached, _) = kind.instantiate_traced(seed);
+            prop_assert!(
+                cached.dag().is_compact(),
+                "family {} must publish a compacted arena", kind.spec()
+            );
+            let fresh = kind.build(seed);
+            prop_assert!(
+                !fresh.dag().is_compact(),
+                "fresh builds stay uncompacted (family {})", kind.spec()
+            );
+            prop_assert_eq!(
+                cached.fingerprint(), fresh.fingerprint(),
+                "family {} arena fingerprint drift", kind.spec()
+            );
+            prop_assert!(
+                cached.structurally_equal(&fresh),
+                "family {} arena structure drift", kind.spec()
+            );
+            let (again, hit) = kind.instantiate_traced(seed);
+            prop_assert!(hit, "repeat instantiation must hit");
+            prop_assert!(Arc::ptr_eq(&cached, &again));
+        }
+    }
+}
+
 /// The disk store carries cells across store instances (processes): a
 /// second instance over the same `--cache-dir` serves the whole grid
 /// without evaluating anything, byte-identically.

@@ -1,0 +1,192 @@
+//! Zero-copy store properties.
+//!
+//! The mmap'd segment path is an *implementation* of the store contract,
+//! not a new contract: for any store directory, the mapped path and the
+//! copying fallback (`STG_STORE_MMAP=0`) must serve byte-identical
+//! entries with identical counters. Corrupt or truncated segments under
+//! mmap are verified before use and evicted — a bad mapping is a clean
+//! miss, never undefined behavior.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use stg_analysis::ScheduleError;
+use stg_experiments::engine::{Record, SimMicros, SimRecord};
+use stg_experiments::store::{encode_outcome, CellKey, Outcome, SCHEMA_VERSION};
+use stg_experiments::ResultStore;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory per test case (proptest reruns included).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "stg-zero-copy-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic random `(key, outcome)` pairs from one seed (the same
+/// xorshift idiom as the graph property tests — keeps shrinking stable
+/// without a `rand` dependency here).
+fn gen_entries(seed: u64, count: usize) -> Vec<(CellKey, Outcome)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let schedulers = ["str-sch-1", "nstr-sch", "elw-sch"];
+    let sims = ["off", "batched", "reference"];
+    (0..count)
+        .map(|_| {
+            let spec = format!("fam{}:{}", next() % 7, next() % 100);
+            let key = CellKey::new(
+                SCHEMA_VERSION,
+                &spec,
+                next(),
+                1 + (next() % 63) as usize,
+                schedulers[(next() % 3) as usize],
+                sims[(next() % 3) as usize],
+            );
+            let outcome: Outcome = match next() % 10 {
+                0 => Err(ScheduleError::Cyclic),
+                1 => Err(ScheduleError::EmptyBlock((next() % 32) as usize)),
+                _ => Ok(Record {
+                    metrics: stg_sched::Metrics {
+                        makespan: next(),
+                        speedup: (next() % 1_000_000) as f64 / 997.0,
+                        sslr: (next() % 1_000_000) as f64 / 131.0,
+                        slr: (next() % 1_000_000) as f64 / 173.0,
+                        utilization: (next() % 1_000) as f64 / 1_000.0,
+                        blocks: 1 + (next() % 64) as usize,
+                    },
+                    buffer_elements: next(),
+                    sim: if next() % 2 == 0 {
+                        None
+                    } else {
+                        Some(SimRecord {
+                            completed: next() % 2 == 0,
+                            makespan: next(),
+                            rel_err_pct: (next() % 10_000) as f64 / 100.0,
+                            beats: next(),
+                            diverged: next() % 2 == 0,
+                            micros: SimMicros::default(),
+                        })
+                    },
+                }),
+            };
+            (key, outcome)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For a random persisted store, every entry served through the mmap
+    /// path is byte-identical to the copying path's, and the two stores
+    /// report identical counters afterwards.
+    #[test]
+    fn mmap_and_copying_paths_serve_identical_entries(
+        seed in any::<u64>(),
+        count in 1usize..120,
+    ) {
+        let entries = gen_entries(seed, count);
+        let dir = scratch_dir("prop");
+        {
+            let store = ResultStore::at_dir_with_mmap(&dir, true).expect("create dir");
+            for (k, o) in &entries {
+                store.insert_batched(k, o);
+            }
+            store.flush();
+        }
+        let mapped = ResultStore::at_dir_with_mmap(&dir, true).expect("reopen mapped");
+        let copied = ResultStore::at_dir_with_mmap(&dir, false).expect("reopen copying");
+        for (k, _) in &entries {
+            let a = mapped.lookup(k);
+            let b = copied.lookup(k);
+            prop_assert!(a.is_some(), "persisted key must be served");
+            prop_assert_eq!(
+                a.as_ref().map(encode_outcome),
+                b.as_ref().map(encode_outcome),
+                "mapped and copied entries must be byte-identical"
+            );
+        }
+        prop_assert_eq!(mapped.stats(), copied.stats());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Writes a small store with one flushed segment and returns the segment
+/// path plus one key it contains.
+fn seeded_segment(dir: &PathBuf) -> (PathBuf, CellKey) {
+    let key = CellKey::new(SCHEMA_VERSION, "chain:4", 7, 4, "str-sch-1", "off");
+    let outcome: Outcome = Err(ScheduleError::Cyclic);
+    {
+        let store = ResultStore::at_dir_with_mmap(dir, true).expect("create dir");
+        store.insert_batched(&key, &outcome);
+        store.flush();
+    }
+    let seg = std::fs::read_dir(dir)
+        .expect("cache dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".cells"))
+        })
+        .expect("flush wrote a segment");
+    (seg, key)
+}
+
+/// A truncated segment file under mmap parses as corrupt at index build:
+/// the lookup is a clean miss, the `evicted` counter rises, and the bad
+/// artifact is deleted so the store heals.
+#[test]
+fn truncated_segment_under_mmap_is_evicted() {
+    let dir = scratch_dir("trunc");
+    let (seg, key) = seeded_segment(&dir);
+    let bytes = std::fs::read(&seg).expect("segment bytes");
+    std::fs::write(&seg, &bytes[..bytes.len() / 2]).expect("truncate");
+    let store = ResultStore::at_dir_with_mmap(&dir, true).expect("reopen");
+    assert_eq!(store.lookup(&key), None, "truncated entry must miss");
+    let stats = store.stats();
+    assert_eq!(stats.evicted, 1, "the corrupt segment is evicted");
+    assert_eq!(stats.misses, 1);
+    assert!(!seg.exists(), "evicted segment file is deleted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A bit-flip inside a mapped entry's canonical key fails verification:
+/// the entry is invalidated (tombstoned) rather than trusted, and the
+/// *second* probe is a plain miss — no repeated invalidation, no
+/// promotion of corrupt bytes into memory.
+#[test]
+fn corrupt_mapped_entry_invalidates_once_then_misses() {
+    let dir = scratch_dir("flip");
+    let (seg, key) = seeded_segment(&dir);
+    let mut bytes = std::fs::read(&seg).expect("segment bytes");
+    // Layout: 8B magic + 4B version + 4B count, then per entry 8B hash +
+    // 4B clen + 4B plen + canonical bytes. Flipping the canonical's
+    // first byte to another ASCII value keeps the framing and UTF-8
+    // intact while breaking verification.
+    let canonical_at = 8 + 4 + 4 + 8 + 4 + 4;
+    bytes[canonical_at] = b'x';
+    std::fs::write(&seg, &bytes).expect("rewrite");
+    let store = ResultStore::at_dir_with_mmap(&dir, true).expect("reopen");
+    assert_eq!(store.lookup(&key), None, "mismatched canonical must miss");
+    let stats = store.stats();
+    assert_eq!(stats.invalidations, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(store.lookup(&key), None);
+    let stats = store.stats();
+    assert_eq!(stats.invalidations, 1, "tombstoned entry invalidates once");
+    assert_eq!(stats.misses, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -79,6 +79,67 @@ struct Lease {
     range: Range<usize>,
     conn: u64,
     deadline: Instant,
+    /// When the last `rows` ack (or the issue itself) happened — the
+    /// inter-ack interval feeds the lease auto-tuner.
+    served_since: Instant,
+}
+
+/// EWMA-driven lease sizing, active only in auto mode (`--lease-cells 0`).
+///
+/// Every accepted `rows` frame contributes one sample — the inter-ack
+/// wall-clock divided by the rows reported — to an exponentially weighted
+/// moving average of per-cell latency. The target lease size is whatever
+/// covers [`LeaseTuner::TARGET_ACK_MS`] of work at that rate, bounded to
+/// [`LeaseTuner::MIN_CELLS`]..=[`LeaseTuner::MAX_CELLS`]: fast grids grow
+/// leases (fewer round-trips), slow or straggling grids shrink them
+/// (finer steal/re-queue granularity). An explicit `--lease-cells` pins
+/// the size and disables the tuner entirely.
+pub struct LeaseTuner {
+    auto: bool,
+    ewma_us_per_cell: f64,
+    target: usize,
+}
+
+impl LeaseTuner {
+    /// Aimed-for wall-clock covered by one lease.
+    pub const TARGET_ACK_MS: u64 = 250;
+    /// Smallest auto-tuned lease.
+    pub const MIN_CELLS: usize = 8;
+    /// Largest auto-tuned lease.
+    pub const MAX_CELLS: usize = 4096;
+    /// EWMA weight of the newest sample.
+    const ALPHA: f64 = 0.3;
+
+    /// A tuner starting at `initial` cells; inert unless `auto`.
+    pub fn new(auto: bool, initial: usize) -> LeaseTuner {
+        LeaseTuner {
+            auto,
+            ewma_us_per_cell: 0.0,
+            target: initial,
+        }
+    }
+
+    /// Folds one ack covering `cells` cells over `elapsed` into the
+    /// average and recomputes the target size.
+    pub fn observe(&mut self, cells: u64, elapsed: Duration) {
+        if !self.auto || cells == 0 {
+            return;
+        }
+        let sample = elapsed.as_secs_f64() * 1e6 / cells as f64;
+        self.ewma_us_per_cell = if self.ewma_us_per_cell == 0.0 {
+            sample
+        } else {
+            Self::ALPHA * sample + (1.0 - Self::ALPHA) * self.ewma_us_per_cell
+        };
+        let budget_us = (Self::TARGET_ACK_MS * 1_000) as f64;
+        let cells = budget_us / self.ewma_us_per_cell.max(f64::MIN_POSITIVE);
+        self.target = (cells as usize).clamp(Self::MIN_CELLS, Self::MAX_CELLS);
+    }
+
+    /// The current lease size in cells.
+    pub fn target(&self) -> usize {
+        self.target
+    }
 }
 
 /// Mutable coordinator state, shared by every connection thread.
@@ -86,6 +147,7 @@ struct State<W: Write> {
     pending: VecDeque<Range<usize>>,
     outstanding: HashMap<u64, Lease>,
     next_lease: u64,
+    tuner: LeaseTuner,
     /// `None` once the merge finished (drain phase) or failed fatally.
     merger: Option<StreamMerger<W>>,
     merge_error: Option<String>,
@@ -191,11 +253,13 @@ impl Coordinator {
             pending.push_back(at..end);
             at = end;
         }
+        self.counters.set_lease_cells(lease_cells as u64);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 pending,
                 outstanding: HashMap::new(),
                 next_lease: 0,
+                tuner: LeaseTuner::new(self.config.lease_cells == 0, lease_cells),
                 merger: Some(merger),
                 merge_error: None,
             }),
@@ -390,7 +454,26 @@ fn handle<W: Write>(shared: &Shared<W>, conn: u64, req: FabricRequest) -> Fabric
                 return FabricResponse::Drain;
             }
             let deadline_ms = shared.lease_timeout.as_millis() as u64;
-            if let Some(range) = state.pending.pop_front() {
+            if let Some(mut range) = state.pending.pop_front() {
+                // Auto mode re-cuts at issue time: absorb contiguous
+                // successor ranges up to the tuner's target, or split an
+                // oversized range and return the tail to the queue front.
+                // An explicit `--lease-cells` skips this entirely.
+                if state.tuner.auto {
+                    let target = state.tuner.target();
+                    while range.len() < target {
+                        match state.pending.front() {
+                            Some(next) if next.start == range.end => {
+                                range.end = state.pending.pop_front().expect("checked front").end;
+                            }
+                            _ => break,
+                        }
+                    }
+                    if range.len() > target {
+                        state.pending.push_front(range.start + target..range.end);
+                        range.end = range.start + target;
+                    }
+                }
                 counters.add_issued(1);
                 let (lease, start, end) = issue(&mut state, conn, range, shared.lease_timeout);
                 return FabricResponse::Lease {
@@ -440,6 +523,7 @@ fn handle<W: Write>(shared: &Shared<W>, conn: u64, req: FabricRequest) -> Fabric
             counters.add_cache_hits(hits);
             counters.add_cache_misses(misses);
             counters.record_leap(leap);
+            let rows_reported = rows.len() as u64;
             let mut merged = 0u64;
             let mut duplicate = 0u64;
             for (index, outcome) in rows {
@@ -464,12 +548,22 @@ fn handle<W: Write>(shared: &Shared<W>, conn: u64, req: FabricRequest) -> Fabric
             if state.done() {
                 shared.cv.notify_all();
             }
-            match state.outstanding.get_mut(&lease) {
+            let ack = match state.outstanding.get_mut(&lease) {
                 Some(l) if l.conn == conn => {
+                    let elapsed = l.served_since.elapsed();
+                    l.served_since = Instant::now();
                     l.deadline = Instant::now() + shared.lease_timeout;
-                    FabricResponse::Ack { end: l.range.end }
+                    Some((l.range.end, elapsed))
                 }
-                _ => FabricResponse::Gone,
+                _ => None,
+            };
+            match ack {
+                Some((end, elapsed)) => {
+                    state.tuner.observe(rows_reported, elapsed);
+                    counters.set_lease_cells(state.tuner.target() as u64);
+                    FabricResponse::Ack { end }
+                }
+                None => FabricResponse::Gone,
             }
         }
     }
@@ -491,7 +585,60 @@ fn issue<W: Write>(
             range,
             conn,
             deadline: Instant::now() + timeout,
+            served_since: Instant::now(),
         },
     );
     (id, start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuner_tracks_toward_the_ack_budget() {
+        let mut t = LeaseTuner::new(true, 64);
+        assert_eq!(t.target(), 64);
+        // 1ms per cell → 250ms budget covers 250 cells.
+        for _ in 0..32 {
+            t.observe(10, Duration::from_millis(10));
+        }
+        assert_eq!(t.target(), 250);
+        // Much faster cells grow the lease, but never past the cap.
+        for _ in 0..64 {
+            t.observe(1_000, Duration::from_millis(1));
+        }
+        assert_eq!(t.target(), LeaseTuner::MAX_CELLS);
+        // A sudden straggler shrinks it again, floored at the minimum.
+        for _ in 0..64 {
+            t.observe(1, Duration::from_millis(5_000));
+        }
+        assert_eq!(t.target(), LeaseTuner::MIN_CELLS);
+    }
+
+    #[test]
+    fn tuner_is_inert_when_pinned_or_fed_empty_acks() {
+        let mut t = LeaseTuner::new(false, 2);
+        t.observe(100, Duration::from_millis(10_000));
+        assert_eq!(t.target(), 2, "explicit --lease-cells disables tuning");
+        let mut t = LeaseTuner::new(true, 64);
+        t.observe(0, Duration::from_millis(10_000));
+        assert_eq!(t.target(), 64, "empty acks contribute no sample");
+    }
+
+    #[test]
+    fn tuner_ewma_smooths_single_outliers() {
+        let mut t = LeaseTuner::new(true, 64);
+        for _ in 0..32 {
+            t.observe(10, Duration::from_millis(10));
+        }
+        let steady = t.target();
+        t.observe(1, Duration::from_millis(50));
+        assert!(
+            t.target() > LeaseTuner::MIN_CELLS,
+            "one 50× outlier must not collapse the lease size: {}",
+            t.target()
+        );
+        assert!(t.target() < steady);
+    }
 }

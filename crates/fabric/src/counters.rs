@@ -24,6 +24,7 @@ pub struct FabricCounters {
     leap_leaps: AtomicU64,
     leap_cycles: AtomicU64,
     leap_max_period: AtomicU64,
+    lease_cells: AtomicU64,
 }
 
 macro_rules! bump {
@@ -55,6 +56,12 @@ impl FabricCounters {
         add_cache_misses => cache_misses,
     }
 
+    /// Publishes the lease auto-tuner's current size (a gauge, not a
+    /// monotonic counter: the last written value wins).
+    pub fn set_lease_cells(&self, cells: u64) {
+        self.lease_cells.store(cells, Ordering::Relaxed);
+    }
+
     /// Folds one lease report's aggregated [`LeapStats`] into the
     /// fabric-wide leap counters.
     pub fn record_leap(&self, leap: LeapStats) {
@@ -82,6 +89,7 @@ impl FabricCounters {
                 leaped_cycles: self.leap_cycles.load(Ordering::Relaxed),
                 max_period: self.leap_max_period.load(Ordering::Relaxed),
             },
+            lease_cells_current: self.lease_cells.load(Ordering::Relaxed),
         }
     }
 }
@@ -111,6 +119,9 @@ pub struct FabricSnapshot {
     /// Aggregated batched-simulator epoch-leap telemetry across every
     /// lease report.
     pub leap: LeapStats,
+    /// The lease auto-tuner's current lease size in cells (the fixed
+    /// `--lease-cells` / pre-cut size when auto-tuning is off).
+    pub lease_cells_current: u64,
 }
 
 impl FabricSnapshot {
@@ -119,7 +130,8 @@ impl FabricSnapshot {
     pub fn summary_line(&self) -> String {
         format!(
             "fabric: leases_issued={} leases_stolen={} re_queued={} worker_deaths={} \
-             leases_completed={} rows_merged={} rows_duplicate={} cache_hits={} cache_misses={}",
+             leases_completed={} rows_merged={} rows_duplicate={} cache_hits={} cache_misses={} \
+             lease_cells={}",
             self.leases_issued,
             self.leases_stolen,
             self.re_queued,
@@ -128,7 +140,8 @@ impl FabricSnapshot {
             self.rows_merged,
             self.rows_duplicate,
             self.cache_hits,
-            self.cache_misses
+            self.cache_misses,
+            self.lease_cells_current
         )
     }
 
@@ -151,6 +164,10 @@ impl FabricSnapshot {
                 Json::num(self.leap.leaped_cycles),
             ),
             ("leap_max_period".into(), Json::num(self.leap.max_period)),
+            (
+                "lease_cells_current".into(),
+                Json::num(self.lease_cells_current),
+            ),
         ])
         .to_string()
     }
@@ -176,6 +193,7 @@ impl FabricSnapshot {
                 leaped_cycles: n("leap_leaped_cycles")?,
                 max_period: n("leap_max_period")?,
             },
+            lease_cells_current: n("lease_cells_current")?,
         })
     }
 }
@@ -206,12 +224,16 @@ mod tests {
             leaped_cycles: 6,
             max_period: 3,
         });
+        c.set_lease_cells(96);
+        c.set_lease_cells(128);
         let snap = c.snapshot();
         assert_eq!(snap.leap.max_period, 9, "max_period takes the maximum");
+        assert_eq!(snap.lease_cells_current, 128, "gauge keeps the last value");
         let v = stg_service::json::parse(&snap.frame()).unwrap();
         assert_eq!(FabricSnapshot::from_json(&v), Some(snap));
         let line = snap.summary_line();
         assert!(line.contains("re_queued=2"), "{line}");
         assert!(line.contains("leases_stolen=1"), "{line}");
+        assert!(line.contains("lease_cells=128"), "{line}");
     }
 }

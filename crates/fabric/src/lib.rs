@@ -35,7 +35,7 @@ pub mod merge;
 pub mod protocol;
 pub mod worker;
 
-pub use coordinator::{Coordinator, FabricConfig, FabricRunReport};
+pub use coordinator::{Coordinator, FabricConfig, FabricRunReport, LeaseTuner};
 pub use counters::{FabricCounters, FabricSnapshot};
 pub use merge::{MergeReport, MergeTallies, OutputKind, StreamMerger};
 pub use protocol::{FabricRequest, FabricResponse, MAX_FRAME_BYTES, MAX_ROWS_PER_FRAME};

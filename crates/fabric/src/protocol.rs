@@ -20,7 +20,7 @@
 use stg_des::LeapStats;
 use stg_experiments::store::Outcome;
 use stg_experiments::store::{
-    decode_outcome, encode_outcome, put_u32, put_u64, take_str, take_u32, take_u64,
+    decode_outcome, encode_outcome_into, put_u32, put_u64, take_str, take_u32, take_u64,
 };
 use stg_service::json::Json;
 
@@ -321,17 +321,24 @@ impl FabricResponse {
 
 /// Encodes a row batch as the hex blob of the `rows` frame.
 pub fn encode_rows(rows: &[(usize, Outcome)]) -> String {
+    // One payload buffer serves every row, and the hex rendering pushes
+    // nibbles directly — the only allocations are the two buffers, not
+    // one per row (or, worse, per byte).
+    let mut payload = String::with_capacity(96);
     let mut bytes = Vec::with_capacity(8 + rows.len() * 48);
     put_u32(&mut bytes, rows.len() as u32);
     for (index, outcome) in rows {
-        let payload = encode_outcome(outcome);
+        payload.clear();
+        encode_outcome_into(&mut payload, outcome);
         put_u64(&mut bytes, *index as u64);
         put_u32(&mut bytes, payload.len() as u32);
         bytes.extend_from_slice(payload.as_bytes());
     }
+    const HEX: &[u8; 16] = b"0123456789abcdef";
     let mut out = String::with_capacity(bytes.len() * 2);
     for b in bytes {
-        out.push_str(&format!("{b:02x}"));
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xf) as usize] as char);
     }
     out
 }
@@ -385,7 +392,8 @@ mod tests {
         assert_eq!(back.len(), rows.len());
         for ((i, a), (j, b)) in rows.iter().zip(&back) {
             assert_eq!(i, j);
-            assert_eq!(encode_outcome(a), encode_outcome(b));
+            let encode = stg_experiments::store::encode_outcome;
+            assert_eq!(encode(a), encode(b));
         }
         // Truncations and junk decode to errors, never panics.
         assert!(decode_rows(&blob[..blob.len() - 2]).is_err());

@@ -61,6 +61,29 @@ pub struct Edge<E> {
     pub weight: E,
 }
 
+/// Edge adjacency in one of two layouts: growable per-node lists while a
+/// graph is being built, or two contiguous CSR slabs after
+/// [`Dag::compact`]. Both answer `out_edge_ids`/`in_edge_ids` with the
+/// identical slices (same ids, same insertion order) — compaction is a
+/// pure storage change, invisible to every traversal.
+#[derive(Clone, Debug)]
+enum Adjacency {
+    /// Building layout: one `Vec<EdgeId>` per node and direction.
+    Lists {
+        out: Vec<Vec<EdgeId>>,
+        inc: Vec<Vec<EdgeId>>,
+    },
+    /// Compact layout: per-direction offset tables (`len == nodes + 1`)
+    /// into shared id slabs — one allocation per direction instead of one
+    /// per node, and sequential traversals walk contiguous memory.
+    Compact {
+        out_off: Vec<u32>,
+        out_ids: Vec<EdgeId>,
+        in_off: Vec<u32>,
+        in_ids: Vec<EdgeId>,
+    },
+}
+
 /// A directed graph stored in arena form. Acyclicity is not enforced on
 /// every mutation (builders insert freely) but can be verified with
 /// [`crate::topo::topological_order`], which fails on cycles.
@@ -68,8 +91,7 @@ pub struct Edge<E> {
 pub struct Dag<N, E> {
     nodes: Vec<N>,
     edges: Vec<Edge<E>>,
-    out_edges: Vec<Vec<EdgeId>>,
-    in_edges: Vec<Vec<EdgeId>>,
+    adj: Adjacency,
 }
 
 impl<N, E> Default for Dag<N, E> {
@@ -84,8 +106,10 @@ impl<N, E> Dag<N, E> {
         Dag {
             nodes: Vec::new(),
             edges: Vec::new(),
-            out_edges: Vec::new(),
-            in_edges: Vec::new(),
+            adj: Adjacency::Lists {
+                out: Vec::new(),
+                inc: Vec::new(),
+            },
         }
     }
 
@@ -94,9 +118,72 @@ impl<N, E> Dag<N, E> {
         Dag {
             nodes: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
-            out_edges: Vec::with_capacity(nodes),
-            in_edges: Vec::with_capacity(nodes),
+            adj: Adjacency::Lists {
+                out: Vec::with_capacity(nodes),
+                inc: Vec::with_capacity(nodes),
+            },
         }
+    }
+
+    /// Converts the adjacency into the compact CSR layout: every
+    /// per-node edge list moves into two shared slabs addressed by
+    /// offset tables. Traversal results are bit-identical (ids and
+    /// insertion order are preserved); what changes is memory shape —
+    /// `2·(V+1)` words of offsets plus two `E`-sized slabs instead of
+    /// `2·V` separate heap vectors. The memoization cache compacts every
+    /// graph it retains, so cache hits hand out allocation-dense,
+    /// traversal-friendly arenas. Idempotent; a later mutation melts the
+    /// graph back into the building layout transparently.
+    pub fn compact(&mut self) {
+        let Adjacency::Lists { out, inc } = &self.adj else {
+            return;
+        };
+        let build = |lists: &Vec<Vec<EdgeId>>| {
+            let mut off = Vec::with_capacity(lists.len() + 1);
+            let mut ids = Vec::with_capacity(self.edges.len());
+            off.push(0u32);
+            for l in lists {
+                ids.extend_from_slice(l);
+                off.push(ids.len() as u32);
+            }
+            (off, ids)
+        };
+        let (out_off, out_ids) = build(out);
+        let (in_off, in_ids) = build(inc);
+        self.adj = Adjacency::Compact {
+            out_off,
+            out_ids,
+            in_off,
+            in_ids,
+        };
+    }
+
+    /// True when the adjacency is in the compact CSR layout.
+    pub fn is_compact(&self) -> bool {
+        matches!(self.adj, Adjacency::Compact { .. })
+    }
+
+    /// Rebuilds the growable per-node lists from the compact layout, so
+    /// mutation can proceed. The inverse of [`Dag::compact`].
+    fn melt(&mut self) {
+        let Adjacency::Compact {
+            out_off,
+            out_ids,
+            in_off,
+            in_ids,
+        } = &self.adj
+        else {
+            return;
+        };
+        let split = |off: &[u32], ids: &[EdgeId]| {
+            off.windows(2)
+                .map(|w| ids[w[0] as usize..w[1] as usize].to_vec())
+                .collect::<Vec<_>>()
+        };
+        self.adj = Adjacency::Lists {
+            out: split(out_off, out_ids),
+            inc: split(in_off, in_ids),
+        };
     }
 
     /// Number of nodes.
@@ -118,10 +205,14 @@ impl<N, E> Dag<N, E> {
 
     /// Adds a node with the given payload, returning its id.
     pub fn add_node(&mut self, weight: N) -> NodeId {
+        self.melt();
         let id = NodeId(u32::try_from(self.nodes.len()).expect("node count exceeds u32"));
         self.nodes.push(weight);
-        self.out_edges.push(Vec::new());
-        self.in_edges.push(Vec::new());
+        let Adjacency::Lists { out, inc } = &mut self.adj else {
+            unreachable!("melt() restored the building layout");
+        };
+        out.push(Vec::new());
+        inc.push(Vec::new());
         id
     }
 
@@ -134,10 +225,14 @@ impl<N, E> Dag<N, E> {
         assert!(src.index() < self.nodes.len(), "edge source out of bounds");
         assert!(dst.index() < self.nodes.len(), "edge target out of bounds");
         assert_ne!(src, dst, "self-loop not allowed in a DAG");
+        self.melt();
         let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count exceeds u32"));
         self.edges.push(Edge { src, dst, weight });
-        self.out_edges[src.index()].push(id);
-        self.in_edges[dst.index()].push(id);
+        let Adjacency::Lists { out, inc } = &mut self.adj else {
+            unreachable!("melt() restored the building layout");
+        };
+        out[src.index()].push(id);
+        inc[dst.index()].push(id);
         id
     }
 
@@ -194,25 +289,35 @@ impl<N, E> Dag<N, E> {
     /// Ids of edges leaving `v`.
     #[inline]
     pub fn out_edge_ids(&self, v: NodeId) -> &[EdgeId] {
-        &self.out_edges[v.index()]
+        match &self.adj {
+            Adjacency::Lists { out, .. } => &out[v.index()],
+            Adjacency::Compact {
+                out_off, out_ids, ..
+            } => &out_ids[out_off[v.index()] as usize..out_off[v.index() + 1] as usize],
+        }
     }
 
     /// Ids of edges entering `v`.
     #[inline]
     pub fn in_edge_ids(&self, v: NodeId) -> &[EdgeId] {
-        &self.in_edges[v.index()]
+        match &self.adj {
+            Adjacency::Lists { inc, .. } => &inc[v.index()],
+            Adjacency::Compact { in_off, in_ids, .. } => {
+                &in_ids[in_off[v.index()] as usize..in_off[v.index() + 1] as usize]
+            }
+        }
     }
 
     /// Successor nodes of `v` (with multiplicity if parallel edges exist).
     pub fn successors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.out_edges[v.index()]
+        self.out_edge_ids(v)
             .iter()
             .map(|e| self.edges[e.index()].dst)
     }
 
     /// Predecessor nodes of `v` (with multiplicity if parallel edges exist).
     pub fn predecessors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.in_edges[v.index()]
+        self.in_edge_ids(v)
             .iter()
             .map(|e| self.edges[e.index()].src)
     }
@@ -220,13 +325,13 @@ impl<N, E> Dag<N, E> {
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out_edges[v.index()].len()
+        self.out_edge_ids(v).len()
     }
 
     /// In-degree of `v`.
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.in_edges[v.index()].len()
+        self.in_edge_ids(v).len()
     }
 
     /// Nodes with no incoming edges.
@@ -239,7 +344,8 @@ impl<N, E> Dag<N, E> {
         self.node_ids().filter(|&v| self.out_degree(v) == 0)
     }
 
-    /// Maps node payloads, preserving structure.
+    /// Maps node payloads, preserving structure (and the adjacency
+    /// layout — a compacted graph maps to a compacted graph).
     pub fn map_nodes<M>(&self, mut f: impl FnMut(NodeId, &N) -> M) -> Dag<M, E>
     where
         E: Clone,
@@ -252,8 +358,7 @@ impl<N, E> Dag<N, E> {
                 .map(|(i, n)| f(NodeId(i as u32), n))
                 .collect(),
             edges: self.edges.clone(),
-            out_edges: self.out_edges.clone(),
-            in_edges: self.in_edges.clone(),
+            adj: self.adj.clone(),
         }
     }
 }
@@ -311,6 +416,37 @@ mod tests {
         assert_eq!(mapped.node_count(), 4);
         assert_eq!(*mapped.node(a), 1);
         assert_eq!(mapped.edge_count(), 4);
+    }
+
+    #[test]
+    fn compact_preserves_adjacency_and_melts_on_mutation() {
+        let (mut g, [a, b, c, d]) = diamond();
+        let before: Vec<(Vec<EdgeId>, Vec<EdgeId>)> = g
+            .node_ids()
+            .map(|v| (g.out_edge_ids(v).to_vec(), g.in_edge_ids(v).to_vec()))
+            .collect();
+        g.compact();
+        assert!(g.is_compact());
+        for (i, v) in g.node_ids().enumerate() {
+            assert_eq!(g.out_edge_ids(v), &before[i].0[..], "{v:?} out");
+            assert_eq!(g.in_edge_ids(v), &before[i].1[..], "{v:?} in");
+        }
+        assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(g.predecessors(d).collect::<Vec<_>>(), vec![b, c]);
+        // Idempotent.
+        g.compact();
+        assert!(g.is_compact());
+        // Mutation melts back transparently and appends correctly.
+        let e = g.add_node("e");
+        assert!(!g.is_compact());
+        g.add_edge(d, e, 9);
+        assert_eq!(g.successors(d).collect::<Vec<_>>(), vec![e]);
+        assert_eq!(g.out_edge_ids(a), &before[0].0[..]);
+        // map_nodes preserves the compact layout.
+        g.compact();
+        let mapped = g.map_nodes(|_, n| n.len());
+        assert!(mapped.is_compact());
+        assert_eq!(mapped.successors(a).collect::<Vec<_>>(), vec![b, c]);
     }
 
     #[test]

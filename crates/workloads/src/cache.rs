@@ -13,6 +13,16 @@
 //! binaries are short-lived grids where that is the working set anyway;
 //! long-lived processes (services, benchmark harnesses) should call
 //! [`clear`] between work items they don't want to share graphs across.
+//!
+//! Retained graphs are **arena-compacted** before they are published:
+//! the builder finishes, the graph's adjacency moves into contiguous CSR
+//! slabs ([`Dag::compact`](stg_graph::Dag::compact)), and every cache hit
+//! hands out an `Arc` of that compact arena — zero per-hit allocation
+//! (the spec is looked up by `&str`, never re-boxed) and better traversal
+//! locality for the scheduler's level/partition passes. Compaction never
+//! changes ids, adjacency order, or any scheduling output; the
+//! cache-coherence proptest pins fingerprint equality against freshly
+//! built graphs across every registered family.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,7 +32,10 @@ use stg_model::CanonicalGraph;
 
 type Slot = Arc<OnceLock<Arc<CanonicalGraph>>>;
 
-static CACHE: OnceLock<Mutex<HashMap<(String, u64), Slot>>> = OnceLock::new();
+/// Keyed `spec → seed → slot`: two levels so the hot path can look a
+/// spec up by `&str` (via the `Borrow<str>` impl on `String` keys)
+/// without allocating a key tuple per call.
+static CACHE: OnceLock<Mutex<HashMap<String, HashMap<u64, Slot>>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
@@ -53,7 +66,7 @@ impl CacheStats {
     }
 }
 
-fn map() -> &'static Mutex<HashMap<(String, u64), Slot>> {
+fn map() -> &'static Mutex<HashMap<String, HashMap<u64, Slot>>> {
     CACHE.get_or_init(Default::default)
 }
 
@@ -61,6 +74,11 @@ fn map() -> &'static Mutex<HashMap<(String, u64), Slot>> {
 /// on the first request. The second component is `true` when the cache
 /// already held the graph. Concurrent first requests for one key block on
 /// the builder instead of duplicating work.
+///
+/// Hits allocate nothing: the slot lookup borrows `spec` as `&str` and
+/// the returned graph is an `Arc` clone of the compacted arena built on
+/// the first request. Only a miss pays the `String` key insertion and
+/// the build + [`compact`](stg_graph::Dag::compact) cost.
 pub fn get_or_build(
     spec: &str,
     seed: u64,
@@ -68,13 +86,26 @@ pub fn get_or_build(
 ) -> (Arc<CanonicalGraph>, bool) {
     let slot = {
         let mut m = map().lock().expect("workload cache lock");
-        m.entry((spec.to_string(), seed)).or_default().clone()
+        match m.get(spec).and_then(|seeds| seeds.get(&seed)) {
+            Some(slot) => Arc::clone(slot),
+            None => {
+                let slot: Slot = Slot::default();
+                m.entry(spec.to_string())
+                    .or_default()
+                    .insert(seed, Arc::clone(&slot));
+                slot
+            }
+        }
     };
     let mut built = false;
     let graph = slot
         .get_or_init(|| {
             built = true;
-            Arc::new(build())
+            let mut g = build();
+            // Compact once, before publication: every hit shares the
+            // CSR-slab arena.
+            g.dag_mut().compact();
+            Arc::new(g)
         })
         .clone();
     if built {
@@ -95,7 +126,12 @@ pub fn stats() -> CacheStats {
 
 /// Number of cached graphs.
 pub fn len() -> usize {
-    map().lock().expect("workload cache lock").len()
+    map()
+        .lock()
+        .expect("workload cache lock")
+        .values()
+        .map(HashMap::len)
+        .sum()
 }
 
 /// Drops every cached graph and resets the process-wide counters. Shared
@@ -136,6 +172,21 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b));
         let (_, hit) = get_or_build("test-cache-tiny:3", 0, || tiny(16));
         assert!(!hit);
+    }
+
+    #[test]
+    fn cached_graphs_are_arena_compacted_and_structurally_intact() {
+        let fresh = tiny(32);
+        let (cached, hit) = get_or_build("test-cache-tiny:compact", 3, || tiny(32));
+        assert!(!hit);
+        assert!(cached.dag().is_compact(), "cache compacts before publish");
+        assert!(!fresh.dag().is_compact(), "fresh builds stay uncompacted");
+        assert_eq!(cached.fingerprint(), fresh.fingerprint());
+        assert!(cached.structurally_equal(&fresh));
+        // Hits hand out the same compact arena.
+        let (again, hit) = get_or_build("test-cache-tiny:compact", 3, || unreachable!());
+        assert!(hit);
+        assert!(Arc::ptr_eq(&cached, &again));
     }
 
     #[test]
